@@ -1,0 +1,129 @@
+"""Ablation — aggregation-layer design choices (paper §3.3, §5).
+
+The paper argues (a) intermediate aggregation layers can be linear with no
+quality loss *as long as the final shared layer stays cross-attention*, and
+(b) the Perceiver is a more expensive fusion module that D-CHAG would help
+even more (§3.5).  This ablation trains the miniature MAE with four
+aggregator variants and compares convergence and cost:
+
+* cross-attention aggregation (the baseline module);
+* linear channel mixer (the -L approximation);
+* Perceiver fusion (Aurora-style);
+* and, distributed: D-CHAG-L with a *linear* final layer — the configuration
+  the paper warns about — versus the standard cross-attention final layer.
+"""
+
+import numpy as np
+import pytest
+
+from figutils import print_table
+from repro.core import DCHAG, DCHAGConfig
+from repro.dist import run_spmd
+from repro.models import MAEModel, build_serial_mae
+from repro.nn import LinearChannelMixer, PerceiverChannelFusion, ViTEncoder
+from repro.perf import estimate_flops, ModelConfig, ParallelPlan, Workload
+from repro.tensor import count_flops
+from repro.train import TrainConfig, Trainer
+
+C, IMG, P, D, HEADS, DEPTH, STEPS = 8, 16, 4, 32, 4, 2, 12
+
+
+def _batch():
+    from repro.data import HyperspectralConfig, HyperspectralDataset
+
+    ds = HyperspectralDataset(HyperspectralConfig(channels=C, height=IMG, width=IMG, n_images=8, seed=3))
+    return ds.batch(range(6))
+
+
+def train_serial(agg_kind: str):
+    batch = _batch()
+    model = build_serial_mae(
+        channels=C, image=IMG, patch=P, dim=D, depth=DEPTH, heads=HEADS,
+        rng=np.random.default_rng(0), mask_ratio=0.5,
+        agg="cross" if agg_kind != "linear" else "linear",
+    )
+    if agg_kind == "perceiver":
+        model.frontend.aggregator = PerceiverChannelFusion(D, HEADS, np.random.default_rng(1))
+    tr = Trainer(model, TrainConfig(lr=3e-3, total_steps=STEPS, warmup_steps=2))
+    with count_flops() as counter:
+        losses = [tr.step(batch, np.random.default_rng(100 + i)) for i in range(STEPS)]
+    return losses, counter.total, model
+
+
+def train_dchag_final(final_kind: str):
+    """D-CHAG-L with a cross-attention (paper's rule) or linear final layer."""
+    batch = _batch()
+
+    def fn(comm):
+        cfg = DCHAGConfig(channels=C, patch=P, dim=D, heads=HEADS, kind="linear")
+        frontend = DCHAG(comm, None, cfg, rng_seed=2)
+        if final_kind == "linear":
+            # Violate §3.3's rule: replace the shared final cross-attention.
+            frontend.final = LinearChannelMixer(comm.world.size, 1, np.random.default_rng(0))
+        shared = np.random.default_rng(0)
+        model = MAEModel(
+            frontend, ViTEncoder(D, DEPTH, HEADS, shared),
+            num_tokens=(IMG // P) ** 2, dim=D, patch=P, out_channels=C,
+            rng=shared, mask_ratio=0.5, decoder_depth=2,
+        )
+        tr = Trainer(model, TrainConfig(lr=3e-3, total_steps=STEPS, warmup_steps=2))
+        return [tr.step(batch, np.random.default_rng(100 + i)) for i in range(STEPS)]
+
+    return run_spmd(fn, 2)[0]
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    return {kind: train_serial(kind) for kind in ("cross", "linear", "perceiver")}
+
+
+def test_linear_aggregation_matches_cross_quality(serial_runs):
+    """§3.3: linear intermediate layers should not hurt convergence."""
+    cross = serial_runs["cross"][0][-1]
+    linear = serial_runs["linear"][0][-1]
+    assert abs(linear - cross) / cross < 0.5
+
+
+def test_perceiver_costs_more_flops(serial_runs):
+    """§3.5: the Perceiver is 'a more computationally intensive
+    cross-attention-based module'."""
+    assert serial_runs["perceiver"][1] > serial_runs["cross"][1]
+
+
+def test_perceiver_converges(serial_runs):
+    losses = serial_runs["perceiver"][0]
+    assert losses[-1] < losses[0]
+
+
+def test_analytic_agg_flops_ranks_cross_over_linear():
+    cfg = ModelConfig("tiny", dim=D, depth=DEPTH, heads=HEADS, patch=P, image_hw=(IMG, IMG))
+    cross = estimate_flops(cfg, Workload(C, 6), ParallelPlan("serial")).aggregation
+    dchag_l = estimate_flops(
+        cfg, Workload(C, 6), ParallelPlan("dchag", tp=2, dchag_kind="linear")
+    ).aggregation
+    assert cross > 5 * dchag_l
+
+
+def test_dchag_converges_with_either_final_layer():
+    cross_final = train_dchag_final("cross")
+    linear_final = train_dchag_final("linear")
+    assert cross_final[-1] < cross_final[0]
+    assert linear_final[-1] < linear_final[0]
+
+
+def test_ablation_aggregation_print_and_benchmark(serial_runs, benchmark):
+    def collect():
+        rows = []
+        for kind, (losses, flops, model) in serial_runs.items():
+            rows.append([kind, f"{losses[0]:.4f}", f"{losses[-1]:.4f}", f"{flops / 1e9:.1f}G",
+                         model.frontend.aggregator.num_parameters()])
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    print_table(
+        "Ablation — aggregation layer variants (serial MAE, 12 steps)",
+        ["aggregator", "loss[0]", "loss[-1]", "train GFLOPs", "agg params"],
+        rows,
+        note="paper: linear intermediates are fine, final layer stays "
+        "cross-attention; Perceiver costs more compute (bigger D-CHAG win)",
+    )

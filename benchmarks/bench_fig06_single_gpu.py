@@ -1,0 +1,101 @@
+"""Figure 6 — single-GPU memory and TFLOPs by component.
+
+Paper: memory usage (normalized to the full application) and TFLOPs/GPU for
+tokenization / channel aggregation / transformer blocks, for 100M, 1B and 3B
+models as the channel count grows; the 100M model handles up to 512
+channels, 1B up to 256, 3B up to 128 (OOM beyond).
+"""
+
+import pytest
+
+from figutils import fmt_gb, print_table
+from repro.perf import (
+    FIGURE_BATCH,
+    ParallelPlan,
+    Workload,
+    estimate_flops,
+    estimate_memory,
+    frontier,
+    named_model,
+)
+
+MACHINE = frontier()
+MODELS = ("100M", "1B", "3B")
+CHANNELS = (32, 64, 128, 256, 512, 1024)
+B = FIGURE_BATCH["fig6"]
+SERIAL = ParallelPlan("serial")
+
+
+def compute_fig6():
+    rows = []
+    for name in MODELS:
+        cfg = named_model(name)
+        for ch in CHANNELS:
+            w = Workload(ch, B)
+            mem = estimate_memory(cfg, w, SERIAL)
+            fl = estimate_flops(cfg, w, SERIAL)
+            rows.append(
+                {
+                    "model": name,
+                    "channels": ch,
+                    "mem_tok": mem.tokenization,
+                    "mem_agg": mem.aggregation,
+                    "mem_vit": mem.transformer,
+                    "mem_total": mem.total,
+                    "flops_tok": fl.tokenization,
+                    "flops_agg": fl.aggregation,
+                    "flops_vit": fl.transformer,
+                    "fits": mem.fits(MACHINE),
+                }
+            )
+    return rows
+
+
+def test_fig6_capacity_boundaries_match_paper():
+    rows = {(r["model"], r["channels"]): r for r in compute_fig6()}
+    assert rows[("100M", 512)]["fits"] and not rows[("100M", 1024)]["fits"]
+    assert rows[("1B", 256)]["fits"] and not rows[("1B", 512)]["fits"]
+    assert rows[("3B", 128)]["fits"] and not rows[("3B", 256)]["fits"]
+
+
+def test_fig6_compute_shifts_to_channel_stage():
+    """'the majority of the compute (FLOPs) is directed toward channel
+    aggregation and tokenization' — at high channel counts, and the
+    channel-stage share grows monotonically with C for every model."""
+    rows = {(r["model"], r["channels"]): r for r in compute_fig6()}
+    for model, ch in (("100M", 512), ("1B", 256)):
+        r = rows[(model, ch)]
+        assert r["flops_tok"] + r["flops_agg"] > r["flops_vit"]
+    for model in MODELS:
+        shares = [
+            (rows[(model, c)]["flops_tok"] + rows[(model, c)]["flops_agg"])
+            / (rows[(model, c)]["flops_tok"] + rows[(model, c)]["flops_agg"] + rows[(model, c)]["flops_vit"])
+            for c in CHANNELS
+        ]
+        assert shares == sorted(shares)
+
+
+def test_fig6_print_and_benchmark(benchmark):
+    rows = benchmark(compute_fig6)
+    table = []
+    for r in rows:
+        total = r["mem_total"]
+        table.append(
+            [
+                r["model"],
+                r["channels"],
+                f"{r['mem_tok'] / total:.0%}",
+                f"{r['mem_agg'] / total:.0%}",
+                f"{r['mem_vit'] / total:.0%}",
+                fmt_gb(total),
+                "OOM" if not r["fits"] else "ok",
+                f"{(r['flops_tok'] + r['flops_agg']) / (r['flops_tok'] + r['flops_agg'] + r['flops_vit']):.0%}",
+            ]
+        )
+    print_table(
+        "Fig. 6 — single-GPU components (batch %d)" % B,
+        ["model", "C", "tok%", "agg%", "vit%", "total GB", "fits", "chan-stage FLOP share"],
+        table,
+        note="paper: 100M<=512ch, 1B<=256ch, 3B<=128ch on one 64 GB GCD; "
+        "tokenization+aggregation dominate compute at high C",
+    )

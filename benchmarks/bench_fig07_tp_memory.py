@@ -1,0 +1,84 @@
+"""Figure 7 — per-GPU memory of 1.7B and 7B models under tensor parallelism.
+
+Paper: for 1.7B, two GPUs are required to fit 512 input channels and a full
+Frontier node (TP8) for 1024; for 7B, 256 channels fit on half a node (TP4)
+and 512 need two nodes (TP16).  Tokenization + channel aggregation account
+for 50–90 % of memory at high channel counts.
+"""
+
+from figutils import fmt_gb, print_table
+from repro.perf import (
+    FIGURE_BATCH,
+    ParallelPlan,
+    Workload,
+    estimate_memory,
+    frontier,
+    named_model,
+)
+
+MACHINE = frontier()
+SWEEP = {
+    "1.7B": (FIGURE_BATCH["fig7_1.7B"], (256, 512, 1024), (1, 2, 4, 8)),
+    "7B": (FIGURE_BATCH["fig7_7B"], (128, 256, 512), (2, 4, 8, 16)),
+}
+
+
+def compute_fig7():
+    rows = []
+    for model, (batch, channels, tps) in SWEEP.items():
+        cfg = named_model(model)
+        for ch in channels:
+            for tp in tps:
+                mem = estimate_memory(cfg, Workload(ch, batch), ParallelPlan("tp", tp=tp))
+                rows.append(
+                    {
+                        "model": model,
+                        "channels": ch,
+                        "tp": tp,
+                        "total": mem.total,
+                        "tok_agg_frac": mem.tok_plus_agg_fraction,
+                        "fits": mem.fits(MACHINE),
+                    }
+                )
+    return rows
+
+
+def _min_tp(rows, model, ch):
+    fitting = [r["tp"] for r in rows if r["model"] == model and r["channels"] == ch and r["fits"]]
+    return min(fitting) if fitting else None
+
+
+def test_fig7_min_tp_matches_paper():
+    rows = compute_fig7()
+    assert _min_tp(rows, "1.7B", 512) == 2
+    assert _min_tp(rows, "1.7B", 1024) == 8
+    assert _min_tp(rows, "7B", 256) == 4
+    assert _min_tp(rows, "7B", 512) == 16
+
+
+def test_fig7_channel_stage_dominates():
+    rows = compute_fig7()
+    high_c = [r for r in rows if r["channels"] >= 512 and r["fits"]]
+    assert high_c and all(0.5 <= r["tok_agg_frac"] <= 0.95 for r in high_c)
+
+
+def test_fig7_print_and_benchmark(benchmark):
+    rows = benchmark(compute_fig7)
+    table = [
+        [
+            r["model"],
+            r["channels"],
+            r["tp"],
+            fmt_gb(r["total"]),
+            f"{r['tok_agg_frac']:.0%}",
+            "ok" if r["fits"] else "OOM",
+        ]
+        for r in rows
+    ]
+    print_table(
+        "Fig. 7 — memory/GPU under TP",
+        ["model", "C", "TP", "GB/GPU", "tok+agg", "fits"],
+        table,
+        note="paper: 1.7B needs TP2@512ch / TP8@1024ch; 7B needs TP4@256ch / "
+        "TP16@512ch; tok+agg = 50-90% at large C",
+    )

@@ -1,0 +1,84 @@
+"""Figure 8 — distributed tokenization alone does not pay (paper §4.4).
+
+Paper, for a 1.7B model (bars): blue = baseline TP tokenization+aggregation
+memory; red = baseline tokenization alone; green = distributed tokenization
+alone (much smaller than red); yellow = distributed tokenization +
+aggregation including the AllGather buffer — which negates the gains: at 512
+channels yellow is *worse* than blue, at 1024 only modestly better.
+"""
+
+from figutils import fmt_gb, print_table
+from repro.perf import (
+    FIGURE_BATCH,
+    ParallelPlan,
+    Workload,
+    estimate_memory,
+    frontier,
+    named_model,
+)
+
+MACHINE = frontier()
+MODEL = named_model("1.7B")
+B = FIGURE_BATCH["fig8"]
+# Paper runs each channel count at its minimum feasible TP (Fig. 7).
+CASES = ((512, 2), (1024, 8))
+
+
+def compute_fig8():
+    rows = []
+    for ch, tp in CASES:
+        w = Workload(ch, B)
+        base = estimate_memory(MODEL, w, ParallelPlan("tp", tp=tp))
+        dist = estimate_memory(MODEL, w, ParallelPlan("dist_tok", tp=tp))
+        rows.append(
+            {
+                "channels": ch,
+                "tp": tp,
+                "blue_tok_agg_baseline": base.tokenization + base.aggregation,
+                "red_tok_baseline": base.tokenization,
+                "green_tok_distributed": dist.tokenization,
+                "yellow_dist_tok_plus_agg": dist.tokenization + dist.aggregation,
+            }
+        )
+    return rows
+
+
+def test_fig8_distributed_tokenization_alone_wins():
+    """Green bars well below red bars."""
+    for r in compute_fig8():
+        assert r["green_tok_distributed"] < 0.6 * r["red_tok_baseline"]
+
+
+def test_fig8_gather_negates_gains_at_512():
+    """'for images with 512 channels, we observe a drop in performance'."""
+    r512 = compute_fig8()[0]
+    assert r512["yellow_dist_tok_plus_agg"] > 0.95 * r512["blue_tok_agg_baseline"]
+
+
+def test_fig8_modest_effect_at_1024():
+    """'for images with 1024 channels, only modest improvements are seen'."""
+    r1024 = compute_fig8()[1]
+    ratio = r1024["yellow_dist_tok_plus_agg"] / r1024["blue_tok_agg_baseline"]
+    assert 0.5 < ratio < 1.1  # nowhere near the tokenization-only saving
+
+
+def test_fig8_print_and_benchmark(benchmark):
+    rows = benchmark(compute_fig8)
+    table = [
+        [
+            r["channels"],
+            r["tp"],
+            fmt_gb(r["blue_tok_agg_baseline"]),
+            fmt_gb(r["red_tok_baseline"]),
+            fmt_gb(r["green_tok_distributed"]),
+            fmt_gb(r["yellow_dist_tok_plus_agg"]),
+        ]
+        for r in rows
+    ]
+    print_table(
+        "Fig. 8 — distributed tokenization (1.7B)",
+        ["C", "TP", "blue: base tok+agg", "red: base tok", "green: dist tok", "yellow: dist tok+agg"],
+        table,
+        note="paper: green << red, but yellow ≈/> blue at 512ch (AllGather "
+        "overhead), only modest improvement at 1024ch",
+    )

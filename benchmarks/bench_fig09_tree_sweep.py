@@ -1,0 +1,104 @@
+"""Figure 9 — D-CHAG gains vs TP-only across partial-aggregation configs.
+
+Paper, 1.7B model: Tree0/2/4/8 × {-C cross-attention, -L linear} at 512
+channels (TP2) and 1024 channels (TP8).  Quoted: Tree0-C ≈ baseline (512ch)
+but +60 % at 1024ch; deeper -C trees help at 512ch and stay flat at 1024ch;
+-L improves even shallow, and Tree0-L is the best configuration overall —
+the variant used for the rest of the paper.
+"""
+
+import math
+
+from figutils import fmt_pct, print_table
+from repro.core import plan_channel_stage
+from repro.perf import (
+    FIGURE_BATCH,
+    ParallelPlan,
+    Workload,
+    frontier,
+    throughput_gain,
+)
+from repro.perf import named_model
+
+MACHINE = frontier()
+MODEL = named_model("1.7B")
+B = FIGURE_BATCH["fig9"]
+CASES = ((512, 2), (1024, 8))
+FANOUTS = (0, 2, 4, 8)
+KINDS = ("cross", "linear")
+
+
+def compute_fig9():
+    rows = []
+    for ch, tp in CASES:
+        base = ParallelPlan("tp", tp=tp)
+        for kind in KINDS:
+            for fanout in FANOUTS:
+                plan = ParallelPlan("dchag", tp=tp, dchag_kind=kind, dchag_fanout=fanout)
+                rows.append(
+                    {
+                        "channels": ch,
+                        "tp": tp,
+                        "kind": kind,
+                        "fanout": fanout,
+                        "gain": throughput_gain(MODEL, ch, plan, base, MACHINE),
+                    }
+                )
+    return rows
+
+
+def test_fig9_cross_1024_large_gain():
+    """Paper: Tree0-C '+60% improvement for 1024 channels'."""
+    rows = {(r["channels"], r["kind"], r["fanout"]): r["gain"] for r in compute_fig9()}
+    assert rows[(1024, "cross", 0)] > 0.4
+
+
+def test_fig9_cross_gains_flat_at_1024():
+    """'performance remains mostly constant for 1024-channel data'."""
+    rows = {(r["channels"], r["kind"], r["fanout"]): r["gain"] for r in compute_fig9()}
+    gains = [rows[(1024, "cross", f)] for f in FANOUTS]
+    assert max(gains) - min(gains) < 0.15
+
+
+def test_fig9_deeper_cross_helps_at_512():
+    """'As we deepen the hierarchical structure, we observe benefits even
+    with 512-channel data.'"""
+    rows = {(r["channels"], r["kind"], r["fanout"]): r["gain"] for r in compute_fig9()}
+    assert rows[(512, "cross", 4)] > rows[(512, "cross", 0)]
+
+
+def test_fig9_linear_beats_cross_everywhere():
+    rows = compute_fig9()
+    by_key = {(r["channels"], r["kind"], r["fanout"]): r["gain"] for r in rows}
+    for ch, _ in CASES:
+        for f in FANOUTS:
+            assert by_key[(ch, "linear", f)] > by_key[(ch, "cross", f)]
+
+
+def test_fig9_tree0_linear_is_best_like_paper():
+    """'the best performance is achieved with D-CHA ViT-L-Tree0' — checked
+    via the planner and via the raw sweep."""
+    rows = compute_fig9()
+    for ch, tp in CASES:
+        subset = [r for r in rows if r["channels"] == ch and r["kind"] == "linear"]
+        best = max(subset, key=lambda r: r["gain"])
+        assert best["fanout"] == 0
+        choice = plan_channel_stage(MODEL, Workload(ch, B), MACHINE, tp=tp)
+        assert choice.plan.dchag_kind == "linear" and choice.plan.dchag_fanout == 0
+
+
+def test_fig9_print_and_benchmark(benchmark):
+    rows = benchmark(compute_fig9)
+    table = [
+        [r["channels"], r["tp"], f"{r['kind']}-Tree{r['fanout']}", fmt_pct(r["gain"])]
+        for r in rows
+        if not math.isnan(r["gain"])
+    ]
+    print_table(
+        "Fig. 9 — D-CHAG gain over TP-only (1.7B)",
+        ["C", "TP", "config", "gain/GPU"],
+        table,
+        note="paper: Tree0-C ~baseline at 512ch, +60% at 1024ch; -L best, "
+        "Tree0-L the overall winner (our model overshoots -L magnitudes; "
+        "ordering and trends match — see EXPERIMENTS.md)",
+    )

@@ -1,0 +1,123 @@
+"""Figure 13 — D-CHAG+TP vs TP-only as the model scales (7B / 15B / 26B).
+
+Paper: with linear partial aggregation, 7B gains 30 %/70 % (256/512
+channels); 15B more than 20 %/50 % (128/256); 26B 10–30 % (64/128).  With
+cross-attention units the gains are smaller (10 %/60 % for 7B).  Gains grow
+with channel count and shrink with model size.  Preamble rows reproduce the
+§6.1 FSDP-sufficiency boundary.
+"""
+
+from figutils import fmt_pct, print_table
+from repro.perf import (
+    FIGURE_BATCH,
+    ParallelPlan,
+    Workload,
+    estimate_memory,
+    frontier,
+    named_model,
+    throughput_gain,
+)
+
+MACHINE = frontier()
+B = FIGURE_BATCH["fig13"]
+# (model, channels list) pairs as in the paper's figure, all at TP16.
+CASES = (("7B", (256, 512)), ("15B", (128, 256)), ("26B", (64, 128)))
+PAPER_GAINS = {  # (model, ch, kind) -> paper's quoted gain
+    ("7B", 256, "linear"): 0.30,
+    ("7B", 512, "linear"): 0.70,
+    ("7B", 256, "cross"): 0.10,
+    ("7B", 512, "cross"): 0.60,
+}
+
+
+def compute_fig13(tp: int = 16):
+    rows = []
+    for model, channels in CASES:
+        cfg = named_model(model)
+        base = ParallelPlan("tp", tp=tp)
+        for ch in channels:
+            for kind in ("linear", "cross"):
+                plan = ParallelPlan("dchag", tp=tp, dchag_kind=kind, dchag_fanout=0)
+                rows.append(
+                    {
+                        "model": model,
+                        "channels": ch,
+                        "kind": kind,
+                        "gain": throughput_gain(cfg, ch, plan, base, MACHINE),
+                        "paper": PAPER_GAINS.get((model, ch, kind)),
+                    }
+                )
+    return rows
+
+
+def fsdp_sufficiency_rows():
+    """§6.1 preamble: what FSDP-only can fit on one node."""
+    cases = (("7B", 128, True), ("7B", 256, False), ("15B", 64, True), ("26B", 64, False))
+    rows = []
+    for model, ch, expect in cases:
+        fits = estimate_memory(
+            named_model(model), Workload(ch, FIGURE_BATCH["fig6"]), ParallelPlan("tp", fsdp=8)
+        ).fits(MACHINE)
+        rows.append({"model": model, "channels": ch, "fits": fits, "paper_fits": expect})
+    return rows
+
+
+def test_fig13_gains_positive_where_paper_reports_gains():
+    for r in compute_fig13():
+        if r["kind"] == "linear":
+            assert r["gain"] > 0.0, r
+
+
+def test_fig13_gains_grow_with_channels():
+    rows = {(r["model"], r["channels"], r["kind"]): r["gain"] for r in compute_fig13()}
+    for model, (c1, c2) in CASES:
+        for kind in ("linear", "cross"):
+            assert rows[(model, c2, kind)] > rows[(model, c1, kind)]
+
+
+def test_fig13_gains_shrink_with_model_size():
+    rows = {(r["model"], r["channels"], r["kind"]): r["gain"] for r in compute_fig13()}
+    assert rows[("7B", 512, "linear")] > rows[("15B", 256, "linear")] > rows[("26B", 128, "linear")]
+
+
+def test_fig13_linear_beats_cross():
+    rows = {(r["model"], r["channels"], r["kind"]): r["gain"] for r in compute_fig13()}
+    for model, channels in CASES:
+        for ch in channels:
+            assert rows[(model, ch, "linear")] > rows[(model, ch, "cross")]
+
+
+def test_fig13_7b_magnitudes_within_2x_of_paper():
+    for r in compute_fig13():
+        if r["paper"] is not None:
+            assert r["paper"] / 3 < max(r["gain"], 1e-3) < r["paper"] * 3, r
+
+
+def test_fsdp_sufficiency_matches_paper():
+    for r in fsdp_sufficiency_rows():
+        assert r["fits"] == r["paper_fits"], r
+
+
+def test_fig13_print_and_benchmark(benchmark):
+    rows = benchmark(compute_fig13)
+    table = [
+        [
+            r["model"],
+            r["channels"],
+            "D-CHAG-" + ("L" if r["kind"] == "linear" else "C"),
+            fmt_pct(r["gain"]),
+            fmt_pct(r["paper"]) if r["paper"] is not None else "-",
+        ]
+        for r in rows
+    ]
+    print_table(
+        "Fig. 13 — gains over TP16-only by model size",
+        ["model", "C", "variant", "measured", "paper"],
+        table,
+    )
+    fs = fsdp_sufficiency_rows()
+    print_table(
+        "§6.1 — FSDP-only one-node feasibility",
+        ["model", "C", "fits (ours)", "fits (paper)"],
+        [[r["model"], r["channels"], r["fits"], r["paper_fits"]] for r in fs],
+    )

@@ -1,0 +1,5 @@
+import sys
+from pathlib import Path
+
+# Make figutils importable regardless of pytest rootdir configuration.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every ``bench_figNN_*.py`` regenerates one table/figure from the paper's
+evaluation: it computes the same series the figure plots, prints them as a
+table (with the paper's quoted numbers alongside where the text gives any),
+and times the computation under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+GiB = 1024**3
+
+__all__ = ["GiB", "print_table", "fmt_gb", "fmt_pct"]
+
+
+def fmt_gb(nbytes: float) -> str:
+    return f"{nbytes / GiB:.1f}"
+
+
+def fmt_pct(frac: float) -> str:
+    if frac != frac:  # nan
+        return "n/a"
+    if frac == float("inf"):
+        return "OOM→fits"
+    return f"{frac:+.0%}"
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence], note: str = "") -> None:
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        print(f"note: {note}")

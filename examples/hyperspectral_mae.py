@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Self-supervised MAE pre-training on hyperspectral plant images (paper §5.1).
+
+Reproduces the Fig. 11 experiment end to end at laptop scale: a masked
+autoencoder over synthetic APPL-like Poplar imagery (real set: 494 images ×
+500 VNIR bands), trained twice —
+
+* baseline: serial model, one rank;
+* D-CHAG-L: distributed channel stage on two simulated ranks, linear partial
+  aggregation, cross-attention final layer (the paper's best variant).
+
+Prints the two loss curves side by side and reports the masked-patch
+reconstruction RMSE of the D-CHAG model.
+
+Run:  python examples/hyperspectral_mae.py [--channels 32] [--steps 30]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import DCHAG, DCHAGConfig
+from repro.data import HyperspectralConfig, HyperspectralDataset, pseudo_rgb
+from repro.dist import run_spmd
+from repro.models import MAEModel, build_serial_mae
+from repro.nn import ViTEncoder
+from repro.train import TrainConfig, Trainer, masked_reconstruction_rmse
+
+
+def parse_args() -> argparse.Namespace:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--channels", type=int, default=32, help="spectral bands (paper: 500)")
+    ap.add_argument("--image", type=int, default=16, help="image size")
+    ap.add_argument("--patch", type=int, default=4)
+    ap.add_argument("--dim", type=int, default=48)
+    ap.add_argument("--depth", type=int, default=2)
+    ap.add_argument("--heads", type=int, default=4)
+    ap.add_argument("--steps", type=int, default=30)
+    ap.add_argument("--batch", type=int, default=8, help="paper's batch size: 8")
+    ap.add_argument("--ranks", type=int, default=2, help="simulated GPUs for D-CHAG (paper: 2)")
+    ap.add_argument("--mask-ratio", type=float, default=0.75)
+    return ap.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    ds = HyperspectralDataset(
+        HyperspectralConfig(
+            channels=args.channels, height=args.image, width=args.image, n_images=32, seed=4
+        )
+    )
+    batch = ds.batch(range(args.batch))
+    print(f"synthetic APPL: {len(ds)} images x {args.channels} bands "
+          f"({ds.library.wavelengths_nm[0]:.0f}-{ds.library.wavelengths_nm[-1]:.0f} nm)")
+
+    # ---- baseline (1 rank) -------------------------------------------------
+    serial = build_serial_mae(
+        channels=args.channels, image=args.image, patch=args.patch, dim=args.dim,
+        depth=args.depth, heads=args.heads, rng=np.random.default_rng(0),
+        mask_ratio=args.mask_ratio, agg="cross",
+    )
+    tr = Trainer(serial, TrainConfig(lr=3e-3, total_steps=args.steps, warmup_steps=3))
+    base_losses = [tr.step(batch, np.random.default_rng(900 + i)) for i in range(args.steps)]
+
+    # ---- D-CHAG-L (args.ranks ranks) ----------------------------------------
+    def train_dchag(comm):
+        cfg = DCHAGConfig(
+            channels=args.channels, patch=args.patch, dim=args.dim,
+            heads=args.heads, kind="linear",
+        )
+        frontend = DCHAG(comm, None, cfg, rng_seed=2)
+        shared = np.random.default_rng(0)
+        model = MAEModel(
+            frontend, ViTEncoder(args.dim, args.depth, args.heads, shared),
+            num_tokens=(args.image // args.patch) ** 2, dim=args.dim,
+            patch=args.patch, out_channels=args.channels, rng=shared,
+            mask_ratio=args.mask_ratio, decoder_depth=2,
+        )
+        t = Trainer(model, TrainConfig(lr=3e-3, total_steps=args.steps, warmup_steps=3))
+        losses = [t.step(batch, np.random.default_rng(900 + i)) for i in range(args.steps)]
+        pred, keep, mask = model(batch, np.random.default_rng(1))
+        target = model.reconstruction_target(batch)
+        rmse = masked_reconstruction_rmse(pred.data, target, mask)
+        recon = model.reconstruct(batch[:1], np.random.default_rng(1))
+        return losses, rmse, recon
+
+    results = run_spmd(train_dchag, args.ranks)
+    dchag_losses, rmse, recon = results[0]
+
+    # ---- report --------------------------------------------------------------
+    print(f"\n{'iter':>6}  {'baseline':>10}  {'D-CHAG-L':>10}")
+    stride = max(1, args.steps // 12)
+    for i in range(0, args.steps, stride):
+        print(f"{i:>6}  {base_losses[i]:>10.4f}  {dchag_losses[i]:>10.4f}")
+    print(f"{args.steps - 1:>6}  {base_losses[-1]:>10.4f}  {dchag_losses[-1]:>10.4f}")
+    gap = abs(dchag_losses[-1] - base_losses[-1]) / base_losses[-1]
+    print(f"\nfinal-loss gap: {gap:.1%} (paper Fig. 11: curves overlap)")
+    print(f"masked-patch reconstruction RMSE (D-CHAG): {rmse:.4f}")
+    rgb = pseudo_rgb(recon[0], ds.library)
+    print(f"pseudo-RGB reconstruction rendered: {rgb.shape}, range "
+          f"[{rgb.min():.2f}, {rgb.max():.2f}] (paper Fig. 11 right panel)")
+
+
+if __name__ == "__main__":
+    main()

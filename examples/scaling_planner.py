@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Capacity planning for multi-channel FMs on Frontier (paper §§4, 6).
+
+A downstream-user workflow built on the analytic models: given a model size
+and channel count, find
+
+1. whether FSDP alone suffices (then prefer it, §4.3);
+2. the minimum TP degree for the TP-only baseline;
+3. the best D-CHAG configuration (tree fanout, -L vs -C) and its gain;
+4. the hybrid layout (D-CHAG+TP within a node, DP across) and projected
+   sustained TFLOPs/sec at a target GPU count.
+
+Run:  python examples/scaling_planner.py --model 7B --channels 500 --gpus 1024
+"""
+
+import argparse
+
+from repro.core import plan_channel_stage
+from repro.perf import (
+    ParallelPlan,
+    Workload,
+    estimate_memory,
+    frontier,
+    max_batch_per_replica,
+    named_model,
+    sustained_estimate,
+    throughput_gain,
+)
+from repro.perf.throughput import global_batch_throughput
+
+
+def parse_args() -> argparse.Namespace:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--model", default="7B", help="named size: 100M..26B")
+    ap.add_argument("--channels", type=int, default=500)
+    ap.add_argument("--gpus", type=int, default=1024)
+    ap.add_argument("--global-batch", type=int, default=4096)
+    return ap.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    machine = frontier()
+    model = named_model(args.model)
+    gb = 1024**3
+    print(f"planning {args.model} (dim {model.dim}, depth {model.depth}) "
+          f"with {args.channels} channels on {machine.name} ({args.gpus} GCDs)\n")
+
+    # 1. Is FSDP alone enough? (§4.3: prefer scaling the batch dimension)
+    for fsdp in (2, 4, 8):
+        plan = ParallelPlan("tp", fsdp=fsdp)
+        if max_batch_per_replica(model, args.channels, plan, machine) > 0:
+            print(f"FSDP-only: fits with fsdp={fsdp} "
+                  f"({estimate_memory(model, Workload(args.channels, 1), plan).total / gb:.1f} GB/GPU at B=1)")
+            break
+    else:
+        print("FSDP-only: does not fit on a node — model parallelism required")
+
+    # 2. Minimum TP for the baseline.
+    min_tp = None
+    for tp in (1, 2, 4, 8, 16, 32, 64):
+        if max_batch_per_replica(model, args.channels, ParallelPlan("tp", tp=tp), machine) > 0:
+            min_tp = tp
+            break
+    if min_tp is None:
+        print("TP-only: cannot fit at any degree (the Fig. 14 regime)")
+        tp_for_dchag = min(machine.gpus_per_node, args.gpus)
+    else:
+        nodes = machine.nodes_for(min_tp)
+        print(f"TP-only baseline: minimum TP{min_tp} ({nodes} node{'s'[:nodes > 1]})")
+        tp_for_dchag = min_tp
+
+    # 3. Best D-CHAG configuration at the same degree (kept intra-node).
+    tp_for_dchag = min(tp_for_dchag, machine.gpus_per_node)
+    choice = plan_channel_stage(model, Workload(args.channels, 8), machine, tp=tp_for_dchag)
+    print(f"best D-CHAG config at TP{tp_for_dchag}: {choice.summary}")
+    if min_tp is not None:
+        gain = throughput_gain(
+            model, args.channels, choice.plan, ParallelPlan("tp", tp=min_tp), machine
+        )
+        print(f"  projected gain over TP{min_tp}-only: {gain:+.0%}")
+
+    # 4. Hybrid layout at scale.
+    dp = args.gpus // tp_for_dchag
+    hybrid = ParallelPlan(
+        "dchag", tp=tp_for_dchag, dp=dp,
+        dchag_kind=choice.plan.dchag_kind, dchag_fanout=choice.plan.dchag_fanout,
+    )
+    est = sustained_estimate(model, args.channels, hybrid, machine)
+    total = global_batch_throughput(model, args.channels, hybrid, machine, args.global_batch)
+    print(f"\nhybrid layout: {hybrid.label}  (replica = {hybrid.gpus_per_replica} GCDs, "
+          f"dp = {dp} replicas)")
+    print(f"  micro-batch per replica: {est.micro_batch}")
+    print(f"  memory: {est.memory.total / gb:.1f} GB/GPU "
+          f"({est.memory.utilization(machine):.0%} of HBM)")
+    print(f"  projected sustained throughput at global batch {args.global_batch}: "
+          f"{total:,.0f} TFLOP/s ({total / args.gpus:.1f} per GCD)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""ClimaX-style weather forecasting with D-CHAG (paper §5.2).
+
+Reproduces the Fig. 12 experiment at laptop scale: an 80-channel ERA5-like
+dataset on the paper's 5.625° grid (32×64), an image-to-image forecaster
+conditioned on a metadata token (time, lead time), trained as
+
+* baseline on one rank, and
+* D-CHAG (both -L and -C variants) on four simulated ranks (as the paper),
+
+then evaluated on a held-out chronological test split with latitude-weighted
+RMSE for Z500, T850 and U10 — the paper's three headline variables.
+
+Run:  python examples/weather_forecast.py [--steps 25] [--ranks 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import DCHAG, DCHAGConfig
+from repro.data import ERA5Config, Grid, SyntheticERA5, regrid
+from repro.dist import run_spmd
+from repro.models import ChannelViT, WeatherForecaster, build_serial_forecaster
+from repro.nn import ViTEncoder
+from repro.train import TrainConfig, Trainer, eval_channel_rmse
+
+
+def parse_args() -> argparse.Namespace:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--steps", type=int, default=25)
+    ap.add_argument("--batch", type=int, default=8, help="paper: 512")
+    ap.add_argument("--ranks", type=int, default=4, help="paper: 4")
+    ap.add_argument("--dim", type=int, default=48)
+    ap.add_argument("--depth", type=int, default=2)
+    ap.add_argument("--heads", type=int, default=4)
+    ap.add_argument("--patch", type=int, default=8)
+    return ap.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    C, H, W = 80, 32, 64
+
+    # The paper regrids 0.25° ERA5 to 5.625° with xESMF/bilinear; demonstrate
+    # the same pipeline with our regridder on a finer synthetic field.
+    hi = SyntheticERA5(ERA5Config(height=64, width=128, n_steps=2, seed=1))
+    coarse = regrid(hi.fields[0], Grid(64, 128), Grid(32, 64), "bilinear")
+    print(f"regrid demo: {hi.fields[0].shape} -> {coarse.shape} (bilinear, like xESMF)")
+
+    era = SyntheticERA5(ERA5Config(height=H, width=W, n_steps=args.batch + 8, seed=7))
+    train_idx, test_idx = era.train_test_split(0.25)
+    x, y, meta = era.batch(train_idx[: args.batch])
+    xt, yt, mt = era.batch(test_idx[: max(2, args.batch // 2)])
+    print(f"synthetic ERA5: {era.fields.shape[0]} steps x {C} channels on {H}x{W} "
+          f"(vars: {', '.join(era.channel_names[:4])}, ..., "
+          f"{', '.join(era.channel_names[-3:])})")
+
+    # ---- baseline ------------------------------------------------------------
+    serial = build_serial_forecaster(
+        channels=C, image_hw=(H, W), patch=args.patch, dim=args.dim,
+        depth=args.depth, heads=args.heads, rng=np.random.default_rng(0),
+    )
+    tr = Trainer(serial, TrainConfig(lr=2e-3, total_steps=args.steps, warmup_steps=3))
+    base_losses = [tr.step(x, y, meta) for _ in range(args.steps)]
+    base_rmse = eval_channel_rmse(serial(xt, mt).data, yt)
+
+    # ---- D-CHAG variants --------------------------------------------------------
+    def train_variant(comm, kind):
+        cfg = DCHAGConfig(channels=C, patch=args.patch, dim=args.dim, heads=args.heads, kind=kind)
+        frontend = DCHAG(comm, None, cfg, rng_seed=6)
+        shared = np.random.default_rng(0)
+        encoder = ViTEncoder(args.dim, args.depth, args.heads, shared)
+        n_tokens = (H // args.patch) * (W // args.patch)
+        backbone = ChannelViT(frontend, encoder, n_tokens, args.dim, shared, meta_fields=2)
+        model = WeatherForecaster(backbone, args.dim, args.patch, C, (H, W), shared)
+        t = Trainer(model, TrainConfig(lr=2e-3, total_steps=args.steps, warmup_steps=3))
+        losses = [t.step(x, y, meta) for _ in range(args.steps)]
+        return losses, eval_channel_rmse(model(xt, mt).data, yt)
+
+    losses_l, rmse_l = run_spmd(train_variant, args.ranks, "linear")[0]
+    losses_c, rmse_c = run_spmd(train_variant, args.ranks, "cross")[0]
+
+    # ---- report -----------------------------------------------------------------
+    print(f"\n{'iter':>6}  {'baseline':>10}  {'D-CHAG-L':>10}  {'D-CHAG-C':>10}")
+    stride = max(1, args.steps // 10)
+    for i in range(0, args.steps, stride):
+        print(f"{i:>6}  {base_losses[i]:>10.4f}  {losses_l[i]:>10.4f}  {losses_c[i]:>10.4f}")
+
+    print(f"\ntest RMSE (lat-weighted, paper's variables):")
+    print(f"{'variable':>10}  {'baseline':>10}  {'D-CHAG-L':>10}  {'D-CHAG-C':>10}")
+    for v in ("z500", "t850", "u10"):
+        print(f"{v:>10}  {base_rmse[v]:>10.4f}  {rmse_l[v]:>10.4f}  {rmse_c[v]:>10.4f}")
+    worst = max(
+        abs(r[v] - base_rmse[v]) / base_rmse[v] for r in (rmse_l, rmse_c) for v in base_rmse
+    )
+    print(f"\nworst relative RMSE gap: {worst:.1%} (paper Fig. 12: ~1% at full scale)")
+
+
+if __name__ == "__main__":
+    main()

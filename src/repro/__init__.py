@@ -1,0 +1,19 @@
+"""repro — reproduction of "Distributed Cross-Channel Hierarchical Aggregation
+for Foundation Models" (D-CHAG, SC 2025).
+
+Subpackages
+-----------
+``repro.tensor``    NumPy autograd engine (PyTorch substitute)
+``repro.nn``        neural-network module library
+``repro.dist``      simulated multi-rank distributed runtime (RCCL substitute)
+``repro.parallel``  TP / FSDP / DP / DeviceMesh strategies
+``repro.core``      the D-CHAG method itself
+``repro.perf``      Frontier machine model + memory/FLOPs/comm/throughput models
+``repro.data``      synthetic hyperspectral & ERA5-like datasets, regridding
+``repro.models``    ChannelViT / MAE / weather-forecaster assemblies
+``repro.train``     training loop, losses, metrics
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,19 @@
+"""The paper's core contribution: Distributed Cross-Channel Hierarchical
+Aggregation (D-CHAG)."""
+
+from .config import DCHAGConfig
+from .dchag import DCHAG
+from .partial_agg import PartialChannelAggregator
+from .planner import PlanChoice, plan_channel_stage, sweep_tree_configs
+from .tree import TreeSpec, build_tree
+
+__all__ = [
+    "DCHAG",
+    "DCHAGConfig",
+    "PartialChannelAggregator",
+    "TreeSpec",
+    "build_tree",
+    "PlanChoice",
+    "plan_channel_stage",
+    "sweep_tree_configs",
+]

@@ -1,0 +1,56 @@
+"""Configuration for the D-CHAG channel module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DCHAGConfig"]
+
+
+@dataclass(frozen=True)
+class DCHAGConfig:
+    """Hyper-parameters of the distributed channel stage.
+
+    Attributes
+    ----------
+    channels:
+        Total input channels (e.g. 500 for APPL hyperspectral, 80 for ERA5).
+    patch:
+        Patch size for tokenization.
+    dim:
+        Embedding dimension.
+    heads:
+        Attention heads (for cross-attention units and the final layer).
+    fanout:
+        ``TreeN`` fanout of the partial aggregation tree (0 ⇒ Tree0).
+    kind:
+        ``"linear"`` → D-CHAG-L (paper's best), ``"cross"`` → D-CHAG-C,
+        ``"perceiver"`` → Aurora-style Perceiver partial fusion (§3.5).
+    tp_shard_final:
+        Shard the final cross-attention layer over the TP group (§3.3:
+        "The final cross-attention layer is shared across all TP ranks …
+        we can distribute the embedding space").
+    """
+
+    channels: int
+    patch: int
+    dim: int
+    heads: int
+    fanout: int = 0
+    kind: str = "linear"
+    tp_shard_final: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("linear", "cross", "perceiver"):
+            raise ValueError(
+                f"kind must be 'linear', 'cross' or 'perceiver', got {self.kind!r}"
+            )
+        if self.channels < 1 or self.patch < 1 or self.dim < 1 or self.heads < 1:
+            raise ValueError("channels, patch, dim, heads must be positive")
+        if self.dim % self.heads != 0:
+            raise ValueError(f"dim {self.dim} not divisible by heads {self.heads}")
+
+    @property
+    def variant_name(self) -> str:
+        suffix = {"linear": "L", "cross": "C", "perceiver": "P"}[self.kind]
+        return f"D-CHAG-{suffix}-Tree{self.fanout}"

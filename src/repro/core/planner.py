@@ -1,0 +1,99 @@
+"""D-CHAG configuration planner.
+
+Answers the practical question §3.3 raises — "the partial-channel
+aggregation modules offer several tunable parameters" — by sweeping tree
+fanout and layer kind with the analytic models and returning the best plan
+by estimated sustained throughput (falling back to lowest memory when
+nothing is throughput-feasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+# NOTE: repro.perf imports repro.core.tree, so the perf imports here are
+# deferred to call time to keep the package import graph acyclic.
+if TYPE_CHECKING:  # pragma: no cover
+    from ..perf.machine import MachineSpec
+    from ..perf.modelcfg import ModelConfig
+    from ..perf.plan import ParallelPlan, Precision, Workload
+    from ..perf.throughput import StepEstimate
+
+__all__ = ["PlanChoice", "plan_channel_stage", "sweep_tree_configs"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    plan: "ParallelPlan"
+    estimate: "StepEstimate"
+
+    @property
+    def summary(self) -> str:
+        mem_gb = self.estimate.memory.total / 1024**3
+        return (
+            f"{self.plan.label}: {self.estimate.tflops_per_gpu:.1f} TF/s/GPU, "
+            f"{mem_gb:.1f} GB/GPU"
+        )
+
+
+def sweep_tree_configs(
+    model: "ModelConfig",
+    workload: "Workload",
+    machine: "MachineSpec",
+    tp: int,
+    fanouts: tuple[int, ...] = (0, 2, 4, 8),
+    kinds: tuple[str, ...] = ("linear", "cross"),
+    fsdp: int = 1,
+    dp: int = 1,
+    precision: "Precision | None" = None,
+) -> list[PlanChoice]:
+    """Estimate every (fanout, kind) D-CHAG variant at fixed tp/fsdp/dp."""
+    from ..perf.plan import ParallelPlan, Precision
+    from ..perf.throughput import sustained_estimate
+
+    precision = precision if precision is not None else Precision()
+    local_c = -(-workload.channels // tp)
+    out: list[PlanChoice] = []
+    for kind in kinds:
+        for fanout in fanouts:
+            if max(1, fanout) > local_c:
+                continue  # tree wider than the local channel count
+            plan = ParallelPlan(
+                "dchag", tp=tp, fsdp=fsdp, dp=dp, dchag_kind=kind, dchag_fanout=fanout
+            )
+            out.append(
+                PlanChoice(
+                    plan,
+                    sustained_estimate(
+                        model, workload.channels, plan, machine, precision
+                    ),
+                )
+            )
+    return out
+
+
+def plan_channel_stage(
+    model: "ModelConfig",
+    workload: "Workload",
+    machine: "MachineSpec",
+    tp: int,
+    fsdp: int = 1,
+    dp: int = 1,
+    precision: "Precision | None" = None,
+) -> PlanChoice:
+    """Pick the best D-CHAG variant for this model/workload/GPU layout.
+
+    Selection: highest estimated TFLOPs/GPU among configurations that fit;
+    if none fit, the one with the smallest memory footprint (so callers can
+    report how far over budget the best attempt is).
+    """
+    choices = sweep_tree_configs(
+        model, workload, machine, tp, fsdp=fsdp, dp=dp, precision=precision
+    )
+    if not choices:
+        raise ValueError("no feasible tree configuration (tp exceeds channels?)")
+    fitting = [c for c in choices if c.estimate.fits]
+    if fitting:
+        return max(fitting, key=lambda c: c.estimate.tflops_per_gpu)
+    return min(choices, key=lambda c: c.estimate.memory.total)

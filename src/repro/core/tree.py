@@ -1,0 +1,83 @@
+"""Hierarchical aggregation-tree geometry (paper §3.2, Fig. 3).
+
+``TreeN`` semantics (matching §4.5's examples exactly): within one rank's
+partial-channel aggregation module, *N* first-level aggregator units each
+reduce ``local_channels / N`` channels to one, and for ``N > 1`` a local root
+unit reduces those N intermediate channels to the rank's single output
+channel.  ``Tree0`` (≡ Tree1) is a single unit over all local channels.
+
+For 512 channels on 2 GPUs (256 local): ``Tree2`` → two units of 128
+channels each (paper: "two channel aggregation layers, with a maximum of 128
+input channels per layer"); ``Tree8`` → eight units of 32 channels each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TreeSpec", "build_tree"]
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Geometry of one rank's partial aggregation tree.
+
+    Attributes
+    ----------
+    local_channels:
+        Channels this rank aggregates.
+    fanout:
+        The ``N`` of ``TreeN`` (0 and 1 both mean a single unit).
+    group_sizes:
+        Channels seen by each first-level unit (len == effective N).
+    has_root:
+        Whether a local root unit (N → 1) follows the first level.
+    """
+
+    local_channels: int
+    fanout: int
+    group_sizes: tuple[int, ...]
+    has_root: bool
+
+    @property
+    def num_units(self) -> int:
+        """Total aggregator units on this rank (first level + optional root)."""
+        return len(self.group_sizes) + (1 if self.has_root else 0)
+
+    @property
+    def max_channels_per_unit(self) -> int:
+        """The figure the paper quotes: widest attention span in the tree."""
+        widest = max(self.group_sizes)
+        if self.has_root:
+            widest = max(widest, len(self.group_sizes))
+        return widest
+
+    @property
+    def depth(self) -> int:
+        return 2 if self.has_root else 1
+
+
+def build_tree(local_channels: int, fanout: int) -> TreeSpec:
+    """Construct the :class:`TreeSpec` for ``Tree{fanout}``.
+
+    ``fanout`` of 0 or 1 gives the single-unit tree.  Channels distribute as
+    evenly as possible when ``fanout`` does not divide ``local_channels``.
+    """
+    if local_channels < 1:
+        raise ValueError("local_channels must be >= 1")
+    if fanout < 0:
+        raise ValueError("fanout must be >= 0")
+    n = max(1, fanout)
+    if n > local_channels:
+        raise ValueError(
+            f"Tree{fanout} needs at least {fanout} local channels, got {local_channels}"
+        )
+    base = local_channels // n
+    rem = local_channels % n
+    sizes = tuple(base + (1 if i < rem else 0) for i in range(n))
+    return TreeSpec(
+        local_channels=local_channels,
+        fanout=fanout,
+        group_sizes=sizes,
+        has_root=n > 1,
+    )

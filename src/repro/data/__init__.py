@@ -1,0 +1,49 @@
+"""Data substrates: synthetic hyperspectral (APPL substitute), synthetic
+ERA5-like weather, regridding (xESMF substitute), and loaders."""
+
+from .era5 import (
+    CHANNEL_VARIABLES,
+    ERA5Config,
+    EVAL_CHANNELS,
+    SyntheticERA5,
+    latitude_weights,
+)
+from .hyperspectral import (
+    EndmemberLibrary,
+    HyperspectralConfig,
+    HyperspectralDataset,
+    pseudo_rgb,
+)
+from .loader import ArrayDataset, DataLoader
+from .regrid import Grid, bilinear_regrid, conservative_regrid, nearest_regrid, regrid
+from .transforms import (
+    Normalizer,
+    add_noise,
+    channel_dropout,
+    random_flip,
+    subset_channel_frontend,
+)
+
+__all__ = [
+    "HyperspectralDataset",
+    "HyperspectralConfig",
+    "EndmemberLibrary",
+    "pseudo_rgb",
+    "SyntheticERA5",
+    "ERA5Config",
+    "CHANNEL_VARIABLES",
+    "EVAL_CHANNELS",
+    "latitude_weights",
+    "Grid",
+    "regrid",
+    "bilinear_regrid",
+    "nearest_regrid",
+    "conservative_regrid",
+    "ArrayDataset",
+    "DataLoader",
+    "random_flip",
+    "channel_dropout",
+    "add_noise",
+    "Normalizer",
+    "subset_channel_frontend",
+]

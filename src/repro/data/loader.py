@@ -1,0 +1,77 @@
+"""Minimal Dataset/DataLoader abstractions (torch.utils.data substitute)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader"]
+
+
+class ArrayDataset:
+    """Wraps aligned arrays/sequences; ``dataset[i]`` returns a tuple."""
+
+    def __init__(self, *arrays: Sequence) -> None:
+        if not arrays:
+            raise ValueError("need at least one array")
+        n = len(arrays[0])
+        for a in arrays:
+            if len(a) != n:
+                raise ValueError("all arrays must have equal length")
+        self.arrays = arrays
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, i: int):
+        items = tuple(a[i] for a in self.arrays)
+        return items if len(items) > 1 else items[0]
+
+
+class DataLoader:
+    """Batches over a dataset with optional shuffling and a collate hook.
+
+    The dataset needs ``__len__`` and ``__getitem__``; items are stacked
+    with ``np.stack`` per field (tuples are stacked field-wise).
+    """
+
+    def __init__(
+        self,
+        dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = True,
+        collate: Callable | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.drop_last = drop_last
+        self.collate = collate if collate is not None else self._default_collate
+
+    @staticmethod
+    def _default_collate(items: list):
+        first = items[0]
+        if isinstance(first, tuple):
+            return tuple(np.stack([it[k] for it in items]) for k in range(len(first)))
+        return np.stack(items)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        return n // self.batch_size if self.drop_last else -(-n // self.batch_size)
+
+    def __iter__(self) -> Iterator:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(order)
+        stop = len(self) * self.batch_size if self.drop_last else len(order)
+        for lo in range(0, stop, self.batch_size):
+            idx = order[lo : lo + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.collate([self.dataset[int(i)] for i in idx])

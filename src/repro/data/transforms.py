@@ -1,0 +1,122 @@
+"""Data transforms and channel-subset utilities.
+
+Includes the channel-flexibility feature §2.1 highlights: cross-attention
+aggregation "allows the model to generalize or fine-tune on subsets of the
+original channel dimensions while still leveraging the full model capacity".
+:func:`subset_channel_frontend` carves a trained front-end down to a channel
+subset (slicing its tokenizer weights and ID table) so a 500-band model can
+run inference on, say, 80 available bands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_flip",
+    "channel_dropout",
+    "add_noise",
+    "Normalizer",
+    "subset_channel_frontend",
+]
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Random horizontal/vertical flips of ``[B, C, H, W]`` (spatial axes
+    only — spectral/channel content untouched)."""
+    out = images
+    if rng.random() < p:
+        out = out[..., ::-1]
+    if rng.random() < p:
+        out = out[..., ::-1, :]
+    return np.ascontiguousarray(out)
+
+
+def channel_dropout(
+    images: np.ndarray, rng: np.random.Generator, drop_fraction: float = 0.1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Zero a random channel subset; returns ``(images, kept_mask)``.
+
+    Simulates missing spectral bands / unavailable variables — the
+    heterogeneous-source robustness motivating channel aggregation (§2.1).
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    c = images.shape[1]
+    n_drop = int(round(c * drop_fraction))
+    kept = np.ones(c, dtype=bool)
+    if n_drop:
+        kept[rng.choice(c, size=n_drop, replace=False)] = False
+    out = images.copy()
+    out[:, ~kept] = 0.0
+    return out, kept
+
+
+def add_noise(images: np.ndarray, rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Additive Gaussian sensor noise."""
+    return (images + rng.standard_normal(images.shape) * std).astype(images.dtype)
+
+
+class Normalizer:
+    """Per-channel standardization with stats fitted on training data."""
+
+    def __init__(self) -> None:
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, images: np.ndarray) -> "Normalizer":
+        """*images*: ``[B, C, H, W]``."""
+        self.mean = images.mean(axis=(0, 2, 3), keepdims=True).astype(np.float32)
+        self.std = (images.std(axis=(0, 2, 3), keepdims=True) + 1e-6).astype(np.float32)
+        return self
+
+    def transform(self, images: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("Normalizer.fit must run first")
+        return ((images - self.mean) / self.std).astype(np.float32)
+
+    def inverse(self, images: np.ndarray) -> np.ndarray:
+        if self.mean is None:
+            raise RuntimeError("Normalizer.fit must run first")
+        return (images * self.std + self.mean).astype(np.float32)
+
+
+def subset_channel_frontend(frontend, indices: np.ndarray):
+    """Build a front-end over a channel *subset* from a trained one.
+
+    Slices the per-channel tokenizer weights and the channel-ID table at
+    *indices*; the (channel-count-agnostic) cross-attention aggregator is
+    shared with the original.  Works for
+    :class:`~repro.models.SerialChannelFrontend` with cross-attention
+    aggregation.
+    """
+    from ..models.channel_vit import SerialChannelFrontend
+    from ..nn import ChannelCrossAttention, ChannelIDEmbedding, PatchTokenizer
+
+    if not isinstance(frontend, SerialChannelFrontend):
+        raise TypeError("subset_channel_frontend expects a SerialChannelFrontend")
+    if not isinstance(frontend.aggregator, ChannelCrossAttention):
+        raise TypeError(
+            "channel subsetting requires a cross-attention aggregator "
+            "(a LinearChannelMixer is bound to its channel count)"
+        )
+    idx = np.asarray(indices)
+    if idx.ndim != 1 or len(idx) < 1:
+        raise ValueError("indices must be a non-empty 1-D array")
+    if idx.min() < 0 or idx.max() >= frontend.channels:
+        raise ValueError(f"indices out of range for {frontend.channels} channels")
+
+    tok = frontend.tokenizer
+    new = SerialChannelFrontend.__new__(SerialChannelFrontend)
+    SerialChannelFrontend.__bases__[0].__init__(new)  # Module.__init__
+    new.channels = len(idx)
+    new.tokenizer = PatchTokenizer(
+        len(idx), tok.patch, tok.dim,
+        weight=tok.weight.data[idx].copy(),
+        bias_value=tok.bias.data[idx].copy(),
+    )
+    new.channel_ids = ChannelIDEmbedding(
+        len(idx), tok.dim, table=frontend.channel_ids.table.data[idx].copy()
+    )
+    new.aggregator = frontend.aggregator  # shared: channel-count agnostic
+    return new

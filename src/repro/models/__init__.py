@@ -1,0 +1,24 @@
+"""Model assemblies: the generic ChannelViT FM, the MAE (hyperspectral), and
+the ClimaX-style weather forecaster.  Named size configs live in
+:mod:`repro.perf.modelcfg` and are re-exported here."""
+
+from ..perf.modelcfg import MODEL_ZOO, ModelConfig, named_model
+from .channel_vit import ChannelViT, SerialChannelFrontend, unpatchify_tokens
+from .climax import WeatherForecaster, build_serial_forecaster
+from .mae import MAEModel, build_serial_mae
+from .multimodal import ModalitySpec, MultiModalFrontend
+
+__all__ = [
+    "ChannelViT",
+    "SerialChannelFrontend",
+    "unpatchify_tokens",
+    "MAEModel",
+    "build_serial_mae",
+    "WeatherForecaster",
+    "build_serial_forecaster",
+    "ModelConfig",
+    "named_model",
+    "MODEL_ZOO",
+    "ModalitySpec",
+    "MultiModalFrontend",
+]

@@ -1,0 +1,76 @@
+"""ClimaX-style weather forecasting model (paper §5.2, Fig. 12).
+
+Image-to-image translation: all 80 ERA5 channels at time *t* in, the full
+field at *t + Δ* out.  The lead time and timestamp enter through the
+metadata token (§2.1).  Loss and evaluation use latitude-weighted MSE/RMSE
+(the ClimaX convention), reported for Z500 / T850 / U10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.era5 import latitude_weights
+from ..nn import Linear, Module, ViTEncoder
+from ..tensor import Tensor, functional as F
+from .channel_vit import ChannelViT, SerialChannelFrontend, unpatchify_tokens
+
+__all__ = ["WeatherForecaster", "build_serial_forecaster"]
+
+
+class WeatherForecaster(Module):
+    """ChannelViT backbone + per-token prediction head.
+
+    ``image_hw`` need not be square (ERA5 at 5.625° is 32 × 64).
+    """
+
+    def __init__(
+        self,
+        backbone: ChannelViT,
+        dim: int,
+        patch: int,
+        out_channels: int,
+        image_hw: tuple[int, int],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        h, w = image_hw
+        if h % patch or w % patch:
+            raise ValueError(f"image {h}x{w} not divisible by patch {patch}")
+        self.backbone = backbone
+        self.patch = patch
+        self.out_channels = out_channels
+        self.grid_h, self.grid_w = h // patch, w // patch
+        self.head = Linear(dim, patch * patch * out_channels, rng)
+        self._lat_w = latitude_weights(h)[None, None, :, None]  # [1,1,H,1]
+
+    def forward(self, images: np.ndarray, metadata: np.ndarray) -> Tensor:
+        """[B, C, H, W] + [B, meta] → predicted [B, C_out, H, W]."""
+        tokens = self.backbone(images, metadata)               # [B, N, D]
+        pred = self.head(tokens)                               # [B, N, p²·C]
+        return unpatchify_tokens(pred, self.patch, self.grid_h, self.grid_w, self.out_channels)
+
+    def loss(self, images: np.ndarray, targets: np.ndarray, metadata: np.ndarray) -> Tensor:
+        """Latitude-weighted MSE over all output channels."""
+        pred = self.forward(images, metadata)
+        return F.weighted_mse_loss(pred, Tensor(np.asarray(targets, dtype=np.float32)), self._lat_w)
+
+
+def build_serial_forecaster(
+    channels: int,
+    image_hw: tuple[int, int],
+    patch: int,
+    dim: int,
+    depth: int,
+    heads: int,
+    rng: np.random.Generator,
+    meta_fields: int = 2,
+    agg: str = "cross",
+) -> WeatherForecaster:
+    """Single-device forecaster with the paper's architecture."""
+    h, w = image_hw
+    num_tokens = (h // patch) * (w // patch)
+    frontend = SerialChannelFrontend(channels, patch, dim, heads, rng, agg=agg)
+    encoder = ViTEncoder(dim, depth, heads, rng)
+    backbone = ChannelViT(frontend, encoder, num_tokens, dim, rng, meta_fields=meta_fields)
+    return WeatherForecaster(backbone, dim, patch, channels, image_hw, rng)

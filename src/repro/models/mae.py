@@ -1,0 +1,120 @@
+"""Self-supervised masked-autoencoder model (paper §5.1, Figs. 10–11).
+
+Masking happens **after** channel aggregation — tokens are spatial patches —
+so swapping the serial front-end for D-CHAG changes nothing downstream
+(§3.5: D-CHAG "only modifies the input to the ViT module, without altering
+the decoder modules").  The reconstruction target is the full per-channel
+pixel content of each masked patch, and the loss is MSE on masked patches
+only (He et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MAEDecoder, Module, PositionalEmbedding, patchify, random_masking
+from ..tensor import Tensor, functional as F
+from .channel_vit import SerialChannelFrontend
+
+__all__ = ["MAEModel", "build_serial_mae"]
+
+
+class MAEModel(Module):
+    """Front-end (+pos) → random masking → ViT on visible tokens → decoder."""
+
+    def __init__(
+        self,
+        frontend: Module,
+        encoder: Module,
+        num_tokens: int,
+        dim: int,
+        patch: int,
+        out_channels: int,
+        rng: np.random.Generator,
+        decoder_dim: int | None = None,
+        decoder_depth: int = 2,
+        decoder_heads: int = 4,
+        mask_ratio: float = 0.75,
+    ) -> None:
+        super().__init__()
+        self.frontend = frontend
+        self.encoder = encoder
+        self.pos = PositionalEmbedding(num_tokens, dim, rng)
+        self.num_tokens = num_tokens
+        self.patch = patch
+        self.out_channels = out_channels
+        self.mask_ratio = mask_ratio
+        self.decoder = MAEDecoder(
+            encoder_dim=dim,
+            decoder_dim=decoder_dim if decoder_dim is not None else max(32, dim // 2),
+            depth=decoder_depth,
+            heads=decoder_heads,
+            num_tokens=num_tokens,
+            patch=patch,
+            out_channels=out_channels,
+            rng=rng,
+        )
+
+    def forward(
+        self, images: np.ndarray, mask_rng: np.random.Generator
+    ) -> tuple[Tensor, np.ndarray, np.ndarray]:
+        """Returns ``(pred [B,N,p²·C], keep_idx, mask [N])``."""
+        tokens = self.pos(self.frontend(images))                  # [B, N, D]
+        keep, _, mask = random_masking(self.num_tokens, self.mask_ratio, mask_rng)
+        visible = tokens[:, keep, :]
+        encoded = self.encoder(visible)
+        pred = self.decoder(encoded, keep)
+        return pred, keep, mask
+
+    def reconstruction_target(self, images: np.ndarray) -> np.ndarray:
+        """[B, C, H, W] → [B, N, p²·C] matching the prediction layout."""
+        patches = patchify(np.asarray(images, dtype=np.float32), self.patch)
+        b, c, n, pp = patches.shape
+        return patches.transpose(0, 2, 3, 1).reshape(b, n, pp * c)
+
+    def loss(self, images: np.ndarray, mask_rng: np.random.Generator) -> Tensor:
+        """Masked-patch MSE (the training loss of Fig. 11)."""
+        pred, _, mask = self.forward(images, mask_rng)
+        target = Tensor(self.reconstruction_target(images))
+        return F.masked_mse_loss(pred, target, mask[None, :, None])
+
+    def reconstruct(self, images: np.ndarray, mask_rng: np.random.Generator) -> np.ndarray:
+        """Full predicted image ``[B, C, H, W]`` (Fig. 11's right panel)."""
+        pred, _, _ = self.forward(images, mask_rng)
+        b, n, _ = pred.shape
+        g = int(round(np.sqrt(n * images.shape[-2] / images.shape[-1])))
+        gh, gw = g, n // g
+        x = pred.data.reshape(b, gh, gw, self.patch, self.patch, self.out_channels)
+        x = x.transpose(0, 5, 1, 3, 2, 4)
+        return x.reshape(b, self.out_channels, gh * self.patch, gw * self.patch)
+
+
+def build_serial_mae(
+    channels: int,
+    image: int,
+    patch: int,
+    dim: int,
+    depth: int,
+    heads: int,
+    rng: np.random.Generator,
+    mask_ratio: float = 0.75,
+    agg: str = "cross",
+    decoder_depth: int = 2,
+) -> MAEModel:
+    """Single-device MAE with the paper's architecture (Fig. 10)."""
+    from ..nn import ViTEncoder
+
+    num_tokens = (image // patch) ** 2
+    frontend = SerialChannelFrontend(channels, patch, dim, heads, rng, agg=agg)
+    encoder = ViTEncoder(dim, depth, heads, rng)
+    return MAEModel(
+        frontend,
+        encoder,
+        num_tokens,
+        dim,
+        patch,
+        channels,
+        rng,
+        decoder_depth=decoder_depth,
+        mask_ratio=mask_ratio,
+    )

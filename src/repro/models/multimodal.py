@@ -1,0 +1,120 @@
+"""Multi-modal channel fusion (paper §1/§3.5).
+
+"Our findings can be expanded beyond single multi-channel datasets, as the
+same aggregation scheme has been used in FMs to fuse across different
+modalities."  Channels from several modalities (e.g. hyperspectral bands +
+weather variables + an RGB camera), possibly at different native
+resolutions, are tokenized per modality, tagged with modality/channel-ID
+embeddings, concatenated along the channel axis, and aggregated by the same
+cross-attention — which makes the whole stack D-CHAG-distributable by
+treating the fused channel list as a single channel axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import ChannelCrossAttention, ChannelIDEmbedding, Module, ModuleList, PatchTokenizer
+from ..tensor import Tensor
+
+__all__ = ["ModalitySpec", "MultiModalFrontend"]
+
+
+@dataclass(frozen=True)
+class ModalitySpec:
+    """One input modality.
+
+    ``scale``: integer factor by which this modality's images are *larger*
+    than the base grid; they are average-pooled down before tokenization so
+    every modality lands on the same token grid (heterogeneous resolutions,
+    §2.1: "variables recorded at different resolutions").
+    """
+
+    name: str
+    channels: int
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.scale < 1:
+            raise ValueError("channels and scale must be >= 1")
+
+
+def _avg_pool(images: np.ndarray, factor: int) -> np.ndarray:
+    """[B, C, H·f, W·f] -> [B, C, H, W] box average."""
+    if factor == 1:
+        return images
+    b, c, h, w = images.shape
+    if h % factor or w % factor:
+        raise ValueError(f"image {h}x{w} not divisible by pooling factor {factor}")
+    return images.reshape(b, c, h // factor, factor, w // factor, factor).mean(axis=(3, 5))
+
+
+class MultiModalFrontend(Module):
+    """Tokenize + fuse several modalities into one representation.
+
+    ``forward`` takes ``{name: [B, C_m, H·s_m, W·s_m]}`` and returns
+    ``[B, N, D]``.  The fused channel axis (``sum of C_m``) is exposed via
+    ``total_channels`` and ``channel_slices`` so a D-CHAG deployment can
+    shard it exactly like a single-modality channel axis.
+    """
+
+    def __init__(
+        self,
+        modalities: list[ModalitySpec],
+        patch: int,
+        dim: int,
+        heads: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if not modalities:
+            raise ValueError("need at least one modality")
+        names = [m.name for m in modalities]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate modality names: {names}")
+        self.modalities = list(modalities)
+        self.patch = patch
+        self.dim = dim
+        self.total_channels = sum(m.channels for m in modalities)
+        self.tokenizers = ModuleList(
+            [PatchTokenizer(m.channels, patch, dim, rng) for m in modalities]
+        )
+        # One shared ID table across the fused axis: channels of different
+        # modalities get distinct IDs (the paper's "channels from the same
+        # or different modalities" token).
+        self.channel_ids = ChannelIDEmbedding(self.total_channels, dim, rng)
+        self.aggregator = ChannelCrossAttention(dim, heads, rng, num_queries=1)
+
+    @property
+    def channel_slices(self) -> dict[str, slice]:
+        out: dict[str, slice] = {}
+        offset = 0
+        for m in self.modalities:
+            out[m.name] = slice(offset, offset + m.channels)
+            offset += m.channels
+        return out
+
+    def tokenize(self, inputs: dict[str, np.ndarray]) -> Tensor:
+        """Per-modality tokenization → fused ``[B, total_C, N, D]``."""
+        missing = {m.name for m in self.modalities} - set(inputs)
+        if missing:
+            raise ValueError(f"missing modalities: {sorted(missing)}")
+        token_blocks = []
+        base_hw: tuple[int, int] | None = None
+        for spec, tok in zip(self.modalities, self.tokenizers):
+            imgs = _avg_pool(np.asarray(inputs[spec.name], dtype=np.float32), spec.scale)
+            if base_hw is None:
+                base_hw = imgs.shape[-2:]
+            elif imgs.shape[-2:] != base_hw:
+                raise ValueError(
+                    f"modality {spec.name!r} lands on grid {imgs.shape[-2:]}, "
+                    f"expected {base_hw} (check its scale)"
+                )
+            token_blocks.append(tok(imgs))
+        fused = Tensor.concat(token_blocks, axis=1)
+        return self.channel_ids(fused)
+
+    def forward(self, inputs: dict[str, np.ndarray]) -> Tensor:
+        return self.aggregator(self.tokenize(inputs))

@@ -1,0 +1,209 @@
+"""Attention layers: multi-head self-attention (the ViT block component) and
+cross-attention (the channel-aggregation component of the paper's Fig. 1).
+
+Shapes
+------
+Self-attention operates over the spatial token axis::
+
+    [B, N, D] -> [B, N, D]
+
+Channel cross-attention operates over the *channel* axis independently at
+every spatial location — the key structural point of the paper.  With input
+``[B, C, N, D]`` the spatial axis is folded into the batch, a set of learned
+query tokens attends over the C channels, and the result is ``[B, Q, N, D]``
+(``Q = 1`` reduces the channels to a single representation).  The attention
+score matrix is ``[B*N, heads, Q, C]`` — *quadratic in C* when ``Q ~ C``
+(the paper's memory argument) and linear in C for the aggregating ``Q = 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, functional as F, init
+from .layers import Dropout, Linear
+from .module import Module
+
+__all__ = [
+    "MultiHeadSelfAttention",
+    "ChannelCrossAttention",
+    "LinearChannelMixer",
+    "split_heads",
+    "merge_heads",
+    "scaled_dot_product_attention",
+]
+
+
+def _split_heads(x: Tensor, heads: int) -> Tensor:
+    """[B, N, D] -> [B, h, N, D/h]"""
+    b, n, d = x.shape
+    return x.reshape(b, n, heads, d // heads).transpose(0, 2, 1, 3)
+
+
+def _merge_heads(x: Tensor) -> Tensor:
+    """[B, h, N, D/h] -> [B, N, D]"""
+    b, h, n, hd = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(b, n, h * hd)
+
+
+def split_heads(x: Tensor, heads: int) -> Tensor:
+    """Public alias of :func:`_split_heads` (used by the TP layers)."""
+    return _split_heads(x, heads)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """Public alias of :func:`_merge_heads`."""
+    return _merge_heads(x)
+
+
+def scaled_dot_product_attention(
+    q: Tensor, k: Tensor, v: Tensor, dropout: Module | None = None
+) -> Tensor:
+    """softmax(q kᵀ / √d) v over the last two axes (batched)."""
+    scale = 1.0 / float(np.sqrt(q.shape[-1]))
+    scores = (q @ k.swapaxes(-1, -2)) * scale
+    attn = F.softmax(scores, axis=-1)
+    if dropout is not None:
+        attn = dropout(attn)
+    return attn @ v
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard ViT self-attention over the token axis.
+
+    Accepts explicit qkv/proj weights so TP can shard a master init.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        rng: np.random.Generator | None = None,
+        dropout: float = 0.0,
+        qkv_weight: np.ndarray | None = None,
+        qkv_bias: np.ndarray | None = None,
+        proj_weight: np.ndarray | None = None,
+        proj_bias: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.qkv = Linear(dim, 3 * dim, rng, weight=qkv_weight, bias_value=qkv_bias)
+        self.proj = Linear(dim, dim, rng, weight=proj_weight, bias_value=proj_bias)
+        self.attn_drop = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, n, d = x.shape
+        qkv = self.qkv(x)  # [B, N, 3D]
+        q, k, v = qkv.split(3, axis=-1)
+        q, k, v = (_split_heads(t, self.heads) for t in (q, k, v))
+        out = scaled_dot_product_attention(q, k, v, self.attn_drop)
+        return self.proj(_merge_heads(out))
+
+
+class ChannelCrossAttention(Module):
+    """Cross-attention that aggregates the channel axis (paper §2.1).
+
+    ``Q`` learned query tokens attend over the C input channels at every
+    spatial location; ``Q = 1`` (the default) reduces C channels to one
+    aggregated representation — the paper's channel-aggregation layer.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        rng: np.random.Generator | None = None,
+        num_queries: int = 1,
+        dropout: float = 0.0,
+        query_tokens: np.ndarray | None = None,
+        q_weight: np.ndarray | None = None,
+        q_bias: np.ndarray | None = None,
+        kv_weight: np.ndarray | None = None,
+        kv_bias: np.ndarray | None = None,
+        proj_weight: np.ndarray | None = None,
+        proj_bias: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.num_queries = num_queries
+        if query_tokens is not None:
+            self.query_tokens = Tensor(np.asarray(query_tokens, dtype=np.float32), requires_grad=True)
+        else:
+            if rng is None:
+                raise ValueError("ChannelCrossAttention needs rng or explicit weights")
+            self.query_tokens = init.trunc_normal((num_queries, dim), rng, std=0.02)
+        self.q_proj = Linear(dim, dim, rng, weight=q_weight, bias_value=q_bias)
+        self.kv_proj = Linear(dim, 2 * dim, rng, weight=kv_weight, bias_value=kv_bias)
+        self.proj = Linear(dim, dim, rng, weight=proj_weight, bias_value=proj_bias)
+        self.attn_drop = Dropout(dropout, rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """[B, C, N, D] -> [B, N, D] (Q=1) or [B, Q, N, D] (Q>1)."""
+        b, c, n, d = x.shape
+        # Fold spatial into batch: channels become the attention sequence.
+        tokens = x.transpose(0, 2, 1, 3).reshape(b * n, c, d)  # [B*N, C, D]
+        q_in = self.query_tokens.expand_dims(0).broadcast_to((b * n, self.num_queries, d))
+        q = _split_heads(self.q_proj(q_in), self.heads)           # [B*N, h, Q, hd]
+        kv = self.kv_proj(tokens)                                 # [B*N, C, 2D]
+        k, v = kv.split(2, axis=-1)
+        k = _split_heads(k, self.heads)                           # [B*N, h, C, hd]
+        v = _split_heads(v, self.heads)
+        out = scaled_dot_product_attention(q, k, v, self.attn_drop)  # [B*N, h, Q, hd]
+        out = self.proj(_merge_heads(out))                        # [B*N, Q, D]
+        out = out.reshape(b, n, self.num_queries, d).transpose(0, 2, 1, 3)  # [B, Q, N, D]
+        if self.num_queries == 1:
+            return out.squeeze(1)
+        return out
+
+
+class LinearChannelMixer(Module):
+    """Lightweight linear substitute for an aggregation layer (the ``-L``
+    variants): a learned linear map over the channel axis,
+    ``[B, C_in, N, D] -> [B, C_out, N, D]`` (squeezed when ``C_out = 1``).
+
+    Parameter count is ``C_in * C_out + C_out`` versus the cross-attention
+    layer's ``~4 D² + Q D`` — the memory trade-off §3.3 discusses.
+    """
+
+    def __init__(
+        self,
+        c_in: int,
+        c_out: int = 1,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+        bias_value: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        self.c_in = c_in
+        self.c_out = c_out
+        if weight is not None:
+            self.weight = Tensor(np.asarray(weight, dtype=np.float32), requires_grad=True)
+        else:
+            if rng is None:
+                raise ValueError("LinearChannelMixer needs rng or explicit weight")
+            # Initialise near uniform averaging so early training is stable.
+            w = np.full((c_out, c_in), 1.0 / c_in, dtype=np.float32)
+            w += (rng.standard_normal((c_out, c_in)) * 0.02).astype(np.float32)
+            self.weight = Tensor(w, requires_grad=True)
+        if bias_value is not None:
+            self.bias = Tensor(np.asarray(bias_value, dtype=np.float32), requires_grad=True)
+        else:
+            self.bias = init.zeros((c_out,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, c, n, d = x.shape
+        if c != self.c_in:
+            raise ValueError(f"expected {self.c_in} channels, got {c}")
+        folded = x.reshape(b, c, n * d)                      # [B, C, N*D]
+        mixed = self.weight @ folded                          # [B, C_out, N*D] (broadcast batch)
+        mixed = mixed.reshape(b, self.c_out, n, d)
+        out = mixed + self.bias.reshape(1, self.c_out, 1, 1)
+        if self.c_out == 1:
+            return out.squeeze(1)
+        return out

@@ -1,0 +1,84 @@
+"""MAE masking utilities and decoder (He et al., used in paper §5.1).
+
+The encoder side is the paper's ChannelViT; masking happens *after* channel
+aggregation (tokens are spatial patches), so D-CHAG leaves the decoder
+untouched — exactly the property §3.5 claims ("it only modifies the input to
+the ViT module, without altering the decoder modules").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, init
+from .embeddings import PositionalEmbedding
+from .layers import Linear
+from .module import Module
+from .transformer import ViTEncoder
+
+__all__ = ["random_masking", "MAEDecoder"]
+
+
+def random_masking(
+    n_tokens: int, mask_ratio: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample a random token mask.
+
+    Returns ``(keep_idx, mask_idx, mask)`` where ``mask`` is ``[n_tokens]``
+    with 1 for *masked* tokens; ``keep_idx`` is sorted ascending so visible
+    tokens keep their relative order.
+    """
+    n_keep = max(1, int(round(n_tokens * (1.0 - mask_ratio))))
+    perm = rng.permutation(n_tokens)
+    keep_idx = np.sort(perm[:n_keep])
+    mask_idx = np.sort(perm[n_keep:])
+    mask = np.ones(n_tokens, dtype=np.float32)
+    mask[keep_idx] = 0.0
+    return keep_idx, mask_idx, mask
+
+
+class MAEDecoder(Module):
+    """Lightweight MAE decoder: embed → insert mask tokens → blocks → predict.
+
+    Predicts per-patch pixels for all output channels:
+    ``[B, N_vis, D] -> [B, N, patch² · C_out]``.
+    """
+
+    def __init__(
+        self,
+        encoder_dim: int,
+        decoder_dim: int,
+        depth: int,
+        heads: int,
+        num_tokens: int,
+        patch: int,
+        out_channels: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.num_tokens = num_tokens
+        self.embed = Linear(encoder_dim, decoder_dim, rng)
+        self.mask_token = init.trunc_normal((1, 1, decoder_dim), rng, std=0.02)
+        self.pos = PositionalEmbedding(num_tokens, decoder_dim, learned=False)
+        self.encoder = ViTEncoder(decoder_dim, depth, heads, rng)
+        self.head = Linear(decoder_dim, patch * patch * out_channels, rng)
+
+    def forward(self, visible: Tensor, keep_idx: np.ndarray) -> Tensor:
+        """*visible*: [B, N_vis, D_enc]; returns [B, N, p²·C_out]."""
+        b, n_vis, _ = visible.shape
+        x = self.embed(visible)  # [B, N_vis, D_dec]
+        d = x.shape[-1]
+        # Scatter visible tokens into the full sequence, mask tokens elsewhere.
+        full = self.mask_token.broadcast_to((b, self.num_tokens, d))
+        keep = np.asarray(keep_idx)
+        # Build with concat: mask_token-filled base + scatter via index add is
+        # awkward in pure autograd; instead assemble per-position selection.
+        sel = np.full(self.num_tokens, -1, dtype=np.int64)
+        sel[keep] = np.arange(n_vis)
+        vis_mask = (sel >= 0).astype(np.float32)[None, :, None]   # [1, N, 1]
+        gather = np.where(sel >= 0, sel, 0)
+        gathered = x[:, gather, :]                                 # [B, N, D]
+        x_full = gathered * Tensor(vis_mask) + full * Tensor(1.0 - vis_mask)
+        x_full = self.pos(x_full)
+        x_full = self.encoder(x_full)
+        return self.head(x_full)

@@ -1,0 +1,93 @@
+"""Per-channel patch tokenization (paper Fig. 1, "tokenization").
+
+Each channel of the ``[B, C, H, W]`` input is split into non-overlapping
+``p × p`` patches, and *each channel has its own* embedding weights
+(a stride-``p`` conv ≡ a linear map on flattened patches).  Per-channel
+weights are what make tokenization memory grow linearly with the channel
+count — the bottleneck D-CHAG distributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, init
+from .module import Module
+
+__all__ = ["PatchTokenizer", "patchify", "unpatchify"]
+
+
+def patchify(x: np.ndarray, patch: int) -> np.ndarray:
+    """[B, C, H, W] -> [B, C, N, patch*patch] with N = (H/p)*(W/p)."""
+    b, c, h, w = x.shape
+    if h % patch or w % patch:
+        raise ValueError(f"image {h}x{w} not divisible by patch {patch}")
+    gh, gw = h // patch, w // patch
+    x = x.reshape(b, c, gh, patch, gw, patch)
+    x = x.transpose(0, 1, 2, 4, 3, 5)  # [B, C, gh, gw, p, p]
+    return x.reshape(b, c, gh * gw, patch * patch)
+
+
+def unpatchify(tokens: np.ndarray, patch: int, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`patchify`: [B, C, N, p*p] -> [B, C, H, W]."""
+    b, c, n, pp = tokens.shape
+    gh, gw = height // patch, width // patch
+    if n != gh * gw or pp != patch * patch:
+        raise ValueError("token shape inconsistent with image geometry")
+    x = tokens.reshape(b, c, gh, gw, patch, patch)
+    x = x.transpose(0, 1, 2, 4, 3, 5)
+    return x.reshape(b, c, height, width)
+
+
+class PatchTokenizer(Module):
+    """Tokenize each channel independently with channel-specific weights.
+
+    ``weight``: ``[C, p*p, D]``, ``bias``: ``[C, D]``.  The forward is a
+    batched matmul over the channel axis:
+    ``[B, C, N, p*p] @ [C, p*p, D] -> [B, C, N, D]``.
+
+    ``channel_offset`` lets a D-CHAG rank own the weights of its channel
+    subset only while keeping the same per-channel initialisation as the
+    serial model (used by the equivalence tests).
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        patch: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+        bias_value: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        self.channels = channels
+        self.patch = patch
+        self.dim = dim
+        pp = patch * patch
+        if weight is not None:
+            if weight.shape != (channels, pp, dim):
+                raise ValueError(f"weight shape {weight.shape} != {(channels, pp, dim)}")
+            self.weight = Tensor(np.asarray(weight, dtype=np.float32), requires_grad=True)
+        else:
+            if rng is None:
+                raise ValueError("PatchTokenizer needs rng or explicit weight")
+            self.weight = init.trunc_normal((channels, pp, dim), rng, std=0.02)
+        if bias_value is not None:
+            self.bias = Tensor(np.asarray(bias_value, dtype=np.float32), requires_grad=True)
+        else:
+            self.bias = init.zeros((channels, dim))
+
+    def forward(self, images: Tensor | np.ndarray) -> Tensor:
+        """[B, C, H, W] -> [B, C, N, D]."""
+        data = images.data if isinstance(images, Tensor) else np.asarray(images, dtype=np.float32)
+        b, c, h, w = data.shape
+        if c != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {c}")
+        patches = Tensor(patchify(data, self.patch))            # [B, C, N, pp]
+        x = patches.transpose(1, 0, 2, 3)                        # [C, B, N, pp]
+        n = x.shape[2]
+        x = x.reshape(c, b * n, self.patch * self.patch)         # [C, B*N, pp]
+        tokens = x @ self.weight                                 # [C, B*N, D]
+        tokens = tokens.reshape(c, b, n, self.dim).transpose(1, 0, 2, 3)
+        return tokens + self.bias.reshape(1, c, 1, self.dim)

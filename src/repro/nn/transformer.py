@@ -1,0 +1,61 @@
+"""ViT transformer blocks and encoder (pre-norm, GELU MLP)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .attention import MultiHeadSelfAttention
+from .layers import MLP, LayerNorm
+from .module import Module, ModuleList
+
+__all__ = ["TransformerBlock", "ViTEncoder"]
+
+
+class TransformerBlock(Module):
+    """Pre-norm ViT block: ``x + MHSA(LN(x))`` then ``x + MLP(LN(x))``."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        rng: np.random.Generator,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, heads, rng, dropout=dropout)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLP(dim, int(dim * mlp_ratio), rng, dropout=dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class ViTEncoder(Module):
+    """A stack of transformer blocks with a final LayerNorm."""
+
+    def __init__(
+        self,
+        dim: int,
+        depth: int,
+        heads: int,
+        rng: np.random.Generator,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.depth = depth
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, heads, rng, mlp_ratio, dropout) for _ in range(depth)]
+        )
+        self.norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return self.norm(x)

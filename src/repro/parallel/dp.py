@@ -1,0 +1,57 @@
+"""Data parallelism: replicate the model, shard the batch, AllReduce grads.
+
+The paper's hybrid setup (§3.4) applies DP as the outermost axis — "in DP,
+compute scales with communication", which is why Hybrid D-CHAG applies it as
+early as possible (§6.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dist import Communicator, ProcessGroup, average_gradients, broadcast_parameters
+from ..nn import Module
+from ..tensor import Tensor
+
+__all__ = ["DataParallel", "shard_batch"]
+
+
+def shard_batch(batch: np.ndarray, comm: Communicator, group: ProcessGroup | None = None) -> np.ndarray:
+    """Return this rank's slice of the leading (batch) axis."""
+    group = group if group is not None else comm.world.default_group
+    n = group.size
+    if batch.shape[0] % n != 0:
+        raise ValueError(f"batch size {batch.shape[0]} not divisible by DP size {n}")
+    step = batch.shape[0] // n
+    idx = group.rank_index(comm.rank)
+    return batch[idx * step : (idx + 1) * step]
+
+
+class DataParallel(Module):
+    """DDP-style wrapper: broadcast at init, ``sync_gradients`` after backward."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        group: ProcessGroup | None,
+        module: Module,
+        sync_init: bool = True,
+    ) -> None:
+        super().__init__()
+        group = group if group is not None else comm.world.default_group
+        self.comm = comm
+        self.group = group
+        self.module = module
+        if sync_init and group.size > 1:
+            broadcast_parameters(comm, module.parameters(), root=group.ranks[0], group=group)
+
+    def forward(self, *args, **kwargs):
+        return self.module(*args, **kwargs)
+
+    def sync_gradients(self) -> None:
+        """AllReduce (mean) every parameter gradient across the DP group."""
+        if self.group.size > 1:
+            average_gradients(self.comm, self.module.parameters(), group=self.group)
+
+    def parameters(self) -> list[Tensor]:  # type: ignore[override]
+        return self.module.parameters()

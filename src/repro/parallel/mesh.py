@@ -1,0 +1,65 @@
+"""Device mesh for hybrid parallelism (paper §3.4, Fig. 5).
+
+The paper composes three axes: the D-CHAG/TP group (innermost — identical
+groups by construction, §3.4), FSDP across TP groups, and DP outermost.  A
+:class:`DeviceMesh` factors the world as ``world = dp × fsdp × tp`` with TP
+fastest-varying, so that a TP group maps onto one node's GCDs (fast Infinity
+Fabric links) and DP crosses nodes (Slingshot) — the locality §6.3 credits
+for Hybrid D-CHAG's scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dist import Communicator, ProcessGroup
+
+__all__ = ["DeviceMesh"]
+
+
+@dataclass(frozen=True)
+class MeshCoords:
+    dp: int
+    fsdp: int
+    tp: int
+
+
+class DeviceMesh:
+    """Factor the world into (dp, fsdp, tp) process groups.
+
+    Rank layout: ``rank = (dp_idx * fsdp + fsdp_idx) * tp + tp_idx`` — TP
+    contiguous (intra-node), then FSDP, then DP.
+    """
+
+    def __init__(self, comm: Communicator, tp: int = 1, fsdp: int = 1, dp: int | None = None) -> None:
+        world = comm.size
+        if dp is None:
+            if world % (tp * fsdp) != 0:
+                raise ValueError(f"world {world} not divisible by tp*fsdp={tp * fsdp}")
+            dp = world // (tp * fsdp)
+        if dp * fsdp * tp != world:
+            raise ValueError(f"dp*fsdp*tp = {dp * fsdp * tp} != world size {world}")
+        self.comm = comm
+        self.tp_size, self.fsdp_size, self.dp_size = tp, fsdp, dp
+        r = comm.rank
+        self.coords = MeshCoords(dp=r // (fsdp * tp), fsdp=(r // tp) % fsdp, tp=r % tp)
+
+        c = self.coords
+        self.tp_group: ProcessGroup = comm.group(
+            [(c.dp * fsdp + c.fsdp) * tp + t for t in range(tp)]
+        )
+        self.fsdp_group: ProcessGroup = comm.group(
+            [(c.dp * fsdp + f) * tp + c.tp for f in range(fsdp)]
+        )
+        self.dp_group: ProcessGroup = comm.group(
+            [(d * fsdp + c.fsdp) * tp + c.tp for d in range(dp)]
+        )
+        # D-CHAG shares the TP group by construction (§3.4).
+        self.dchag_group = self.tp_group
+
+    def describe(self) -> str:
+        return (
+            f"DeviceMesh(world={self.comm.size}, dp={self.dp_size}, "
+            f"fsdp={self.fsdp_size}, tp={self.tp_size}, rank={self.comm.rank}, "
+            f"coords={self.coords})"
+        )

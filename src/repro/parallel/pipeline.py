@@ -1,0 +1,136 @@
+"""Pipeline parallelism (GPipe-style) — the remaining model-parallel axis.
+
+The paper positions D-CHAG as compatible with "any of the current model
+parallel methods for transformer" (§1).  TP and SP are implemented in
+:mod:`repro.parallel.tp` / :mod:`repro.parallel.sp`; this module adds the
+third: depth-wise pipelining.  Transformer blocks split into per-rank
+stages; activations travel stage-to-stage with point-to-point sends, and a
+GPipe schedule (all micro-batch forwards, then all backwards in reverse)
+overlaps work across stages while gradients accumulate on each stage's
+parameters.
+
+Composition with D-CHAG: the channel front-end runs (distributed or serial)
+on the *first* stage; later stages only ever see ``[B, N, D]`` activations,
+so nothing else changes — the same argument the paper makes for TP and SP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..dist import Communicator, ProcessGroup
+from ..nn import Module
+from ..tensor import Tensor
+
+__all__ = ["PipelineStage", "split_blocks"]
+
+_GRAD_TAG_OFFSET = 1 << 16
+
+
+def split_blocks(blocks: Sequence[Module], n_stages: int) -> list[list[Module]]:
+    """Partition *blocks* into contiguous, near-equal stages."""
+    if n_stages < 1 or n_stages > len(blocks):
+        raise ValueError(f"cannot split {len(blocks)} blocks into {n_stages} stages")
+    base, rem = divmod(len(blocks), n_stages)
+    out: list[list[Module]] = []
+    idx = 0
+    for s in range(n_stages):
+        size = base + (1 if s < rem else 0)
+        out.append(list(blocks[idx : idx + size]))
+        idx += size
+    return out
+
+
+class PipelineStage:
+    """One rank's stage plus the GPipe schedule driver.
+
+    SPMD usage — every rank of the pipeline group runs::
+
+        stage = PipelineStage(comm, group, my_module)
+        losses = stage.train_step(micro_inputs, loss_fn)   # loss_fn on last stage
+
+    ``micro_inputs`` (first stage only) is a list of micro-batch arrays (or
+    Tensors); ``loss_fn`` (last stage only) maps the stage output to a scalar
+    loss.  Gradients accumulate on the stage's parameters, scaled by
+    ``1/n_micro`` so the result equals the full-batch mean-loss gradient.
+    Returns the per-micro-batch loss values on the last stage, ``[]``
+    elsewhere.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        group: ProcessGroup | None,
+        module: Module,
+    ) -> None:
+        group = group if group is not None else comm.world.default_group
+        self.comm = comm
+        self.group = group
+        self.module = module
+        self.index = group.rank_index(comm.rank)
+        self.n_stages = group.size
+        self.is_first = self.index == 0
+        self.is_last = self.index == self.n_stages - 1
+        self._prev = None if self.is_first else group.ranks[self.index - 1]
+        self._next = None if self.is_last else group.ranks[self.index + 1]
+        self._step = 0
+
+    # -- plumbing -----------------------------------------------------------
+    def _tag(self, micro: int, grad: bool) -> int:
+        tag = self._step * 4096 + micro
+        return tag + _GRAD_TAG_OFFSET if grad else tag
+
+    # -- schedule -------------------------------------------------------------
+    def train_step(
+        self,
+        micro_inputs: Sequence[np.ndarray | Tensor] | None = None,
+        loss_fn: Callable[[Tensor], Tensor] | None = None,
+        n_micro: int | None = None,
+    ) -> list[float]:
+        if self.is_first:
+            if not micro_inputs:
+                raise ValueError("first stage needs micro_inputs")
+            n_micro = len(micro_inputs)
+        if self.is_last and loss_fn is None:
+            raise ValueError("last stage needs a loss_fn")
+        if n_micro is None:
+            raise ValueError("intermediate stages must pass n_micro")
+
+        recv_leaves: list[Tensor | None] = [None] * n_micro
+        outputs: list[Tensor] = []
+        losses: list[float] = []
+
+        # ---- forward sweep (GPipe: all micro-batches) --------------------
+        for m in range(n_micro):
+            if self.is_first:
+                raw = micro_inputs[m]
+                x = raw if isinstance(raw, Tensor) else Tensor(np.asarray(raw, dtype=np.float32))
+            else:
+                data = self.comm.recv(src=self._prev, tag=self._tag(m, grad=False))
+                x = Tensor(data, requires_grad=True)
+                recv_leaves[m] = x
+            out = self.module(x)
+            outputs.append(out)
+            if self.is_last:
+                losses.append(loss_fn(out))
+            else:
+                self.comm.send(out.data, dst=self._next, tag=self._tag(m, grad=False))
+
+        # ---- backward sweep (reverse order) -------------------------------
+        scale = 1.0 / n_micro
+        for m in reversed(range(n_micro)):
+            if self.is_last:
+                loss = losses[m]
+                loss.backward(np.asarray(scale, dtype=loss.dtype))
+            else:
+                g = self.comm.recv(src=self._next, tag=self._tag(m, grad=True))
+                outputs[m].backward(g)
+            if not self.is_first:
+                leaf = recv_leaves[m]
+                assert leaf is not None and leaf.grad is not None
+                self.comm.send(leaf.grad, dst=self._prev, tag=self._tag(m, grad=True))
+
+        self._step += 1
+        return [float(l.item()) for l in losses] if self.is_last else []

@@ -1,0 +1,57 @@
+"""Analytic performance models: the measurement substitute for Frontier.
+
+These closed-form models regenerate every memory/throughput figure in the
+paper; small-scale real runs (memory tracker + FLOP counter) validate them
+in ``tests/test_perf_validation.py``.
+"""
+
+from .autotune import TunedPlan, best_configuration, search_configurations
+from .figures import FIGURE_BATCH
+from .comm_model import CommBreakdown, collective_time, estimate_step_comm
+from .flops import TRAIN_MULT, FlopsBreakdown, estimate_flops, useful_flops_per_step
+from .machine import GiB, MachineSpec, frontier
+from .memory_model import MemoryBreakdown, estimate_memory
+from .modelcfg import MODEL_ZOO, ModelConfig, named_model, transformer_param_count
+from .plan import ParallelPlan, Precision, Workload
+from .throughput import (
+    StepEstimate,
+    batch_efficiency,
+    estimate_step,
+    global_batch_throughput,
+    max_batch_per_replica,
+    sustained_estimate,
+    throughput_gain,
+)
+
+__all__ = [
+    "FIGURE_BATCH",
+    "TunedPlan",
+    "search_configurations",
+    "best_configuration",
+    "MachineSpec",
+    "frontier",
+    "GiB",
+    "ModelConfig",
+    "named_model",
+    "MODEL_ZOO",
+    "transformer_param_count",
+    "ParallelPlan",
+    "Precision",
+    "Workload",
+    "MemoryBreakdown",
+    "estimate_memory",
+    "FlopsBreakdown",
+    "estimate_flops",
+    "useful_flops_per_step",
+    "TRAIN_MULT",
+    "CommBreakdown",
+    "collective_time",
+    "estimate_step_comm",
+    "StepEstimate",
+    "estimate_step",
+    "throughput_gain",
+    "sustained_estimate",
+    "global_batch_throughput",
+    "batch_efficiency",
+    "max_batch_per_replica",
+]

@@ -1,0 +1,109 @@
+"""Full configuration search: the generalization of §6.2's manual tuning.
+
+The paper finds its best Fig. 15/16 layout by hand ("we aim to find the
+optimal configuration by adding FSDP and DP for a fixed model size and
+compute budget").  :func:`search_configurations` automates that: it
+enumerates every ``(strategy, tp, fsdp, dp)`` factorization of a GPU budget
+(TP capped at the node size so it stays on Infinity Fabric, the §6.3
+placement rule), filters to plans that fit in HBM, and ranks them by
+projected sustained throughput at the requested global batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import MachineSpec
+from .modelcfg import ModelConfig
+from .plan import ParallelPlan, Precision
+from .throughput import global_batch_throughput, max_batch_per_replica
+
+__all__ = ["TunedPlan", "search_configurations", "best_configuration"]
+
+
+@dataclass(frozen=True)
+class TunedPlan:
+    plan: ParallelPlan
+    micro_batch: int
+    total_tflops: float
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.plan.label}: micro-batch {self.micro_batch}, "
+            f"{self.total_tflops:,.0f} TFLOP/s total"
+        )
+
+
+def _divisors_pow2(n: int, cap: int) -> list[int]:
+    out = []
+    d = 1
+    while d <= min(n, cap):
+        if n % d == 0:
+            out.append(d)
+        d *= 2
+    return out
+
+
+def search_configurations(
+    model: ModelConfig,
+    channels: int,
+    total_gpus: int,
+    machine: MachineSpec,
+    global_batch: int,
+    strategies: tuple[str, ...] = ("tp", "dchag"),
+    precision: Precision = Precision(),
+    intra_node_tp: bool = True,
+) -> list[TunedPlan]:
+    """All feasible plans for the budget, best throughput first."""
+    tp_cap = machine.gpus_per_node if intra_node_tp else total_gpus
+    results: list[TunedPlan] = []
+    seen: set[str] = set()
+    for strategy in strategies:
+        for tp in _divisors_pow2(total_gpus, tp_cap if strategy != "serial" else 1):
+            if strategy == "dchag" and channels % tp != 0:
+                continue
+            remaining = total_gpus // tp
+            for fsdp in _divisors_pow2(remaining, remaining):
+                dp = remaining // fsdp
+                if global_batch % dp != 0:
+                    continue
+                plan = ParallelPlan(
+                    strategy,
+                    tp=tp,
+                    fsdp=fsdp,
+                    dp=dp,
+                    dchag_kind="linear",
+                    dchag_fanout=0,
+                )
+                if plan.label in seen:
+                    continue
+                seen.add(plan.label)
+                micro = max_batch_per_replica(model, channels, plan, machine, precision)
+                if micro == 0:
+                    continue
+                tflops = global_batch_throughput(
+                    model, channels, plan, machine, global_batch, precision
+                )
+                results.append(TunedPlan(plan, micro, tflops))
+    results.sort(key=lambda t: t.total_tflops, reverse=True)
+    return results
+
+
+def best_configuration(
+    model: ModelConfig,
+    channels: int,
+    total_gpus: int,
+    machine: MachineSpec,
+    global_batch: int,
+    **kwargs,
+) -> TunedPlan:
+    """The throughput-optimal plan (raises if nothing fits)."""
+    results = search_configurations(
+        model, channels, total_gpus, machine, global_batch, **kwargs
+    )
+    if not results:
+        raise ValueError(
+            f"no feasible configuration for {model.name} / {channels}ch on {total_gpus} GPUs"
+        )
+    return results[0]

@@ -1,0 +1,127 @@
+"""α–β communication cost model over the Frontier topology.
+
+Collective time = latency·steps + moved-bytes / bottleneck-bandwidth, with
+ring algorithms (what RCCL runs).  A group whose ranks all live inside one
+node rides Infinity Fabric (50 GB/s); a group spanning nodes is limited by
+the per-GPU share of the node's Slingshot injection bandwidth (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dist.stats import ring_wire_bytes
+from .machine import MachineSpec
+from .modelcfg import ModelConfig, transformer_param_count
+from .plan import ParallelPlan, Precision, Workload
+
+__all__ = ["collective_time", "CommBreakdown", "estimate_step_comm"]
+
+
+def collective_time(
+    op: str,
+    payload_bytes: float,
+    group_size: int,
+    machine: MachineSpec,
+    intra_node: bool,
+) -> float:
+    """Seconds for one collective; *payload_bytes* is the per-rank payload
+    (matching :func:`repro.dist.stats.ring_wire_bytes` conventions)."""
+    if group_size <= 1:
+        return 0.0
+    wire = ring_wire_bytes(op, int(payload_bytes), group_size)
+    if intra_node:
+        bw, lat = machine.intra_node_bw, machine.intra_latency
+    else:
+        bw, lat = machine.inter_node_bw_per_gpu, machine.inter_latency
+    steps = 2 * (group_size - 1) if op == "all_reduce" else (group_size - 1)
+    return lat * steps + wire / bw
+
+
+@dataclass(frozen=True)
+class CommBreakdown:
+    """Per-step communication seconds by parallel axis."""
+
+    tp_time: float
+    gather_time: float      # channel-stage gather (dist_tok / dchag)
+    fsdp_time: float
+    dp_time: float
+
+    @property
+    def total(self) -> float:
+        return self.tp_time + self.gather_time + self.fsdp_time + self.dp_time
+
+
+def estimate_step_comm(
+    model: ModelConfig,
+    workload: Workload,
+    plan: ParallelPlan,
+    machine: MachineSpec,
+    precision: Precision = Precision(),
+    dp_overlap: float = 0.8,
+    fsdp_overlap: float = 0.5,
+) -> CommBreakdown:
+    """Non-overlapped communication seconds for one training step.
+
+    DP AllReduce and FSDP gathers partially overlap with compute
+    (``*_overlap`` = hidden fraction); TP collectives sit on the critical
+    path (overlap 0), as in Megatron-style implementations.
+    """
+    D = model.dim
+    N = model.tokens
+    C = workload.channels
+    B = workload.batch
+    ab = precision.act_bytes
+    tp, fsdp, dp = plan.tp, plan.fsdp, plan.dp
+
+    tp_intra = tp <= machine.gpus_per_node
+    # A replica occupies tp·fsdp consecutive GPUs; FSDP crosses nodes once
+    # tp·fsdp exceeds a node.  DP is outermost (almost always cross-node).
+    fsdp_intra = tp * fsdp <= machine.gpus_per_node
+    dp_intra = tp * fsdp * dp <= machine.gpus_per_node
+
+    # ---- TP: 2 AllReduce fwd + 2 bwd per block, each B·N·D activations ----
+    tp_time = 0.0
+    if tp > 1:
+        act_bytes = B * N * D * ab
+        per_block = 4 * collective_time("all_reduce", act_bytes, tp, machine, tp_intra)
+        tp_time = model.depth * per_block
+        # channel-aggregation module's own TP collectives (2 fwd + 2 bwd)
+        tp_time += 4 * collective_time("all_reduce", act_bytes, tp, machine, tp_intra)
+
+    # ---- channel-stage gather ------------------------------------------
+    gather_time = 0.0
+    if plan.strategy == "dist_tok" and tp > 1:
+        shard = B * (C // tp) * N * D * ab
+        gather_time += collective_time("all_gather", shard, tp, machine, tp_intra)
+        # backward pays the ReduceScatter of the full gradient
+        gather_time += collective_time("reduce_scatter", shard * tp, tp, machine, tp_intra)
+    elif plan.strategy == "dchag" and tp > 1:
+        one_channel = B * 1 * N * D * ab
+        gather_time += collective_time("all_gather", one_channel, tp, machine, tp_intra)
+        # no backward collective (the paper's headline property)
+
+    # ---- FSDP: AllGather params fwd + bwd, ReduceScatter grads ----------
+    fsdp_time = 0.0
+    if fsdp > 1:
+        params = transformer_param_count(model) / tp
+        shard_bytes = params * precision.param_bytes / fsdp
+        t = 2 * collective_time("all_gather", shard_bytes, fsdp, machine, fsdp_intra)
+        t += collective_time(
+            "reduce_scatter", params * precision.grad_bytes, fsdp, machine, fsdp_intra
+        )
+        fsdp_time = t * (1.0 - fsdp_overlap)
+
+    # ---- DP: one gradient AllReduce per step -----------------------------
+    dp_time = 0.0
+    if dp > 1:
+        grad_bytes = (transformer_param_count(model) / tp / fsdp) * precision.grad_bytes
+        dp_time = collective_time("all_reduce", grad_bytes, dp, machine, dp_intra)
+        dp_time *= 1.0 - dp_overlap
+
+    return CommBreakdown(
+        tp_time=float(tp_time),
+        gather_time=float(gather_time),
+        fsdp_time=float(fsdp_time),
+        dp_time=float(dp_time),
+    )

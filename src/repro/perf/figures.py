@@ -1,0 +1,23 @@
+"""Per-figure experiment constants.
+
+The paper does not report the micro-batch used in each performance
+experiment; these values were calibrated so the analytic models reproduce
+every capacity statement in the text (see ``tests/test_paper_anchors.py``
+and EXPERIMENTS.md).  Each figure bench imports its batch from here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FIGURE_BATCH"]
+
+FIGURE_BATCH: dict[str, int] = {
+    "fig6": 8,        # single-GPU component analysis (100M/1B/3B)
+    "fig7_1.7B": 8,   # TP memory sweep, 1.7B
+    "fig7_7B": 12,    # TP memory sweep, 7B
+    "fig8": 8,        # distributed tokenization, 1.7B
+    "fig9": 8,        # tree sweep, 1.7B
+    "fig13": 8,       # model-size scaling (7B/15B/26B)
+    "fig14": 32,      # 26B memory wall
+    "fig15": 16,      # hybrid combinations, 7B / 500 channels
+    "fig16": 16,      # batch-size scaling, 7B / 500 channels
+}

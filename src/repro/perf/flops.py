@@ -1,0 +1,113 @@
+"""Closed-form FLOP model per component and strategy.
+
+Forward FLOPs; training steps cost ``3×`` forward (backward ≈ 2× forward),
+the standard estimate the paper's TFLOPs/sec numbers are based on.  The
+runtime counter in :mod:`repro.tensor.flops` validates these formulas at
+small scale (see ``tests/test_perf_validation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tree import build_tree
+from .modelcfg import ModelConfig
+from .plan import ParallelPlan, Workload
+
+__all__ = ["FlopsBreakdown", "estimate_flops", "useful_flops_per_step", "AGG_TIME_BOTTLENECK"]
+
+TRAIN_MULT = 3.0  # forward + backward
+
+# The aggregation module's q/kv projections are tall-skinny GEMMs over
+# C·N short tokens — bandwidth-bound on MI250X rather than compute-bound.
+# Their *time* contribution is modelled with an effective D/4 width (their
+# *memory* in repro.perf.memory_model stays full-width).  Without this the
+# channel stage would dwarf the ViT in modelled time for C ≥ 512, which
+# contradicts the gain magnitudes the paper reports (≤ 70 % in Fig. 13).
+AGG_TIME_BOTTLENECK = 4.0
+
+
+@dataclass(frozen=True)
+class FlopsBreakdown:
+    """Forward FLOPs per GPU for one micro-batch, by component."""
+
+    tokenization: float
+    aggregation: float
+    transformer: float
+
+    @property
+    def total(self) -> float:
+        return self.tokenization + self.aggregation + self.transformer
+
+    def component_dict(self) -> dict[str, float]:
+        return {
+            "tokenization": self.tokenization,
+            "aggregation": self.aggregation,
+            "transformer": self.transformer,
+        }
+
+
+def _cross_attention_flops(channels: int, n: int, d: int, batch: int) -> float:
+    """One aggregation cross-attention spanning *channels*, per spatial token.
+
+    q/k/v projections (3 · 2·C·D²), scores + weighted sum (2 · 2·C²·D),
+    output projection (2·C·D²) — the quadratic-in-C term mirrors the score
+    matrix of the memory model.
+    """
+    c = channels
+    return batch * n * (6 * c * d * d + 4 * c * c * d + 2 * c * d * d) / AGG_TIME_BOTTLENECK
+
+
+def _linear_mixer_flops(channels: int, n: int, d: int, batch: int) -> float:
+    """Linear channel mix: ``2·C·N·D`` per output channel."""
+    return batch * n * 2 * channels * d
+
+
+def estimate_flops(
+    model: ModelConfig,
+    workload: Workload,
+    plan: ParallelPlan = ParallelPlan("serial"),
+) -> FlopsBreakdown:
+    """Forward FLOPs executed **per GPU** for one micro-batch."""
+    D = model.dim
+    N = model.tokens
+    pp = model.patch * model.patch
+    C = workload.channels
+    B = workload.batch
+    tp = plan.tp
+
+    local_c = C if plan.strategy in ("serial", "tp") else -(-C // tp)
+
+    tok = 2.0 * B * local_c * N * pp * D
+    if plan.strategy in ("serial", "tp"):
+        tok = 2.0 * B * C * N * pp * D  # replicated: every rank does all C
+
+    if plan.strategy in ("serial", "tp", "dist_tok"):
+        agg = _cross_attention_flops(C, N, D, B) / tp
+    else:
+        spec = build_tree(local_c, plan.dchag_fanout)
+        if plan.dchag_kind == "cross":
+            agg = sum(_cross_attention_flops(s, N, D, B) for s in spec.group_sizes)
+            if spec.has_root:
+                agg += _cross_attention_flops(len(spec.group_sizes), N, D, B)
+        else:
+            agg = sum(_linear_mixer_flops(s, N, D, B) for s in spec.group_sizes)
+            if spec.has_root:
+                agg += _linear_mixer_flops(len(spec.group_sizes), N, D, B)
+        final_div = tp if plan.tp_shard_final else 1
+        agg += _cross_attention_flops(tp, N, D, B) / final_div
+
+    # ViT blocks: qkv 6·N·D², scores+av 4·N²·D, proj 2·N·D², MLP 4·mlp·N·D².
+    mlp = model.mlp_ratio
+    per_block = B * (N * (8 + 4 * mlp) * D * D + 4 * N * N * D)
+    vit = model.depth * per_block / tp
+
+    return FlopsBreakdown(tokenization=float(tok), aggregation=float(agg), transformer=float(vit))
+
+
+def useful_flops_per_step(model: ModelConfig, workload: Workload) -> float:
+    """Model FLOPs for one micro-batch on the *serial* architecture — the
+    numerator of sustained TFLOPs/sec (redundant or extra layers introduced
+    by a distribution strategy do not count as useful work)."""
+    serial = estimate_flops(model, workload, ParallelPlan("serial"))
+    return TRAIN_MULT * serial.total

@@ -1,0 +1,182 @@
+"""Closed-form per-GPU memory model of the FM under each strategy.
+
+Reproduces the paper's memory figures (Figs. 6–8, 14, 15).  The model follows
+the paper's structural arguments:
+
+* tokenization parameters and activations are **linear in the channels a
+  rank tokenizes** (per-channel embedding weights);
+* the channel-aggregation cross-attention stores a score matrix **quadratic
+  in the channels it spans** (FlashAttention covers the ViT's self-attention
+  — §4.1 — but is "not directly applicable to cross-attention due to the
+  uneven nature of the input and output variables", §3.2, so aggregation
+  scores are materialized);
+* TP shards the *embedding* dimension of attention/MLP weights and of the
+  head-split activations, but cannot shard the channel axis (§4.3);
+* FSDP shards parameter/gradient/optimizer state, not activations;
+* D-CHAG moves tokenization and first-level aggregation onto ``C/tp``
+  channels per rank and leaves only a ``tp``-channel final cross-attention.
+
+All byte counts are per GPU for one micro-batch of size ``workload.batch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tree import build_tree
+from .machine import MachineSpec
+from .modelcfg import ModelConfig, transformer_param_count
+from .plan import ParallelPlan, Precision, Workload
+
+__all__ = ["MemoryBreakdown", "estimate_memory"]
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-GPU bytes, split the way the paper's stacked bars are."""
+
+    tokenization_state: float
+    tokenization_act: float
+    aggregation_state: float
+    aggregation_act: float
+    transformer_state: float
+    transformer_act: float
+    gather_buffers: float
+
+    @property
+    def tokenization(self) -> float:
+        return self.tokenization_state + self.tokenization_act
+
+    @property
+    def aggregation(self) -> float:
+        return self.aggregation_state + self.aggregation_act + self.gather_buffers
+
+    @property
+    def transformer(self) -> float:
+        return self.transformer_state + self.transformer_act
+
+    @property
+    def total(self) -> float:
+        return self.tokenization + self.aggregation + self.transformer
+
+    @property
+    def tok_plus_agg_fraction(self) -> float:
+        """The 50–90 % figure §4.3 quotes."""
+        return (self.tokenization + self.aggregation) / self.total
+
+    def fits(self, machine: MachineSpec, headroom: float = 0.92) -> bool:
+        """Whether the breakdown fits one GPU's HBM (default 8 % headroom
+        for fragmentation/runtime, matching practical allocator limits)."""
+        return self.total <= machine.hbm_bytes * headroom
+
+    def utilization(self, machine: MachineSpec) -> float:
+        return self.total / machine.hbm_bytes
+
+    def component_dict(self) -> dict[str, float]:
+        return {
+            "tokenization": self.tokenization,
+            "aggregation": self.aggregation,
+            "transformer": self.transformer,
+        }
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def estimate_memory(
+    model: ModelConfig,
+    workload: Workload,
+    plan: ParallelPlan = ParallelPlan("serial"),
+    precision: Precision = Precision(),
+) -> MemoryBreakdown:
+    """Per-GPU memory for one training step of the generic FM."""
+    D = model.dim
+    N = model.tokens
+    pp = model.patch * model.patch
+    H = model.heads
+    C = workload.channels
+    B = workload.batch
+    tp = plan.tp
+    fsdp = plan.fsdp
+    pb, ab = precision.param_bytes, precision.act_bytes
+    ab = ab * precision.act_overhead  # eager-autograd retention overhead
+    state = precision.state_bytes  # per param: weight + grad + optimizer
+
+    # ---------------- tokenization -------------------------------------
+    local_c = C if plan.strategy in ("serial", "tp") else _ceil_div(C, tp)
+    tok_params = local_c * (pp * D + D) + local_c * D  # embed + bias + channel-ID
+    tok_state = tok_params * state / fsdp + (tok_params * pb if fsdp > 1 else 0)
+    tok_act = B * local_c * N * (pp + D) * ab
+
+    # ---------------- channel aggregation ------------------------------
+    gather = 0.0
+    if plan.strategy in ("serial", "tp", "dist_tok"):
+        # One cross-attention spanning all C channels.  TP shards the
+        # embedding dim of weights and the head-split activations, but the
+        # channel axis — and hence the quadratic score matrix per head —
+        # survives on every rank (divided only by the head sharding).
+        agg_params = (4 * D * D + 4 * D) / tp
+        agg_act = B * N * ab * (
+            3 * C * D / tp          # q/k/v projections over C channels
+            + (H / tp) * C * C      # score matrix (quadratic in C)
+            + C * D / tp            # attention output pre-proj
+            + D                     # aggregated representation (replicated)
+        )
+        if plan.strategy == "dist_tok":
+            # AllGather materializes the full token tensor on every rank —
+            # the overhead that negates distributed tokenization (§4.4).
+            gather = B * C * N * D * ab
+    else:  # dchag
+        spec = build_tree(local_c, plan.dchag_fanout)
+        n_units = len(spec.group_sizes)
+        if plan.dchag_kind == "cross":
+            # Rank-local units: full embedding dim (not TP-sharded), full heads.
+            unit_params = n_units * (4 * D * D + 4 * D)
+            unit_act = sum(
+                B * N * ab * (3 * s * D + H * s * s + s * D + D)
+                for s in spec.group_sizes
+            )
+            if spec.has_root:
+                unit_params += 4 * D * D + 4 * D
+                unit_act += B * N * ab * (3 * n_units * D + H * n_units**2 + n_units * D + D)
+        else:  # linear mixers: C_in (+1) params each, activations just outputs
+            unit_params = sum(s + 1 for s in spec.group_sizes)
+            unit_act = sum(B * N * ab * D for _ in spec.group_sizes)
+            if spec.has_root:
+                unit_params += n_units + 1
+                unit_act += B * N * ab * D
+        # Final shared cross-attention over the tp gathered channels.
+        final_div = tp if plan.tp_shard_final else 1
+        final_params = (4 * D * D + 4 * D) / final_div
+        final_act = B * N * ab * (
+            3 * tp * D / final_div + (H / final_div) * tp * tp + tp * D / final_div + D
+        )
+        agg_params = unit_params + final_params
+        agg_act = unit_act + final_act
+        gather = B * tp * N * D * ab  # the one-channel-per-rank AllGather buffer
+
+    agg_state = agg_params * state / fsdp + (agg_params * pb if fsdp > 1 else 0)
+
+    # ---------------- transformer blocks --------------------------------
+    vit_params = transformer_param_count(model) / tp
+    vit_state = vit_params * state / fsdp
+    if fsdp > 1:
+        # One materialized unit (a block) lives at full (TP-shard) size.
+        vit_state += (transformer_param_count(model) / model.depth / tp) * pb
+    # Per block stored activations (FlashAttention ⇒ no N² score tensor):
+    # replicated: 2 LN outputs + 2 residuals (4·D); sharded: qkv (3·D/tp),
+    # attention output (D/tp), MLP hidden + GELU (2·mlp·D/tp).
+    mlp = int(model.mlp_ratio)
+    per_block = B * N * ab * (4 * D + (3 * D + D + 2 * mlp * D) / tp)
+    vit_act = model.depth * per_block + B * N * D * ab  # + final norm
+
+    return MemoryBreakdown(
+        tokenization_state=float(tok_state),
+        tokenization_act=float(tok_act),
+        aggregation_state=float(agg_state),
+        aggregation_act=float(agg_act),
+        transformer_state=float(vit_state),
+        transformer_act=float(vit_act),
+        gather_buffers=float(gather),
+    )

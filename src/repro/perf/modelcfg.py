@@ -1,0 +1,71 @@
+"""Named model-size configurations used throughout the paper.
+
+The 7B / 15B / 26B numbers are given explicitly in §6.1 (embed 4096 / 6144 /
+8192, all 32 layers, 32 heads); the smaller sizes are reconstructed to match
+their quoted parameter counts (transformer blocks ≈ 12·depth·dim²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ModelConfig", "named_model", "MODEL_ZOO", "transformer_param_count"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of the generic FM (paper Fig. 1)."""
+
+    name: str
+    dim: int
+    depth: int
+    heads: int
+    mlp_ratio: float = 4.0
+    patch: int = 16
+    image_hw: tuple[int, int] = (224, 224)
+
+    @property
+    def tokens(self) -> int:
+        h, w = self.image_hw
+        return (h // self.patch) * (w // self.patch)
+
+    @property
+    def head_dim(self) -> int:
+        return self.dim // self.heads
+
+    def with_image(self, h: int, w: int, patch: int | None = None) -> "ModelConfig":
+        return replace(self, image_hw=(h, w), patch=patch if patch else self.patch)
+
+
+def transformer_param_count(cfg: ModelConfig) -> int:
+    """Parameters in the ViT blocks (qkv + proj + mlp + norms) + final norm."""
+    d = cfg.dim
+    per_block = (
+        3 * d * d + 3 * d      # qkv
+        + d * d + d            # proj
+        + 2 * int(cfg.mlp_ratio) * d * d + int(cfg.mlp_ratio) * d + d  # mlp
+        + 4 * d                # 2 layernorms
+    )
+    return cfg.depth * per_block + 2 * d
+
+
+# Sizes quoted by the paper; embed/layers/heads for 7B/15B/26B are explicit
+# (§6.1), the rest chosen so the transformer-block count matches the label.
+MODEL_ZOO: dict[str, ModelConfig] = {
+    "40M": ModelConfig("40M", dim=512, depth=12, heads=8),
+    "53M": ModelConfig("53M", dim=576, depth=13, heads=8),
+    "100M": ModelConfig("100M", dim=768, depth=14, heads=12),
+    "1B": ModelConfig("1B", dim=2048, depth=20, heads=16),
+    "1.7B": ModelConfig("1.7B", dim=2304, depth=26, heads=24),
+    "3B": ModelConfig("3B", dim=2816, depth=32, heads=32),
+    "7B": ModelConfig("7B", dim=4096, depth=32, heads=32),
+    "15B": ModelConfig("15B", dim=6144, depth=32, heads=32),
+    "26B": ModelConfig("26B", dim=8192, depth=32, heads=32),
+}
+
+
+def named_model(name: str) -> ModelConfig:
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; choices: {sorted(MODEL_ZOO)}") from None

@@ -1,0 +1,102 @@
+"""Parallel execution plans and numeric precision for the analytic models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParallelPlan", "Precision", "Workload"]
+
+
+@dataclass(frozen=True)
+class ParallelPlan:
+    """How a model replica is laid out across GPUs.
+
+    ``strategy`` selects the channel-stage treatment:
+
+    * ``"tp"``       — baseline: TP everywhere, tokenization replicated (§4.3)
+    * ``"dist_tok"`` — distributed tokenization + AllGather (§3.1 / §4.4)
+    * ``"dchag"``    — the D-CHAG method (§3.3)
+    * ``"serial"``   — single GPU (tp must be 1)
+
+    ``tp`` ranks form one model replica together with ``fsdp``; ``dp``
+    multiplies replicas.  GPUs per replica = tp · fsdp; total = tp·fsdp·dp.
+    """
+
+    strategy: str = "tp"
+    tp: int = 1
+    fsdp: int = 1
+    dp: int = 1
+    dchag_kind: str = "linear"       # 'linear' (-L) or 'cross' (-C)
+    dchag_fanout: int = 0            # TreeN
+    tp_shard_final: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("serial", "tp", "dist_tok", "dchag"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.strategy == "serial" and self.tp != 1:
+            raise ValueError("serial strategy requires tp=1")
+        if min(self.tp, self.fsdp, self.dp) < 1:
+            raise ValueError("tp, fsdp, dp must be >= 1")
+        if self.dchag_kind not in ("linear", "cross"):
+            raise ValueError("dchag_kind must be 'linear' or 'cross'")
+
+    @property
+    def gpus_per_replica(self) -> int:
+        return self.tp * self.fsdp
+
+    @property
+    def total_gpus(self) -> int:
+        return self.tp * self.fsdp * self.dp
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.strategy == "dchag":
+            suffix = "L" if self.dchag_kind == "linear" else "C"
+            parts.append(f"D-CHAG-{suffix}-Tree{self.dchag_fanout}x{self.tp}")
+        elif self.strategy == "dist_tok":
+            parts.append(f"DistTok-TP{self.tp}")
+        elif self.strategy == "tp":
+            parts.append(f"TP{self.tp}")
+        else:
+            parts.append("1GPU")
+        if self.fsdp > 1:
+            parts.append(f"FSDP{self.fsdp}")
+        if self.dp > 1:
+            parts.append(f"DP{self.dp}")
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Bytes per element, mixed-precision training defaults (bf16 compute,
+    fp32 AdamW moments — the usual Frontier setup).
+
+    ``act_overhead`` is an eager-PyTorch fudge factor: besides the tensors
+    the formulas enumerate, autograd retains softmax outputs, GELU inputs,
+    dropout masks and allocator slack; 2.0 reproduces the paper's capacity
+    statements (calibrated in ``tests/test_paper_anchors.py``).
+    """
+
+    param_bytes: int = 2
+    grad_bytes: int = 2
+    optim_bytes: int = 8
+    act_bytes: int = 2
+    act_overhead: float = 2.0
+
+    @property
+    def state_bytes(self) -> int:
+        """Persistent bytes per parameter (weights + grads + optimizer)."""
+        return self.param_bytes + self.grad_bytes + self.optim_bytes
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One training step's shape: channels and per-replica batch."""
+
+    channels: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.batch < 1:
+            raise ValueError("channels and batch must be >= 1")

@@ -1,0 +1,215 @@
+"""Markdown report generator: all analytic paper figures in one document.
+
+``python -m repro report`` writes the memory/throughput tables for Figs. 6,
+7, 8, 9, 13, 14, 15 and 16 (the convergence figures 11/12 require training —
+run their benches instead) so a user can regenerate the paper's evaluation
+without pytest.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from .core import plan_channel_stage
+from .perf import (
+    FIGURE_BATCH,
+    GiB,
+    ParallelPlan,
+    Workload,
+    estimate_flops,
+    estimate_memory,
+    frontier,
+    named_model,
+    sustained_estimate,
+    throughput_gain,
+)
+from .perf.throughput import global_batch_throughput
+
+__all__ = ["build_report", "write_report"]
+
+MACHINE = frontier()
+
+
+def _md_table(headers: list[str], rows: list[list]) -> str:
+    out = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        out.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(out)
+
+
+def _gb(x: float) -> str:
+    return f"{x / GiB:.1f}"
+
+
+def fig6_section() -> str:
+    rows = []
+    for name in ("100M", "1B", "3B"):
+        cfg = named_model(name)
+        for ch in (128, 256, 512, 1024):
+            w = Workload(ch, FIGURE_BATCH["fig6"])
+            mem = estimate_memory(cfg, w)
+            fl = estimate_flops(cfg, w)
+            share = (fl.tokenization + fl.aggregation) / fl.total
+            rows.append(
+                [name, ch, _gb(mem.total), "ok" if mem.fits(MACHINE) else "OOM", f"{share:.0%}"]
+            )
+    return "## Fig. 6 — single-GPU capacity\n\n" + _md_table(
+        ["model", "channels", "GB/GPU", "fits", "channel-stage FLOP share"], rows
+    )
+
+
+def fig7_section() -> str:
+    rows = []
+    for name, batch_key, tps in (("1.7B", "fig7_1.7B", (1, 2, 4, 8)), ("7B", "fig7_7B", (2, 4, 8, 16))):
+        cfg = named_model(name)
+        for ch in (256, 512, 1024) if name == "1.7B" else (128, 256, 512):
+            for tp in tps:
+                mem = estimate_memory(cfg, Workload(ch, FIGURE_BATCH[batch_key]), ParallelPlan("tp", tp=tp))
+                rows.append(
+                    [name, ch, tp, _gb(mem.total), f"{mem.tok_plus_agg_fraction:.0%}",
+                     "ok" if mem.fits(MACHINE) else "OOM"]
+                )
+    return "## Fig. 7 — TP memory sweep\n\n" + _md_table(
+        ["model", "channels", "TP", "GB/GPU", "tok+agg", "fits"], rows
+    )
+
+
+def fig8_section() -> str:
+    cfg = named_model("1.7B")
+    rows = []
+    for ch, tp in ((512, 2), (1024, 8)):
+        w = Workload(ch, FIGURE_BATCH["fig8"])
+        base = estimate_memory(cfg, w, ParallelPlan("tp", tp=tp))
+        dist = estimate_memory(cfg, w, ParallelPlan("dist_tok", tp=tp))
+        rows.append(
+            [ch, tp, _gb(base.tokenization + base.aggregation), _gb(base.tokenization),
+             _gb(dist.tokenization), _gb(dist.tokenization + dist.aggregation)]
+        )
+    return "## Fig. 8 — distributed tokenization (1.7B)\n\n" + _md_table(
+        ["channels", "TP", "base tok+agg", "base tok", "dist tok", "dist tok+agg"], rows
+    )
+
+
+def fig9_section() -> str:
+    cfg = named_model("1.7B")
+    rows = []
+    for ch, tp in ((512, 2), (1024, 8)):
+        base = ParallelPlan("tp", tp=tp)
+        for kind in ("cross", "linear"):
+            for fanout in (0, 2, 4, 8):
+                plan = ParallelPlan("dchag", tp=tp, dchag_kind=kind, dchag_fanout=fanout)
+                g = throughput_gain(cfg, ch, plan, base, MACHINE)
+                rows.append([ch, f"{kind}-Tree{fanout}", f"{g:+.0%}"])
+    return "## Fig. 9 — tree sweep (1.7B, gain vs TP-only)\n\n" + _md_table(
+        ["channels", "config", "gain/GPU"], rows
+    )
+
+
+def fig13_section() -> str:
+    rows = []
+    for name, channels in (("7B", (256, 512)), ("15B", (128, 256)), ("26B", (64, 128))):
+        cfg = named_model(name)
+        base = ParallelPlan("tp", tp=16)
+        for ch in channels:
+            for kind in ("linear", "cross"):
+                g = throughput_gain(
+                    cfg, ch, ParallelPlan("dchag", tp=16, dchag_kind=kind), base, MACHINE
+                )
+                rows.append([name, ch, f"D-CHAG-{'L' if kind == 'linear' else 'C'}", f"{g:+.0%}"])
+    return "## Fig. 13 — model-size scaling (gain vs TP16)\n\n" + _md_table(
+        ["model", "channels", "variant", "gain"], rows
+    )
+
+
+def fig14_section() -> str:
+    cfg = named_model("26B")
+    b = FIGURE_BATCH["fig14"]
+    rows = []
+    for tp in (8, 16, 32, 64):
+        base = estimate_memory(cfg, Workload(256, b), ParallelPlan("tp", tp=tp))
+        dchag = estimate_memory(cfg, Workload(512, b), ParallelPlan("dchag", tp=tp, dchag_kind="linear"))
+        rows.append(
+            [tp, _gb(base.total), "OOM" if not base.fits(MACHINE) else "ok",
+             _gb(dchag.total), f"{dchag.utilization(MACHINE):.0%}"]
+        )
+    return "## Fig. 14 — 26B memory wall (TP@256ch vs D-CHAG@512ch)\n\n" + _md_table(
+        ["GPUs", "TP GB/GPU", "TP fits", "D-CHAG GB/GPU", "D-CHAG util"], rows
+    )
+
+
+def fig15_section() -> str:
+    cfg = named_model("7B")
+    combos = (
+        ParallelPlan("tp", tp=16),
+        ParallelPlan("tp", tp=8, fsdp=2),
+        ParallelPlan("dchag", tp=16, dchag_kind="linear"),
+        ParallelPlan("dchag", tp=8, dchag_kind="linear", dp=2),
+        ParallelPlan("dchag", tp=8, dchag_kind="linear", fsdp=2),
+        ParallelPlan("dchag", tp=2, dchag_kind="linear", fsdp=4, dp=2),
+    )
+    rows = []
+    for plan in combos:
+        est = sustained_estimate(cfg, 500, plan, MACHINE)
+        rows.append(
+            [plan.label, est.micro_batch, _gb(est.memory.total),
+             f"{est.tflops_per_node(MACHINE):.0f}"]
+        )
+    return "## Fig. 15 — hybrid combos (7B / 500ch / 16 GCDs)\n\n" + _md_table(
+        ["combination", "micro-batch", "GB/GPU", "TFLOP/s/node"], rows
+    )
+
+
+def fig16_section() -> str:
+    cfg = named_model("7B")
+    baseline = ParallelPlan("tp", tp=16, dp=64)
+    hybrid = ParallelPlan("dchag", tp=8, dchag_kind="linear", dp=128)
+    rows = []
+    for gb_size in (512, 1024, 2048, 4096, 8192):
+        b = global_batch_throughput(cfg, 500, baseline, MACHINE, gb_size)
+        h = global_batch_throughput(cfg, 500, hybrid, MACHINE, gb_size)
+        rows.append([gb_size, f"{b:,.0f}", f"{h:,.0f}", f"{h / b - 1:+.0%}"])
+    return "## Fig. 16 — batch scaling at 1,024 GCDs (7B / 500ch)\n\n" + _md_table(
+        ["global batch", "baseline TFLOP/s", "Hybrid D-CHAG TFLOP/s", "gain"], rows
+    )
+
+
+def planner_section() -> str:
+    choice = plan_channel_stage(named_model("7B"), Workload(500, 8), MACHINE, tp=8)
+    return (
+        "## Planner recommendation (7B / 500ch / one node)\n\n"
+        f"`{choice.plan.label}` — {choice.estimate.tflops_per_gpu:.1f} TFLOP/s/GPU, "
+        f"{choice.estimate.memory.total / GiB:.1f} GB/GPU"
+    )
+
+
+def build_report() -> str:
+    buf = io.StringIO()
+    buf.write("# D-CHAG analytic figure report\n\n")
+    buf.write(
+        "Regenerated from the calibrated Frontier models "
+        "(see EXPERIMENTS.md for paper-vs-measured and deviations; Figs. 11/12 "
+        "are training experiments — run `pytest benchmarks/bench_fig11* "
+        "benchmarks/bench_fig12* -s`).\n\n"
+    )
+    for section in (
+        fig6_section,
+        fig7_section,
+        fig8_section,
+        fig9_section,
+        fig13_section,
+        fig14_section,
+        fig15_section,
+        fig16_section,
+        planner_section,
+    ):
+        buf.write(section())
+        buf.write("\n\n")
+    return buf.getvalue()
+
+
+def write_report(path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report())
+    return path

@@ -1,0 +1,43 @@
+"""NumPy autograd substrate (the PyTorch substitute for this reproduction).
+
+Public surface:
+
+* :class:`Tensor` — array with reverse-mode autograd, :func:`no_grad`
+* :mod:`repro.tensor.functional` — softmax / gelu / layer_norm / losses
+* :mod:`repro.tensor.init` — parameter initialisers
+* :mod:`repro.tensor.optim` — SGD / AdamW
+* :class:`MemoryTracker` + :func:`track_memory` — live byte accounting
+* :class:`FlopCounter` + :func:`count_flops` — runtime FLOP accounting
+"""
+
+from . import functional, init, optim
+from .checkpoint import checkpoint, checkpoint_sequential
+from .flops import FlopCounter, add_flops, count_flops, current_counter
+from .grad_check import check_gradients, numerical_grad
+from .memory import MemoryTracker, current_tracker, track_memory
+from .optim import SGD, AdamW, Optimizer, clip_grad_norm
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "init",
+    "optim",
+    "SGD",
+    "AdamW",
+    "Optimizer",
+    "clip_grad_norm",
+    "MemoryTracker",
+    "track_memory",
+    "current_tracker",
+    "FlopCounter",
+    "count_flops",
+    "current_counter",
+    "add_flops",
+    "check_gradients",
+    "numerical_grad",
+    "checkpoint",
+    "checkpoint_sequential",
+]

@@ -1,0 +1,68 @@
+"""Runtime FLOP accounting.
+
+The heavyweight kernels (``matmul``) report their floating-point operation
+counts to the counter active in the current context.  This gives measured
+FLOPs for small real runs, which the tests use to validate the closed-form
+model in :mod:`repro.perf.flops` (the one the figure benches rely on for
+multi-billion-parameter configurations).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+__all__ = ["FlopCounter", "current_counter", "count_flops", "add_flops"]
+
+_active_counter: contextvars.ContextVar["FlopCounter | None"] = contextvars.ContextVar(
+    "repro_flop_counter", default=None
+)
+
+
+class FlopCounter:
+    """Accumulates floating point operations, optionally per-category."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+        self.by_category: dict[str, int] = {}
+
+    def add(self, flops: int, category: str = "matmul") -> None:
+        with self._lock:
+            self.total += flops
+            self.by_category[category] = self.by_category.get(category, 0) + flops
+
+    def reset(self) -> None:
+        with self._lock:
+            self.total = 0
+            self.by_category.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FlopCounter(total={self.total}, by_category={self.by_category})"
+
+
+def current_counter() -> FlopCounter | None:
+    return _active_counter.get()
+
+
+def add_flops(flops: int, category: str = "matmul") -> None:
+    """Report *flops* to the active counter (no-op when none is bound)."""
+    counter = _active_counter.get()
+    if counter is not None:
+        counter.add(flops, category)
+
+
+class count_flops:
+    """Context manager binding *counter* as the active FLOP counter."""
+
+    def __init__(self, counter: FlopCounter | None = None) -> None:
+        self.counter = counter if counter is not None else FlopCounter()
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> FlopCounter:
+        self._token = _active_counter.set(self.counter)
+        return self.counter
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._token is not None
+        _active_counter.reset(self._token)

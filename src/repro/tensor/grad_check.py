@@ -1,0 +1,58 @@
+"""Numerical gradient checking used by the autograd test-suite."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_grad", "check_gradients"]
+
+
+def numerical_grad(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    wrt: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. input *wrt*.
+
+    Inputs are promoted to float64 for accuracy.
+    """
+    arrays = [np.asarray(a, dtype=np.float64).copy() for a in inputs]
+    target = arrays[wrt]
+    grad = np.zeros_like(target)
+    it = np.nditer(target, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = target[idx]
+        target[idx] = orig + eps
+        hi = float(fn(*[Tensor(a, dtype=np.float64) for a in arrays]).sum().item())
+        target[idx] = orig - eps
+        lo = float(fn(*[Tensor(a, dtype=np.float64) for a in arrays]).sum().item())
+        target[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[np.ndarray],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    eps: float = 1e-5,
+) -> None:
+    """Assert analytic grads match central differences for every input."""
+    tensors = [Tensor(np.asarray(a, dtype=np.float64), requires_grad=True, dtype=np.float64) for a in inputs]
+    out = fn(*tensors).sum()
+    out.backward()
+    for i, t in enumerate(tensors):
+        num = numerical_grad(fn, inputs, i, eps=eps)
+        ana = t.grad if t.grad is not None else np.zeros_like(num)
+        np.testing.assert_allclose(
+            ana, num, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

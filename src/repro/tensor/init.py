@@ -1,0 +1,49 @@
+"""Parameter initialisation schemes (trunc-normal ViT-style, Xavier, zeros)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["normal_", "trunc_normal", "xavier_uniform", "zeros", "ones", "constant"]
+
+
+def normal_(shape, rng: np.random.Generator, std: float = 0.02) -> Tensor:
+    """Gaussian init (ViT default std=0.02), returned as a trainable Tensor."""
+    return Tensor((rng.standard_normal(shape) * std).astype(np.float32), requires_grad=True)
+
+
+def trunc_normal(shape, rng: np.random.Generator, std: float = 0.02, bound: float = 2.0) -> Tensor:
+    """Truncated normal: resample values beyond ``bound`` standard deviations."""
+    vals = rng.standard_normal(shape)
+    bad = np.abs(vals) > bound
+    # A couple of resampling rounds is plenty at bound=2 (4.6% tail mass).
+    for _ in range(8):
+        if not bad.any():
+            break
+        vals[bad] = rng.standard_normal(int(bad.sum()))
+        bad = np.abs(vals) > bound
+    np.clip(vals, -bound, bound, out=vals)
+    return Tensor((vals * std).astype(np.float32), requires_grad=True)
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform for 2-D weights ``[fan_in, fan_out]``."""
+    if len(shape) < 2:
+        raise ValueError("xavier_uniform needs at least 2 dimensions")
+    fan_in, fan_out = shape[-2], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-limit, limit, size=shape).astype(np.float32), requires_grad=True)
+
+
+def zeros(shape) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=True)
+
+
+def ones(shape) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=True)
+
+
+def constant(shape, value: float) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=np.float32), requires_grad=True)

@@ -1,0 +1,133 @@
+"""Live-allocation memory accounting for the autograd engine.
+
+Every :class:`~repro.tensor.tensor.Tensor` registers the byte size of its
+backing array with the tracker active in the current context when it is
+created, and releases it when the array is garbage collected.  The tracker
+keeps a running total and a high-water mark, which is how the paper measures
+"memory usage per GPU" (``torch.cuda.max_memory_allocated`` on Frontier).
+
+Trackers bind via a :mod:`contextvars` context variable, so every simulated
+rank (thread) in :mod:`repro.dist` gets its own independent accounting.
+
+Small-scale runs use this tracker to validate the *analytic* model in
+:mod:`repro.perf.memory_model`; the figure benchmarks use the analytic model
+because 26B-parameter models cannot be allocated for real.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import weakref
+from dataclasses import dataclass
+
+__all__ = ["MemoryTracker", "current_tracker", "track_memory"]
+
+_active_tracker: contextvars.ContextVar["MemoryTracker | None"] = contextvars.ContextVar(
+    "repro_memory_tracker", default=None
+)
+
+
+@dataclass
+class MemoryStats:
+    """Snapshot of a tracker's counters (bytes)."""
+
+    current: int = 0
+    peak: int = 0
+    total_allocated: int = 0
+    allocation_count: int = 0
+
+
+class MemoryTracker:
+    """Tracks live tensor bytes with a peak (high-water mark).
+
+    Thread-safe: collectives may free arrays from other threads when the
+    garbage collector runs there.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._stats = MemoryStats()
+
+    # -- accounting -------------------------------------------------------
+    def allocate(self, nbytes: int) -> None:
+        with self._lock:
+            s = self._stats
+            s.current += nbytes
+            s.total_allocated += nbytes
+            s.allocation_count += 1
+            if s.current > s.peak:
+                s.peak = s.current
+
+    def free(self, nbytes: int) -> None:
+        with self._lock:
+            self._stats.current -= nbytes
+
+    def register(self, obj: object, nbytes: int) -> None:
+        """Account for *nbytes* now and release them when *obj* dies."""
+        if nbytes <= 0:
+            return
+        self.allocate(nbytes)
+        weakref.finalize(obj, self.free, nbytes)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def current_bytes(self) -> int:
+        return self._stats.current
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._stats.peak
+
+    @property
+    def total_allocated_bytes(self) -> int:
+        return self._stats.total_allocated
+
+    @property
+    def allocation_count(self) -> int:
+        return self._stats.allocation_count
+
+    def reset_peak(self) -> None:
+        with self._lock:
+            self._stats.peak = self._stats.current
+
+    def stats(self) -> MemoryStats:
+        with self._lock:
+            s = self._stats
+            return MemoryStats(s.current, s.peak, s.total_allocated, s.allocation_count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"MemoryTracker({self.name!r}, current={s.current}, peak={s.peak}, "
+            f"allocs={s.allocation_count})"
+        )
+
+
+def current_tracker() -> MemoryTracker | None:
+    """The tracker bound in the current context, or ``None``."""
+    return _active_tracker.get()
+
+
+class track_memory:
+    """Context manager binding *tracker* as the active memory tracker.
+
+    >>> tracker = MemoryTracker()
+    >>> with track_memory(tracker):
+    ...     t = Tensor.zeros((1024,))          # doctest: +SKIP
+    >>> tracker.peak_bytes                      # doctest: +SKIP
+    4096
+    """
+
+    def __init__(self, tracker: MemoryTracker) -> None:
+        self.tracker = tracker
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> MemoryTracker:
+        self._token = _active_tracker.set(self.tracker)
+        return self.tracker
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._token is not None
+        _active_tracker.reset(self._token)

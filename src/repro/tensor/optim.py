@@ -1,0 +1,149 @@
+"""Optimizers over lists of parameter tensors (SGD, AdamW).
+
+AdamW matches the PyTorch semantics used by the paper's training runs
+(decoupled weight decay, bias-corrected moments).  Optimizer state arrays are
+registered with the active memory tracker so the measured footprint includes
+the "optimizer states" component that FSDP shards in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .memory import current_tracker
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "AdamW", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class: holds parameters, provides ``zero_grad``."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: list[Tensor] = [p for p in params]
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum and decoupled weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                p.data *= 1.0 - self.lr * self.weight_decay
+            if self.momentum:
+                if self._velocity[i] is None:
+                    buf = np.zeros_like(p.data)
+                    tracker = current_tracker()
+                    if tracker is not None:
+                        tracker.register(buf, buf.nbytes)
+                    self._velocity[i] = buf
+                v = self._velocity[i]
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class AdamW(Optimizer):
+    """AdamW (decoupled weight decay), the optimizer used throughout the paper."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m: list[np.ndarray | None] = [None] * len(self.params)
+        self._v: list[np.ndarray | None] = [None] * len(self.params)
+
+    def _state_for(self, i: int, p: Tensor) -> tuple[np.ndarray, np.ndarray]:
+        if self._m[i] is None:
+            m = np.zeros_like(p.data, dtype=np.float32)
+            v = np.zeros_like(p.data, dtype=np.float32)
+            tracker = current_tracker()
+            if tracker is not None:
+                tracker.register(m, m.nbytes)
+                tracker.register(v, v.nbytes)
+            self._m[i], self._v[i] = m, v
+        return self._m[i], self._v[i]  # type: ignore[return-value]
+
+    def step(self) -> None:
+        self._step += 1
+        t = self._step
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m, v = self._state_for(i, p)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            if self.weight_decay:
+                p.data *= 1.0 - self.lr * self.weight_decay
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_bytes(self) -> int:
+        """Bytes held by optimizer state (for memory accounting tests)."""
+        total = 0
+        for m in self._m:
+            if m is not None:
+                total += m.nbytes
+        for v in self._v:
+            if v is not None:
+                total += v.nbytes
+        return total
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    sq = 0.0
+    for p in params:
+        if p.grad is not None:
+            sq += float((p.grad.astype(np.float64) ** 2).sum())
+    norm = float(np.sqrt(sq))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

@@ -1,0 +1,639 @@
+"""A NumPy reverse-mode autograd engine.
+
+This is the PyTorch substitute for the D-CHAG reproduction: a :class:`Tensor`
+wraps a ``numpy.ndarray`` and records enough of the computation graph to run
+backpropagation.  The engine is deliberately small but complete enough to
+train the paper's foundation-model architecture (per-channel tokenization,
+cross-attention channel aggregation, ViT blocks, MAE decoder) end to end.
+
+Design notes
+------------
+* Gradients are plain ``numpy`` arrays stored on the leaf tensors.
+* Broadcasting follows NumPy semantics; backward passes un-broadcast by
+  summing over the broadcast axes.
+* ``matmul`` reports FLOPs to :mod:`repro.tensor.flops` so that small real
+  runs can validate the analytic FLOP model used for the paper's figures.
+* Newly-owned arrays register their byte size with the memory tracker from
+  :mod:`repro.tensor.memory`, giving the high-water-mark measurements that
+  stand in for ``torch.cuda.max_memory_allocated``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .flops import add_flops
+from .memory import current_tracker
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_grad_enabled: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_grad_enabled", default=True
+)
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations record the autograd graph in this context."""
+    return _grad_enabled.get()
+
+
+class no_grad:
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+
+    def __enter__(self) -> None:
+        self._token = _grad_enabled.set(False)
+
+    def __exit__(self, *exc: object) -> None:
+        _grad_enabled.reset(self._token)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce *grad* back to *shape* by summing the broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected array-like, got Tensor")
+    if isinstance(value, np.generic):
+        # NumPy scalar (e.g. the result of a 0-d reduction): keep its dtype —
+        # downcasting here would silently truncate float64 loss chains.
+        arr = np.asarray(value)
+        if dtype is not None and arr.dtype != dtype:
+            arr = arr.astype(dtype)
+        return arr
+    arr = np.asarray(value)
+    if dtype is not None and arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    elif arr.dtype == np.float64 and dtype is None:
+        # Default to float32, matching the training precision used on Frontier.
+        arr = arr.astype(np.float32)
+    elif not np.issubdtype(arr.dtype, np.floating) and dtype is None:
+        arr = arr.astype(np.float32)
+    return arr
+
+
+class Tensor:
+    """An array with an optional autograd history."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op", "__weakref__")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        *,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+        op: str = "",
+        dtype=None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        if not isinstance(data, np.ndarray):
+            data = _as_array(data, dtype)
+        elif dtype is not None and data.dtype != dtype:
+            data = data.astype(dtype)
+        elif not np.issubdtype(data.dtype, np.floating):
+            # Tensors are floating-point; integer inputs become float32
+            # (index arrays stay plain numpy and never enter Tensors).
+            data = data.astype(np.float32)
+        self.data: np.ndarray = data
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._parents = _parents if self.requires_grad or _backward is not None else ()
+        self._backward = _backward
+        self.op = op
+        tracker = current_tracker()
+        if tracker is not None and data.base is None:
+            tracker.register(data, data.nbytes)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zeros(shape: Sequence[int] | int, dtype=np.float32, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Sequence[int] | int, dtype=np.float32, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape: Sequence[int] | int, value: float, dtype=np.float32) -> "Tensor":
+        return Tensor(np.full(shape, value, dtype=dtype))
+
+    @staticmethod
+    def arange(*args, dtype=np.float32) -> "Tensor":
+        return Tensor(np.arange(*args, dtype=dtype))
+
+    @staticmethod
+    def randn(
+        shape: Sequence[int] | int,
+        rng: np.random.Generator | None = None,
+        std: float = 1.0,
+        dtype=np.float32,
+        requires_grad: bool = False,
+    ) -> "Tensor":
+        rng = rng if rng is not None else np.random.default_rng()
+        return Tensor(
+            (rng.standard_normal(shape) * std).astype(dtype), requires_grad=requires_grad
+        )
+
+    @staticmethod
+    def from_numpy(arr: np.ndarray, requires_grad: bool = False) -> "Tensor":
+        return Tensor(arr, requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        out_data = self.data.astype(dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.astype(self.data.dtype))
+
+        return self._make(out_data, (self,), backward, "astype")
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag}, op={self.op!r})"
+
+    # ------------------------------------------------------------------
+    # autograd plumbing
+    # ------------------------------------------------------------------
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        return Tensor(
+            data,
+            requires_grad=requires,
+            _parents=parents if requires else (),
+            _backward=backward if requires else None,
+            op=op,
+        )
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            buf = np.asarray(grad, dtype=self.data.dtype)
+            if buf.base is not None or buf is grad:
+                buf = buf.copy()
+            self.grad = buf
+            tracker = current_tracker()
+            if tracker is not None:
+                tracker.register(buf, buf.nbytes)
+        else:
+            self.grad += grad
+
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Run reverse-mode accumulation from this tensor."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if gradient is None:
+            if self.size != 1:
+                raise RuntimeError("gradient must be provided for non-scalar outputs")
+            gradient = np.ones_like(self.data)
+        gradient = np.asarray(gradient, dtype=self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(gradient)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(_as_array(other, self.data.dtype))
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return self._make(out_data, (self, other), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data * other.data), other.shape)
+            )
+
+        return self._make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward, "pow")
+
+    # comparisons produce detached float masks (useful for relu-style ops)
+    def __gt__(self, other) -> "Tensor":
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data > other).astype(self.data.dtype))
+
+    def __lt__(self, other) -> "Tensor":
+        other = other.data if isinstance(other, Tensor) else other
+        return Tensor((self.data < other).astype(self.data.dtype))
+
+    # ------------------------------------------------------------------
+    # matmul
+    # ------------------------------------------------------------------
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        out_data = a @ b
+        # FLOPs: 2 * (product of output shape) * inner dim.
+        inner = a.shape[-1]
+        add_flops(2 * int(np.prod(out_data.shape)) * inner, "matmul")
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                gb = np.swapaxes(b, -1, -2)
+                ga = grad @ gb
+                add_flops(2 * int(np.prod(ga.shape)) * grad.shape[-1], "matmul_bwd")
+                self._accumulate(_unbroadcast(ga, self.shape))
+            if other.requires_grad:
+                ga_t = np.swapaxes(a, -1, -2)
+                gb2 = ga_t @ grad
+                add_flops(2 * int(np.prod(gb2.shape)) * ga_t.shape[-1], "matmul_bwd")
+                other._accumulate(_unbroadcast(gb2, other.shape))
+
+        return self._make(out_data, (self, other), backward, "matmul")
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        return self @ other
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape).astype(self.data.dtype))
+
+        return self._make(np.asarray(out_data), (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            denom = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            denom = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / denom)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            o = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                o = np.expand_dims(o, axis)
+            mask = (self.data == o).astype(self.data.dtype)
+            # Split gradient between ties, matching numerical gradcheck.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / counts)
+
+        return self._make(np.asarray(out_data), (self,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data * out_data))
+
+        return self._make(out_data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(self.data.dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward, "relu")
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make(np.abs(self.data), (self,), backward, "abs")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    @staticmethod
+    def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+        """Elementwise select (condition is a non-differentiable mask)."""
+        cond = np.asarray(condition, dtype=bool)
+        mask = cond.astype(a.data.dtype)
+        return a * Tensor(mask) + b * Tensor(1.0 - mask)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        out_data = np.clip(self.data, lo, hi)
+        mask = ((self.data >= lo) & (self.data <= hi)).astype(self.data.dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(self.shape))
+
+        return self._make(out_data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inv = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inv))
+
+        return self._make(self.data.transpose(axes), (self,), backward, "transpose")
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.swapaxes(grad, a, b))
+
+        return self._make(np.swapaxes(self.data, a, b), (self,), backward, "swapaxes")
+
+    def __getitem__(self, idx) -> "Tensor":
+        out_data = self.data[idx]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, idx, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward, "getitem")
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.squeeze(grad, axis=axis))
+
+        return self._make(np.expand_dims(self.data, axis), (self,), backward, "expand_dims")
+
+    def squeeze(self, axis: int) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.expand_dims(grad, axis=axis))
+
+        return self._make(np.squeeze(self.data, axis=axis), (self,), backward, "squeeze")
+
+    def broadcast_to(self, shape: Sequence[int]) -> "Tensor":
+        shape = tuple(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+
+        return self._make(
+            np.broadcast_to(self.data, shape).copy(), (self,), backward, "broadcast_to"
+        )
+
+    def pad(self, pad_width: Sequence[tuple[int, int]]) -> "Tensor":
+        pad_width = tuple(tuple(p) for p in pad_width)
+        out_data = np.pad(self.data, pad_width)
+        slices = tuple(
+            slice(lo, lo + dim) for (lo, _hi), dim in zip(pad_width, self.shape)
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad[slices])
+
+        return self._make(out_data, (self,), backward, "pad")
+
+    # ------------------------------------------------------------------
+    # concatenation / stacking (static helpers)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        datas = [t.data for t in tensors]
+        out_data = np.concatenate(datas, axis=axis)
+        sizes = [d.shape[axis] for d in datas]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                idx = [slice(None)] * grad.ndim
+                idx[axis] = slice(lo, hi)
+                t._accumulate(grad[tuple(idx)])
+
+        requires = is_grad_enabled() and any(t.requires_grad for t in tensors)
+        return Tensor(
+            out_data,
+            requires_grad=requires,
+            _parents=tuple(tensors) if requires else (),
+            _backward=backward if requires else None,
+            op="concat",
+        )
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        return Tensor.concat([t.expand_dims(axis) for t in tensors], axis=axis)
+
+    def split(self, sections: int, axis: int = 0) -> list["Tensor"]:
+        """Split into equal chunks along *axis* (differentiable)."""
+        n = self.shape[axis]
+        if n % sections != 0:
+            raise ValueError(f"cannot split axis of size {n} into {sections} equal parts")
+        step = n // sections
+        out = []
+        for i in range(sections):
+            idx = [slice(None)] * self.ndim
+            idx[axis] = slice(i * step, (i + 1) * step)
+            out.append(self[tuple(idx)])
+        return out
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def flatten(self, start: int = 0) -> "Tensor":
+        shape = self.shape[:start] + (-1,)
+        return self.reshape(shape)
+
+
+def _tensor_iter(values: Iterable) -> list[Tensor]:  # pragma: no cover - helper
+    return [v if isinstance(v, Tensor) else Tensor(v) for v in values]

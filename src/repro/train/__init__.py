@@ -1,0 +1,27 @@
+"""Training harness: trainer, LR schedules, and evaluation metrics."""
+
+from .metrics import (
+    anomaly_correlation,
+    eval_channel_rmse,
+    lat_weighted_rmse,
+    masked_reconstruction_rmse,
+)
+from .evaluate import EarlyStopping, evaluate_forecaster, evaluate_mae
+from .schedule import constant_lr, cosine_warmup
+from .trainer import TrainConfig, Trainer, TrainResult, seed_everything
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "seed_everything",
+    "cosine_warmup",
+    "constant_lr",
+    "lat_weighted_rmse",
+    "eval_channel_rmse",
+    "masked_reconstruction_rmse",
+    "anomaly_correlation",
+    "evaluate_forecaster",
+    "evaluate_mae",
+    "EarlyStopping",
+]

@@ -1,0 +1,95 @@
+"""Evaluation loops for the two paper applications."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.era5 import SyntheticERA5
+from ..tensor import no_grad
+from .metrics import anomaly_correlation, eval_channel_rmse, lat_weighted_rmse
+
+__all__ = ["evaluate_forecaster", "evaluate_mae", "EarlyStopping"]
+
+
+def evaluate_forecaster(
+    model,
+    dataset: SyntheticERA5,
+    indices: np.ndarray,
+    batch_size: int = 8,
+    climatology: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Test-set metrics for a :class:`~repro.models.WeatherForecaster`.
+
+    Returns overall lat-weighted RMSE, the paper's Z500/T850/U10 RMSEs, and
+    (when *climatology* is given) the ACC skill score.
+    """
+    was_training = model.training
+    model.eval()
+    preds, targets = [], []
+    try:
+        with no_grad():
+            for lo in range(0, len(indices), batch_size):
+                x, y, meta = dataset.batch(indices[lo : lo + batch_size])
+                preds.append(model(x, meta).data)
+                targets.append(y)
+    finally:
+        model.train(was_training)
+    pred = np.concatenate(preds)
+    target = np.concatenate(targets)
+    out = {"rmse": lat_weighted_rmse(pred, target)}
+    out.update({f"rmse_{k}": v for k, v in eval_channel_rmse(pred, target).items()})
+    if climatology is not None:
+        out["acc"] = anomaly_correlation(pred, target, climatology)
+    return out
+
+
+def evaluate_mae(
+    model,
+    images: np.ndarray,
+    mask_rng: np.random.Generator,
+    batch_size: int = 8,
+) -> dict[str, float]:
+    """Masked-reconstruction metrics for a :class:`~repro.models.MAEModel`."""
+    from .metrics import masked_reconstruction_rmse
+
+    was_training = model.training
+    model.eval()
+    losses, rmses = [], []
+    try:
+        with no_grad():
+            for lo in range(0, len(images), batch_size):
+                batch = images[lo : lo + batch_size]
+                pred, _, mask = model(batch, mask_rng)
+                target = model.reconstruction_target(batch)
+                rmses.append(masked_reconstruction_rmse(pred.data, target, mask))
+                diff = (pred.data - target) * mask[None, :, None]
+                denom = mask.sum() * target.shape[0] * target.shape[2]
+                losses.append(float((diff**2).sum() / denom))
+    finally:
+        model.train(was_training)
+    return {
+        "masked_mse": float(np.mean(losses)),
+        "masked_rmse": float(np.mean(rmses)),
+    }
+
+
+class EarlyStopping:
+    """Stop when a metric hasn't improved for *patience* evaluations."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.bad_count = 0
+
+    def step(self, value: float) -> bool:
+        """Record *value* (lower is better); returns True when training
+        should stop."""
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.bad_count = 0
+        else:
+            self.bad_count += 1
+        return self.bad_count >= self.patience

@@ -1,0 +1,84 @@
+"""Evaluation metrics: latitude-weighted RMSE per variable (Fig. 12) and
+reconstruction error summaries (Fig. 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.era5 import EVAL_CHANNELS, latitude_weights
+
+__all__ = [
+    "lat_weighted_rmse",
+    "eval_channel_rmse",
+    "masked_reconstruction_rmse",
+    "anomaly_correlation",
+]
+
+
+def lat_weighted_rmse(pred: np.ndarray, target: np.ndarray, channel: int | None = None) -> float:
+    """cos(lat)-weighted RMSE over ``[B, C, H, W]`` fields (ClimaX metric).
+
+    With *channel* given, the metric is computed for that channel alone —
+    how the paper reports Z500 / T850 / U10.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape or pred.ndim != 4:
+        raise ValueError(f"expected matching [B,C,H,W], got {pred.shape} vs {target.shape}")
+    if channel is not None:
+        pred = pred[:, channel : channel + 1]
+        target = target[:, channel : channel + 1]
+    w = latitude_weights(pred.shape[-2]).astype(np.float64)[None, None, :, None]
+    mse = (w * (pred - target) ** 2).mean()
+    return float(np.sqrt(mse))
+
+
+def eval_channel_rmse(pred: np.ndarray, target: np.ndarray) -> dict[str, float]:
+    """RMSE for the paper's three headline variables (Z500, T850, U10)."""
+    return {
+        name: lat_weighted_rmse(pred, target, channel=idx)
+        for name, idx in EVAL_CHANNELS.items()
+    }
+
+
+def anomaly_correlation(
+    pred: np.ndarray,
+    target: np.ndarray,
+    climatology: np.ndarray,
+    channel: int | None = None,
+) -> float:
+    """Latitude-weighted anomaly correlation coefficient (ACC).
+
+    The standard medium-range-forecast skill score (WeatherBench/ClimaX):
+    the weighted correlation between predicted and true *anomalies* from a
+    climatology field (broadcastable to ``[B, C, H, W]``).  1.0 is a perfect
+    forecast; ~0 is no skill.
+    """
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    clim = np.broadcast_to(np.asarray(climatology, dtype=np.float64), pred.shape)
+    if pred.shape != target.shape or pred.ndim != 4:
+        raise ValueError(f"expected matching [B,C,H,W], got {pred.shape} vs {target.shape}")
+    if channel is not None:
+        pred = pred[:, channel : channel + 1]
+        target = target[:, channel : channel + 1]
+        clim = clim[:, channel : channel + 1]
+    w = latitude_weights(pred.shape[-2]).astype(np.float64)[None, None, :, None]
+    pa = pred - clim
+    ta = target - clim
+    num = (w * pa * ta).sum()
+    den = np.sqrt((w * pa * pa).sum() * (w * ta * ta).sum())
+    if den == 0:
+        raise ValueError("anomaly_correlation: zero-variance anomalies")
+    return float(num / den)
+
+
+def masked_reconstruction_rmse(
+    pred_tokens: np.ndarray, target_tokens: np.ndarray, mask: np.ndarray
+) -> float:
+    """RMSE restricted to masked patches, for MAE eval ([B, N, p²·C] layout)."""
+    pred = np.asarray(pred_tokens, dtype=np.float64)
+    target = np.asarray(target_tokens, dtype=np.float64)
+    m = np.asarray(mask, dtype=bool)
+    diff = pred[:, m, :] - target[:, m, :]
+    return float(np.sqrt((diff**2).mean()))

@@ -1,0 +1,22 @@
+"""Learning-rate schedules (linear warmup + cosine decay, the ViT default)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["cosine_warmup", "constant_lr"]
+
+
+def cosine_warmup(step: int, total_steps: int, base_lr: float, warmup_steps: int = 0, min_lr: float = 0.0) -> float:
+    """LR at *step* for linear warmup followed by cosine decay to *min_lr*."""
+    if total_steps < 1:
+        raise ValueError("total_steps must be >= 1")
+    if warmup_steps and step < warmup_steps:
+        return base_lr * (step + 1) / warmup_steps
+    span = max(1, total_steps - warmup_steps)
+    progress = min(1.0, (step - warmup_steps) / span)
+    return min_lr + 0.5 * (base_lr - min_lr) * (1.0 + math.cos(math.pi * progress))
+
+
+def constant_lr(step: int, total_steps: int, base_lr: float, **_: float) -> float:
+    return base_lr

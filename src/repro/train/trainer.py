@@ -1,0 +1,106 @@
+"""Training loop utilities shared by the convergence experiments.
+
+``Trainer`` drives any model exposing ``loss(*batch) -> Tensor`` over an
+iterable of batches, with AdamW, optional warmup-cosine schedule, gradient
+clipping, and a recorded loss history — enough to regenerate the training
+curves of Figs. 11 and 12 for both the baseline and the D-CHAG runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import AdamW, Tensor, clip_grad_norm
+from .schedule import cosine_warmup
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer", "seed_everything"]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """One seeded generator per call site keeps SPMD ranks reproducible."""
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    lr: float = 1e-3
+    weight_decay: float = 0.01
+    warmup_steps: int = 10
+    total_steps: int = 100
+    grad_clip: float = 1.0
+    use_schedule: bool = True
+
+
+@dataclass
+class TrainResult:
+    losses: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def smoothed(self, window: int = 10) -> np.ndarray:
+        arr = np.asarray(self.losses, dtype=np.float64)
+        if window <= 1 or arr.size < window:
+            return arr
+        kernel = np.ones(window) / window
+        return np.convolve(arr, kernel, mode="valid")
+
+
+class Trainer:
+    """Drives ``model.loss(*batch)`` with AdamW.
+
+    ``grad_hook`` runs after backward and before the optimizer step — the
+    hook point where DP wrappers AllReduce gradients.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainConfig = TrainConfig(),
+        params: Sequence[Tensor] | None = None,
+        grad_hook: Callable[[], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.params = list(params) if params is not None else model.parameters()
+        self.optimizer = AdamW(self.params, lr=config.lr, weight_decay=config.weight_decay)
+        self.grad_hook = grad_hook
+        self.result = TrainResult()
+        self._step = 0
+
+    def step(self, *batch) -> float:
+        """One optimizer step on one batch; returns the loss value."""
+        cfg = self.config
+        if cfg.use_schedule:
+            lr = cosine_warmup(self._step, cfg.total_steps, cfg.lr, cfg.warmup_steps)
+            self.optimizer.lr = lr
+        else:
+            lr = cfg.lr
+        self.model.zero_grad()
+        loss = self.model.loss(*batch)
+        loss.backward()
+        if self.grad_hook is not None:
+            self.grad_hook()
+        norm = clip_grad_norm(self.params, cfg.grad_clip) if cfg.grad_clip else 0.0
+        self.optimizer.step()
+        value = float(loss.item())
+        self.result.losses.append(value)
+        self.result.grad_norms.append(float(norm))
+        self.result.lrs.append(lr)
+        self._step += 1
+        return value
+
+    def fit(self, batches: Iterable, max_steps: int | None = None) -> TrainResult:
+        limit = max_steps if max_steps is not None else self.config.total_steps
+        for batch in batches:
+            if self._step >= limit:
+                break
+            self.step(*batch) if isinstance(batch, tuple) else self.step(batch)
+        return self.result

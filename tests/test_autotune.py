@@ -1,0 +1,77 @@
+"""Tests for the configuration autotuner (the §6.2 search, automated)."""
+
+import pytest
+
+from repro.perf import (
+    best_configuration,
+    frontier,
+    named_model,
+    search_configurations,
+)
+
+M = frontier()
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return search_configurations(named_model("7B"), 500, 1024, M, 4096)
+
+    def test_returns_feasible_plans_sorted(self, results):
+        assert results
+        tflops = [t.total_tflops for t in results]
+        assert tflops == sorted(tflops, reverse=True)
+        for t in results:
+            assert t.plan.total_gpus == 1024
+            assert t.micro_batch > 0
+
+    def test_tp_stays_within_a_node(self, results):
+        assert all(t.plan.tp <= M.gpus_per_node for t in results)
+
+    def test_winner_is_dchag(self, results):
+        """The paper's conclusion falls out of the search: the best use of
+        1,024 GCDs for 7B/500ch is D-CHAG within a node + DP across."""
+        best = results[0]
+        assert best.plan.strategy == "dchag"
+        assert best.plan.dp > 1
+
+    def test_dchag_beats_every_tp_only_plan(self, results):
+        best = results[0]
+        tp_only = [t for t in results if t.plan.strategy == "tp"]
+        assert tp_only, "search must include TP-only plans"
+        assert best.total_tflops > 1.5 * tp_only[0].total_tflops
+
+    def test_respects_channel_divisibility(self):
+        # 500 channels: D-CHAG tp must divide 500 → tp ∈ {1, 2, 4} of the
+        # pow2 ladder (500 = 4 · 125).
+        results = search_configurations(named_model("7B"), 500, 64, M, 256)
+        for t in results:
+            if t.plan.strategy == "dchag":
+                assert 500 % t.plan.tp == 0
+
+    def test_global_batch_divisibility(self, results):
+        for t in results:
+            assert 4096 % t.plan.dp == 0
+
+
+class TestBestConfiguration:
+    def test_matches_search_head(self):
+        best = best_configuration(named_model("7B"), 500, 1024, M, 4096)
+        head = search_configurations(named_model("7B"), 500, 1024, M, 4096)[0]
+        assert best.plan == head.plan
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            # 26B on a single GPU cannot fit under any strategy.
+            best_configuration(named_model("26B"), 64, 1, M, 8)
+
+    def test_dchag_extends_feasibility_to_tiny_budgets(self):
+        """26B with 1024 channels on just one node is only feasible via
+        D-CHAG (Fig. 14's message, found by the search)."""
+        results = search_configurations(named_model("26B"), 1024, 8, M, 64)
+        assert results and all(t.plan.strategy == "dchag" for t in results)
+
+    def test_small_budget_still_works(self):
+        best = best_configuration(named_model("1.7B"), 512, 8, M, 32)
+        assert best.plan.total_gpus == 8
+        assert best.total_tflops > 0

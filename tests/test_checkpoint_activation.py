@@ -1,0 +1,109 @@
+"""Tests for activation (gradient) checkpointing."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, ViTEncoder
+from repro.tensor import (
+    MemoryTracker,
+    Tensor,
+    checkpoint,
+    checkpoint_sequential,
+    track_memory,
+)
+
+RNG = np.random.default_rng(81)
+
+
+class TestCheckpoint:
+    def test_forward_value_unchanged(self):
+        mlp = MLP(8, 16, np.random.default_rng(0))
+        x = Tensor(RNG.standard_normal((3, 8)).astype(np.float32))
+        np.testing.assert_allclose(checkpoint(mlp, x).data, mlp(x).data, rtol=1e-6)
+
+    def test_input_gradients_match(self):
+        mlp = MLP(8, 16, np.random.default_rng(0))
+        x_plain = Tensor(RNG.standard_normal((3, 8)).astype(np.float32), requires_grad=True)
+        (mlp(x_plain) ** 2).mean().backward()
+        mlp.zero_grad()
+        x_ck = Tensor(x_plain.data.copy(), requires_grad=True)
+        (checkpoint(mlp, x_ck) ** 2).mean().backward()
+        np.testing.assert_allclose(x_ck.grad, x_plain.grad, rtol=1e-5, atol=1e-7)
+
+    def test_parameter_gradients_match(self):
+        mlp = MLP(8, 16, np.random.default_rng(0))
+        x = RNG.standard_normal((3, 8)).astype(np.float32)
+        (mlp(Tensor(x)) ** 2).mean().backward()
+        plain = {n: p.grad.copy() for n, p in mlp.named_parameters()}
+        mlp.zero_grad()
+        (checkpoint(mlp, Tensor(x, requires_grad=True)) ** 2).mean().backward()
+        for n, p in mlp.named_parameters():
+            np.testing.assert_allclose(p.grad, plain[n], rtol=1e-5, atol=1e-7, err_msg=n)
+
+    def test_sequential_matches_plain_encoder(self):
+        enc = ViTEncoder(16, 3, 4, np.random.default_rng(1))
+        x = RNG.standard_normal((2, 6, 16)).astype(np.float32)
+        xt = Tensor(x, requires_grad=True)
+        out_plain = enc(xt)
+        (out_plain**2).mean().backward()
+        g_plain = xt.grad.copy()
+        enc.zero_grad()
+        xt2 = Tensor(x, requires_grad=True)
+        out_ck = enc.norm(checkpoint_sequential(list(enc.blocks), xt2))
+        np.testing.assert_allclose(out_ck.data, out_plain.data, rtol=1e-5)
+        (out_ck**2).mean().backward()
+        np.testing.assert_allclose(xt2.grad, g_plain, rtol=1e-4, atol=1e-6)
+
+    def test_reduces_forward_peak_memory(self):
+        enc = ViTEncoder(64, 4, 4, np.random.default_rng(2))
+        x = RNG.standard_normal((4, 32, 64)).astype(np.float32)
+
+        def peak(fn):
+            gc.collect()
+            tracker = MemoryTracker()
+            with track_memory(tracker):
+                fn()
+            gc.collect()
+            return tracker.peak_bytes
+
+        plain = peak(lambda: enc(Tensor(x, requires_grad=True)))
+        ck = peak(lambda: checkpoint_sequential(list(enc.blocks), Tensor(x, requires_grad=True)))
+        assert ck < 0.7 * plain, f"checkpointed peak {ck} vs plain {plain}"
+
+    def test_records_node_for_captured_params(self):
+        """Even with non-grad inputs, captured parameters get gradients."""
+        mlp = MLP(4, 8, np.random.default_rng(0))
+        out = checkpoint(mlp, Tensor(np.zeros((1, 4), dtype=np.float32)))
+        assert out.requires_grad
+        (out * out).mean().backward()
+        assert mlp.fc1.weight.grad is not None
+
+    def test_no_grad_mode_skips_graph(self):
+        from repro.tensor import no_grad
+
+        mlp = MLP(4, 8, np.random.default_rng(0))
+        with no_grad():
+            out = checkpoint(mlp, Tensor(np.zeros((1, 4), dtype=np.float32)))
+        assert not out.requires_grad
+
+    def test_non_tensor_return_rejected(self):
+        with pytest.raises(TypeError):
+            checkpoint(lambda t: (t, t), Tensor(np.zeros(2), requires_grad=True))
+
+    def test_training_with_checkpointing_converges(self):
+        from repro.tensor import AdamW
+
+        mlp = MLP(4, 16, np.random.default_rng(3))
+        target = RNG.standard_normal((8, 4)).astype(np.float32)
+        x = RNG.standard_normal((8, 4)).astype(np.float32)
+        opt = AdamW(mlp.parameters(), lr=1e-2, weight_decay=0.0)
+        losses = []
+        for _ in range(30):
+            mlp.zero_grad()
+            loss = ((checkpoint(mlp, Tensor(x)) - Tensor(target)) ** 2).mean()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]

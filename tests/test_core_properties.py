@@ -1,0 +1,110 @@
+"""Hypothesis property tests on the D-CHAG core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DCHAGConfig, build_tree
+from repro.core.partial_agg import PartialChannelAggregator
+from repro.dist import run_spmd
+from repro.parallel.dist_token import channel_shard
+from repro.perf import ParallelPlan, Precision, Workload, estimate_memory, ModelConfig
+from repro.tensor import Tensor
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 4096), st.integers(0, 64))
+def test_tree_partitions_channels_exactly(local_c, fanout):
+    if max(1, fanout) > local_c:
+        with pytest.raises(ValueError):
+            build_tree(local_c, fanout)
+        return
+    spec = build_tree(local_c, fanout)
+    assert sum(spec.group_sizes) == local_c
+    assert len(spec.group_sizes) == max(1, fanout)
+    # Even-as-possible: sizes differ by at most 1.
+    assert max(spec.group_sizes) - min(spec.group_sizes) <= 1
+    assert spec.has_root == (max(1, fanout) > 1)
+    assert spec.num_units == len(spec.group_sizes) + (1 if spec.has_root else 0)
+    assert spec.max_channels_per_unit >= spec.group_sizes[0] - 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 64), st.sampled_from([1, 2, 4, 8]))
+def test_channel_shard_partitions_axis(channels_per_rank, world):
+    channels = channels_per_rank * world
+
+    def fn(comm):
+        group = comm.world.default_group
+        return channel_shard(channels, group, comm.rank)
+
+    shards = run_spmd(fn, world)
+    covered = []
+    for s in shards:
+        covered.extend(range(s.start, s.stop))
+    assert covered == list(range(channels))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 6).map(lambda k: 2**k),   # channels: 2..64
+    st.sampled_from([0, 2, 4]),
+    st.sampled_from(["linear", "cross"]),
+    st.integers(0, 2**31 - 1),
+)
+def test_partial_aggregator_always_reduces_to_one(channels, fanout, kind, seed):
+    if max(1, fanout) > channels:
+        return
+    rng = np.random.default_rng(seed)
+    agg = PartialChannelAggregator(channels, 16, 2, rng, fanout=fanout, kind=kind)
+    x = Tensor(rng.standard_normal((1, channels, 2, 16)).astype(np.float32))
+    out = agg(x)
+    assert out.shape == (1, 1, 2, 16)
+    assert np.isfinite(out.data).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(5, 9).map(lambda k: 2**k),   # channels 32..512
+    st.sampled_from([1, 2, 4, 8]),
+    st.integers(1, 8),
+)
+def test_memory_model_always_positive_and_dchag_never_worse_tokenization(ch, tp, batch):
+    model = ModelConfig("prop", dim=256, depth=4, heads=8)
+    w = Workload(ch, batch)
+    tp_mem = estimate_memory(model, w, ParallelPlan("tp", tp=tp))
+    dc_mem = estimate_memory(model, w, ParallelPlan("dchag", tp=tp))
+    for bd in (tp_mem, dc_mem):
+        assert bd.total > 0
+        assert bd.tokenization >= 0 and bd.aggregation >= 0 and bd.transformer > 0
+    assert dc_mem.tokenization <= tp_mem.tokenization + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+def test_parallel_plan_gpu_accounting(tp_exp, fsdp_exp, dp_exp):
+    tp, fsdp, dp = 2 ** (tp_exp % 4), 2 ** (fsdp_exp % 3), 2 ** (dp_exp % 4)
+    plan = ParallelPlan("dchag", tp=tp, fsdp=fsdp, dp=dp)
+    assert plan.gpus_per_replica == tp * fsdp
+    assert plan.total_gpus == tp * fsdp * dp
+    assert str(tp) in plan.label or tp == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 1024), st.integers(2, 64), st.integers(2, 32), st.integers(1, 16))
+def test_dchag_config_validation_total(c, p, d, h):
+    d = d * h  # make divisible
+    cfg = DCHAGConfig(channels=c, patch=p, dim=d, heads=h)
+    assert cfg.variant_name.startswith("D-CHAG-")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([1, 2, 4, 8]), st.integers(0, 2**31 - 1))
+def test_precision_state_bytes_consistent(scale, seed):
+    rng = np.random.default_rng(seed)
+    p = Precision(
+        param_bytes=2 * scale,
+        grad_bytes=2 * scale,
+        optim_bytes=int(rng.integers(4, 16)),
+    )
+    assert p.state_bytes == p.param_bytes + p.grad_bytes + p.optim_bytes

@@ -1,0 +1,143 @@
+"""Tests for the synthetic data substrates (APPL hyperspectral, ERA5)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    CHANNEL_VARIABLES,
+    DataLoader,
+    ERA5Config,
+    EVAL_CHANNELS,
+    EndmemberLibrary,
+    HyperspectralConfig,
+    HyperspectralDataset,
+    SyntheticERA5,
+    latitude_weights,
+    pseudo_rgb,
+)
+
+
+class TestHyperspectral:
+    DS = HyperspectralDataset(HyperspectralConfig(channels=64, height=24, width=24, n_images=12))
+
+    def test_shapes_and_range(self):
+        img = self.DS[0]
+        assert img.shape == (64, 24, 24)
+        assert img.dtype == np.float32
+        assert np.isfinite(img).all()
+        assert img.min() >= 0.0 and img.max() <= 1.5
+
+    def test_default_matches_appl(self):
+        ds = HyperspectralDataset()
+        assert len(ds) == 494 and ds.config.channels == 500
+
+    def test_deterministic_per_index(self):
+        np.testing.assert_array_equal(self.DS[5], self.DS[5])
+
+    def test_distinct_images(self):
+        assert not np.allclose(self.DS[0], self.DS[1])
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            self.DS[12]
+
+    def test_batch(self):
+        b = self.DS.batch([0, 1, 2])
+        assert b.shape == (3, 64, 24, 24)
+
+    def test_spectral_smoothness(self):
+        """Adjacent bands are strongly correlated — the structure the MAE
+        must exploit (real hyperspectral data has contiguous bands)."""
+        img = self.DS[0].reshape(64, -1)
+        corr = [np.corrcoef(img[c], img[c + 1])[0, 1] for c in range(0, 60, 7)]
+        assert min(corr) > 0.8
+
+    def test_red_edge_in_leaf_spectrum(self):
+        """Vegetation NIR reflectance > visible reflectance (the red edge)."""
+        lib = EndmemberLibrary.vnir(500)
+        leaf = lib.spectra[lib.names.index("leaf")]
+        visible = leaf[(lib.wavelengths_nm > 600) & (lib.wavelengths_nm < 680)].mean()
+        nir = leaf[lib.wavelengths_nm > 780].mean()
+        assert nir > 2 * visible
+
+    def test_pseudo_rgb(self):
+        rgb = pseudo_rgb(self.DS[0], self.DS.library)
+        assert rgb.shape == (24, 24, 3)
+        assert rgb.min() >= 0.0 and rgb.max() <= 1.0
+
+
+class TestERA5:
+    DS = SyntheticERA5(ERA5Config(n_steps=24, seed=3))
+
+    def test_eighty_channels(self):
+        assert len(CHANNEL_VARIABLES) == 80
+        assert self.DS.fields.shape == (24, 80, 32, 64)
+
+    def test_eval_channels_present(self):
+        assert set(EVAL_CHANNELS) == {"z500", "t850", "u10"}
+        assert CHANNEL_VARIABLES[EVAL_CHANNELS["u10"]] == "u10"
+        assert CHANNEL_VARIABLES[EVAL_CHANNELS["z500"]] == "z500"
+
+    def test_standardized(self):
+        m = self.DS.fields.mean(axis=(0, 2, 3))
+        s = self.DS.fields.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(m, 0.0, atol=1e-3)
+        np.testing.assert_allclose(s, 1.0, atol=1e-2)
+
+    def test_deterministic(self):
+        again = SyntheticERA5(ERA5Config(n_steps=24, seed=3))
+        np.testing.assert_array_equal(self.DS.fields, again.fields)
+
+    def test_temporal_persistence(self):
+        """Consecutive states are correlated (dynamics, not noise) but not
+        identical — the forecasting task is learnable and non-trivial."""
+        a, b = self.DS.fields[0].ravel(), self.DS.fields[1].ravel()
+        corr = np.corrcoef(a, b)[0, 1]
+        assert 0.5 < corr < 0.999
+
+    def test_sample_pair_and_metadata(self):
+        x, y, meta = self.DS.sample(4)
+        np.testing.assert_array_equal(x, self.DS.fields[4])
+        np.testing.assert_array_equal(y, self.DS.fields[5])
+        assert meta.shape == (2,) and meta[1] == pytest.approx(0.25)  # 6h lead in days
+
+    def test_split_chronological(self):
+        train, test = self.DS.train_test_split(0.25)
+        assert train.max() < test.min()
+        assert len(train) + len(test) == len(self.DS)
+
+    def test_latitude_weights_mean_one(self):
+        w = latitude_weights(32)
+        np.testing.assert_allclose(w.mean(), 1.0, rtol=1e-6)
+        assert w[16] > w[0]  # equator heavier than pole
+
+
+class TestLoader:
+    def test_batching(self):
+        ds = ArrayDataset(np.arange(10), np.arange(10) * 2)
+        dl = DataLoader(ds, batch_size=3, drop_last=True)
+        batches = list(dl)
+        assert len(batches) == 3
+        x, y = batches[0]
+        np.testing.assert_array_equal(y, x * 2)
+
+    def test_drop_last_false(self):
+        ds = ArrayDataset(np.arange(10))
+        dl = DataLoader(ds, batch_size=3, drop_last=False)
+        assert len(list(dl)) == 4
+
+    def test_shuffle_reproducible(self):
+        ds = ArrayDataset(np.arange(16))
+        a = [b.tolist() for b in DataLoader(ds, 4, shuffle=True, rng=np.random.default_rng(5))]
+        b = [b.tolist() for b in DataLoader(ds, 4, shuffle=True, rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_shuffle_covers_everything(self):
+        ds = ArrayDataset(np.arange(12))
+        seen = np.concatenate(list(DataLoader(ds, 4, shuffle=True, rng=np.random.default_rng(0))))
+        assert sorted(seen.tolist()) == list(range(12))
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.arange(3), np.arange(4))

@@ -1,0 +1,88 @@
+"""Hypothesis property tests on collective semantics."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dist import ring_wire_bytes, run_spmd
+
+WORLD_SIZES = st.sampled_from([1, 2, 3, 4])
+
+
+@settings(max_examples=20, deadline=None)
+@given(WORLD_SIZES, st.integers(1, 16), st.integers(0, 2**31 - 1))
+def test_allreduce_equals_sum_of_contributions(world, n, seed):
+    rng = np.random.default_rng(seed)
+    contribs = rng.standard_normal((world, n)).astype(np.float32)
+
+    def fn(comm):
+        return comm.all_reduce(contribs[comm.rank])
+
+    expect = contribs[0].astype(np.float32).copy()
+    for c in contribs[1:]:
+        expect = expect + c
+    for out in run_spmd(fn, world):
+        np.testing.assert_allclose(out, expect, rtol=1e-5, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([2, 4]), st.integers(1, 8), st.integers(0, 2**31 - 1))
+def test_reduce_scatter_then_gather_equals_allreduce(world, per, seed):
+    rng = np.random.default_rng(seed)
+    contribs = rng.standard_normal((world, per * world)).astype(np.float32)
+
+    def fn(comm):
+        shard = comm.reduce_scatter(contribs[comm.rank])
+        return comm.all_gather_concat(shard), comm.all_reduce(contribs[comm.rank])
+
+    for gathered, reduced in run_spmd(fn, world):
+        np.testing.assert_allclose(gathered, reduced, rtol=1e-5, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([2, 3, 4]), st.integers(0, 2**31 - 1))
+def test_all_to_all_twice_is_identity(world, seed):
+    rng = np.random.default_rng(seed)
+    mats = rng.standard_normal((world, world, 3)).astype(np.float32)
+
+    def fn(comm):
+        once = comm.all_to_all(list(mats[comm.rank]))
+        twice = comm.all_to_all(once)
+        return np.stack(twice)
+
+    for rank, out in enumerate(run_spmd(fn, world)):
+        np.testing.assert_allclose(out, mats[rank])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([1, 2, 4]), st.integers(0, 2**31 - 1))
+def test_broadcast_from_every_root(world, seed):
+    rng = np.random.default_rng(seed)
+    payloads = rng.standard_normal((world, 5)).astype(np.float32)
+
+    def fn(comm):
+        outs = []
+        for root in range(comm.size):
+            outs.append(comm.broadcast(payloads[comm.rank], root=root))
+        return np.stack(outs)
+
+    for out in run_spmd(fn, world):
+        np.testing.assert_allclose(out, payloads)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from(["all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all"]),
+    st.integers(0, 10**9),
+    st.integers(1, 64),
+)
+def test_ring_wire_bytes_bounds(op, payload, n):
+    wire = ring_wire_bytes(op, payload, n)
+    assert wire >= 0
+    if n == 1:
+        assert wire == 0
+    if op == "all_reduce":
+        assert wire <= 2 * payload
+    if op == "reduce_scatter":
+        assert wire <= payload
+    if op == "all_gather":
+        assert wire == (n - 1) * payload if n > 1 else wire == 0

@@ -1,0 +1,184 @@
+"""Stress and failure-injection tests for the simulated runtime.
+
+The SPMD engine is the substrate under every result in this repository, so
+it gets adversarial coverage: collective storms, interleaved groups, large
+worlds, mid-collective failures, and concurrent independent worlds.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dist import SpmdError, run_spmd, run_spmd_world
+
+
+class TestCollectiveStorm:
+    def test_many_sequential_collectives(self):
+        """1000 collectives per rank with rotating ops and roots."""
+
+        def fn(comm):
+            acc = 0.0
+            for i in range(250):
+                x = np.array([float(comm.rank + i)], dtype=np.float32)
+                acc += comm.all_reduce(x)[0]
+                acc += comm.all_gather_concat(x).sum()
+                acc += comm.broadcast(x if comm.rank == i % comm.size else None, root=i % comm.size)[0]
+                comm.barrier()
+            return acc
+
+        res = run_spmd(fn, 4)
+        assert all(abs(r - res[0]) < 1e-3 for r in res)
+
+    def test_interleaved_subgroup_collectives(self):
+        """Two disjoint groups plus the world group, interleaved per step."""
+
+        def fn(comm):
+            lo = comm.group([0, 1])
+            hi = comm.group([2, 3])
+            mine = lo if comm.rank < 2 else hi
+            total = 0.0
+            for i in range(50):
+                total += comm.all_reduce(np.ones(1, dtype=np.float32), group=mine)[0]
+                total += comm.all_reduce(np.ones(1, dtype=np.float32))[0]
+            return total
+
+        assert run_spmd(fn, 4) == [50 * (2 + 4)] * 4
+
+    def test_sixteen_ranks(self):
+        def fn(comm):
+            return comm.all_reduce(np.ones(4, dtype=np.float32))[0]
+
+        assert run_spmd(fn, 16) == [16.0] * 16
+
+    def test_nested_group_membership(self):
+        """Every rank participates in log2(n) nested halving groups."""
+
+        def fn(comm):
+            values = []
+            span = comm.size
+            base = 0
+            while span >= 1:
+                ranks = [base + i for i in range(span)]
+                g = comm.group(ranks)
+                values.append(comm.all_reduce(np.ones(1, dtype=np.float32), group=g)[0])
+                half = span // 2
+                if half == 0:
+                    break
+                if comm.rank >= base + half:
+                    base += half
+                span = half
+            return values
+
+        res = run_spmd(fn, 8)
+        assert res[0][0] == 8.0 and res[0][1] == 4.0
+
+
+class TestFailureInjection:
+    def test_late_failure_mid_collective_chain(self):
+        def fn(comm):
+            for i in range(20):
+                comm.all_reduce(np.ones(1, dtype=np.float32))
+                if i == 13 and comm.rank == 2:
+                    raise RuntimeError("injected fault at step 13")
+            return True
+
+        with pytest.raises(SpmdError, match="injected fault"):
+            run_spmd(fn, 4, timeout=20)
+
+    def test_failure_in_subgroup_unblocks_other_group(self):
+        def fn(comm):
+            if comm.rank < 2:
+                g = comm.group([0, 1])
+                if comm.rank == 0:
+                    raise ValueError("group-0 fault")
+                comm.all_reduce(np.ones(1, dtype=np.float32), group=g)
+            else:
+                g = comm.group([2, 3])
+                for _ in range(5):
+                    comm.all_reduce(np.ones(1, dtype=np.float32), group=g)
+            return True
+
+        with pytest.raises(SpmdError, match="group-0 fault"):
+            run_spmd(fn, 4, timeout=20)
+
+    def test_mismatched_collective_order_times_out(self):
+        """A rank calling a different collective sequence deadlocks —
+        detected by the timeout, not a hang."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.all_reduce(np.ones(1, dtype=np.float32))  # others never join
+            else:
+                comm.barrier()
+            return True
+
+        with pytest.raises(SpmdError):
+            run_spmd(fn, 2, timeout=1.0)
+
+    def test_world_reusable_after_failure(self):
+        """A failed run must not poison subsequent runs (fresh worlds)."""
+
+        def bad(comm):
+            raise RuntimeError("nope")
+
+        with pytest.raises(SpmdError):
+            run_spmd(bad, 2, timeout=5)
+
+        def good(comm):
+            return comm.all_reduce(np.ones(1, dtype=np.float32))[0]
+
+        assert run_spmd(good, 2) == [2.0, 2.0]
+
+
+class TestConcurrentWorlds:
+    def test_two_worlds_in_parallel_threads(self):
+        """Independent SPMD worlds launched from different driver threads
+        must not interfere (trackers/counters are context-local)."""
+        results = {}
+
+        def driver(name, world, value):
+            def fn(comm):
+                return comm.all_reduce(np.full(2, value, dtype=np.float32))[0]
+
+            results[name] = run_spmd(fn, world)
+
+        threads = [
+            threading.Thread(target=driver, args=("a", 2, 1.0)),
+            threading.Thread(target=driver, args=("b", 4, 10.0)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results["a"] == [2.0, 2.0]
+        assert results["b"] == [40.0] * 4
+
+
+class TestTrafficUnderStress:
+    def test_log_consistency_across_heavy_usage(self):
+        def fn(comm):
+            for _ in range(40):
+                comm.all_reduce(np.ones(64, dtype=np.float32))
+            return None
+
+        _, world = run_spmd_world(fn, 4)
+        assert world.traffic.count(op="all_reduce") == 4 * 40
+        assert world.traffic.payload_bytes(op="all_reduce", rank=2) == 40 * 64 * 4
+
+    def test_memory_trackers_isolated_per_rank(self):
+        from repro.tensor import MemoryTracker, Tensor, track_memory
+
+        def fn(comm):
+            tracker = MemoryTracker(name=f"rank{comm.rank}")
+            with track_memory(tracker):
+                size = 1000 * (comm.rank + 1)
+                t = Tensor.zeros((size,))
+                peak = tracker.peak_bytes
+            del t
+            return peak
+
+        res = run_spmd(fn, 4)
+        for rank, peak in enumerate(res):
+            assert peak >= 4000 * (rank + 1)
+            assert peak < 4000 * (rank + 1) + 4096  # no cross-rank bleed

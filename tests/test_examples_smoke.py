@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end-to-end (smallest settings)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.slow
+def test_quickstart():
+    run_example("quickstart.py", [])
+
+
+@pytest.mark.slow
+def test_hyperspectral_mae():
+    run_example(
+        "hyperspectral_mae.py",
+        ["--channels", "8", "--steps", "6", "--dim", "32", "--batch", "4"],
+    )
+
+
+@pytest.mark.slow
+def test_weather_forecast():
+    run_example("weather_forecast.py", ["--steps", "4", "--batch", "4", "--dim", "32"])
+
+
+@pytest.mark.slow
+def test_hybrid_training():
+    run_example("hybrid_training.py", ["--steps", "3", "--tp", "2", "--dp", "2"])
+
+
+@pytest.mark.slow
+def test_multimodal_fusion():
+    run_example("multimodal_fusion.py", [])
+
+
+@pytest.mark.slow
+def test_scaling_planner():
+    run_example("scaling_planner.py", ["--model", "1.7B", "--channels", "512", "--gpus", "64"])

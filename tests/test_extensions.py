@@ -1,0 +1,252 @@
+"""Tests for the §3.5 extension modules: Perceiver fusion, Swin encoder,
+multi-modal front-end, and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import PartialChannelAggregator
+from repro.models import (
+    ChannelViT,
+    ModalitySpec,
+    MultiModalFrontend,
+    SerialChannelFrontend,
+    build_serial_mae,
+)
+from repro.nn import (
+    PerceiverChannelFusion,
+    SwinBlock,
+    SwinEncoder,
+    ViTEncoder,
+    WindowAttention,
+    checkpoint_equal,
+    load_checkpoint,
+    save_checkpoint,
+    shifted_window_mask,
+    window_partition,
+    window_reverse,
+)
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(71)
+
+
+class TestPerceiverFusion:
+    def test_shapes_and_grads(self):
+        pf = PerceiverChannelFusion(32, 4, RNG, num_latents=3, iterations=2)
+        x = Tensor(RNG.standard_normal((2, 6, 4, 32)).astype(np.float32), requires_grad=True)
+        out = pf(x)
+        assert out.shape == (2, 4, 32)
+        out.sum().backward()
+        assert x.grad is not None
+        for name, p in pf.named_parameters():
+            assert p.grad is not None, name
+
+    def test_weight_tied_fewer_params(self):
+        tied = PerceiverChannelFusion(32, 4, np.random.default_rng(0), iterations=3, weight_tied=True)
+        untied = PerceiverChannelFusion(32, 4, np.random.default_rng(0), iterations=3, weight_tied=False)
+        assert untied.num_parameters() > 2 * tied.num_parameters()
+
+    def test_channel_permutation_invariant(self):
+        pf = PerceiverChannelFusion(16, 2, RNG)
+        x = RNG.standard_normal((1, 5, 3, 16)).astype(np.float32)
+        perm = np.array([4, 0, 3, 1, 2])
+        a = pf(Tensor(x)).data
+        b = pf(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_spatial_independence(self):
+        pf = PerceiverChannelFusion(16, 2, RNG)
+        x = RNG.standard_normal((1, 4, 6, 16)).astype(np.float32)
+        base = pf(Tensor(x)).data
+        x2 = x.copy()
+        x2[:, :, 2, :] = 0.0
+        out = pf(Tensor(x2)).data
+        np.testing.assert_allclose(out[:, :2], base[:, :2], rtol=1e-4, atol=1e-5)
+
+    def test_as_frontend_aggregator(self):
+        """Drop-in replacement for the cross-attention aggregation layer."""
+        fe = SerialChannelFrontend(6, 4, 32, 4, RNG)
+        fe.aggregator = PerceiverChannelFusion(32, 4, RNG)
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        assert fe(imgs).shape == (2, 16, 32)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceiverChannelFusion(32, 4, RNG, num_latents=0)
+        pf = PerceiverChannelFusion(32, 4, RNG)
+        with pytest.raises(ValueError):
+            pf(Tensor(np.zeros((1, 2, 3, 16), dtype=np.float32)))
+
+
+class TestSwin:
+    def test_partition_reverse_roundtrip(self):
+        x = Tensor(RNG.standard_normal((2, 8, 12, 16)).astype(np.float32))
+        w = window_partition(x, 4)
+        assert w.shape == (2 * 2 * 3, 16, 16)
+        np.testing.assert_allclose(window_reverse(w, 4, 8, 12).data, x.data)
+
+    def test_partition_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            window_partition(Tensor(np.zeros((1, 6, 8, 4), dtype=np.float32)), 4)
+
+    def test_window_attention_is_local(self):
+        """Tokens in different windows must not influence each other."""
+        attn = WindowAttention(16, 2, RNG)
+        grid = Tensor(RNG.standard_normal((1, 8, 8, 16)).astype(np.float32))
+        wins = window_partition(grid, 4)
+        base = attn(wins).data
+        # Perturb only the last window; earlier windows' outputs unchanged.
+        data = grid.data.copy()
+        data[:, 4:, 4:, :] += 1.0
+        wins2 = window_partition(Tensor(data), 4)
+        out2 = attn(wins2).data
+        np.testing.assert_allclose(out2[:3], base[:3], rtol=1e-5)
+        assert not np.allclose(out2[3], base[3])
+
+    def test_shifted_mask_blocks_cross_region_attention(self):
+        mask = shifted_window_mask(8, 8, 4, 2)
+        assert mask.shape == (4, 16, 16)
+        # Unshifted interior window: nothing masked.
+        assert (mask[0] == 0).all()
+        # Boundary windows contain several regions → some pairs masked.
+        assert (mask[-1] < -1e8).any()
+        # Mask is symmetric and zero on the diagonal.
+        np.testing.assert_allclose(mask, np.swapaxes(mask, 1, 2))
+        for w in mask:
+            np.testing.assert_allclose(np.diag(w), 0.0)
+
+    def test_encoder_shapes_and_grads(self):
+        enc = SwinEncoder(32, 4, 4, grid=(8, 8), window=4, rng=RNG)
+        x = Tensor(RNG.standard_normal((2, 64, 32)).astype(np.float32), requires_grad=True)
+        out = enc(x)
+        assert out.shape == (2, 64, 32)
+        out.sum().backward()
+        assert x.grad is not None
+        # Every other block is shifted.
+        shifts = [b.shift for b in enc.blocks]
+        assert shifts == [0, 2, 0, 2]
+
+    def test_no_shift_when_grid_equals_window(self):
+        enc = SwinEncoder(16, 2, 2, grid=(4, 4), window=4, rng=RNG)
+        assert all(b.shift == 0 for b in enc.blocks)
+
+    def test_swin_as_channelvit_encoder(self):
+        """§3.5: D-CHAG/ChannelViT is agnostic to the ViT architecture."""
+        fe = SerialChannelFrontend(6, 4, 32, 4, RNG)
+        enc = SwinEncoder(32, 2, 4, grid=(4, 4), window=4, rng=RNG)
+        model = ChannelViT(fe, enc, 16, 32, RNG)
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        out = model(imgs)
+        assert out.shape == (2, 16, 32)
+        out.sum().backward()
+
+    def test_grid_window_validation(self):
+        with pytest.raises(ValueError):
+            SwinEncoder(16, 2, 2, grid=(6, 8), window=4, rng=RNG)
+        with pytest.raises(ValueError):
+            SwinBlock(16, 2, (8, 8), window=4, shift=4, rng=RNG)
+
+
+class TestMultiModal:
+    def _frontend(self):
+        return MultiModalFrontend(
+            [ModalitySpec("hyper", 6), ModalitySpec("rgb", 3, scale=2)],
+            patch=4, dim=32, heads=4, rng=np.random.default_rng(0),
+        )
+
+    def _inputs(self, b=2):
+        return {
+            "hyper": RNG.standard_normal((b, 6, 16, 16)).astype(np.float32),
+            "rgb": RNG.standard_normal((b, 3, 32, 32)).astype(np.float32),
+        }
+
+    def test_fuses_to_single_representation(self):
+        mm = self._frontend()
+        out = mm(self._inputs())
+        assert out.shape == (2, 16, 32)
+        assert mm.total_channels == 9
+
+    def test_channel_slices_partition(self):
+        mm = self._frontend()
+        sl = mm.channel_slices
+        assert sl["hyper"] == slice(0, 6) and sl["rgb"] == slice(6, 9)
+
+    def test_higher_resolution_modality_pooled(self):
+        mm = self._frontend()
+        tokens = mm.tokenize(self._inputs())
+        assert tokens.shape == (2, 9, 16, 32)  # both modalities on one grid
+
+    def test_missing_modality_raises(self):
+        mm = self._frontend()
+        with pytest.raises(ValueError, match="missing"):
+            mm({"hyper": np.zeros((1, 6, 16, 16), dtype=np.float32)})
+
+    def test_mismatched_grid_raises(self):
+        mm = MultiModalFrontend(
+            [ModalitySpec("a", 2), ModalitySpec("b", 2, scale=2)],
+            patch=4, dim=16, heads=2, rng=RNG,
+        )
+        bad = {
+            "a": np.zeros((1, 2, 16, 16), dtype=np.float32),
+            "b": np.zeros((1, 2, 16, 16), dtype=np.float32),  # should be 32x32
+        }
+        with pytest.raises(ValueError, match="grid"):
+            mm(bad)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MultiModalFrontend(
+                [ModalitySpec("x", 2), ModalitySpec("x", 3)], 4, 16, 2, RNG
+            )
+
+    def test_gradients_reach_every_tokenizer(self):
+        mm = self._frontend()
+        mm(self._inputs()).sum().backward()
+        for tok in mm.tokenizers:
+            assert tok.weight.grad is not None
+
+    def test_fused_axis_sharding_matches_dchag_expectations(self):
+        """The fused channel axis can be partitioned like a single-modality
+        axis (what a multi-modal D-CHAG deployment would shard)."""
+        mm = self._frontend()
+        tokens = mm.tokenize(self._inputs())
+        total = mm.total_channels
+        shards = [tokens[:, i * 3 : (i + 1) * 3] for i in range(total // 3)]
+        rejoined = Tensor.concat(shards, axis=1)
+        np.testing.assert_allclose(rejoined.data, tokens.data)
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, tmp_path):
+        a = build_serial_mae(4, 16, 4, 16, 1, 2, np.random.default_rng(1))
+        b = build_serial_mae(4, 16, 4, 16, 1, 2, np.random.default_rng(2))
+        assert not checkpoint_equal(a, b)
+        path = save_checkpoint(a, tmp_path / "mae")
+        assert path.suffix == ".npz"
+        load_checkpoint(b, path)
+        assert checkpoint_equal(a, b)
+
+    def test_strict_load_rejects_mismatch(self, tmp_path):
+        from repro.nn import Linear
+
+        a = Linear(4, 8, RNG)
+        path = save_checkpoint(a, tmp_path / "lin.npz")
+        other = Linear(4, 9, RNG)
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(other, path)
+
+    def test_non_strict_reports_skipped(self, tmp_path):
+        from repro.nn import Linear, MLP
+
+        a = Linear(4, 8, RNG)
+        path = save_checkpoint(a, tmp_path / "lin.npz")
+        mlp = MLP(4, 8, np.random.default_rng(0))
+        skipped = load_checkpoint(mlp, path, strict=False)
+        assert skipped  # names don't line up; everything is reported
+
+    def test_partial_aggregator_checkpoint(self, tmp_path):
+        a = PartialChannelAggregator(8, 16, 2, np.random.default_rng(1), fanout=2, kind="cross")
+        b = PartialChannelAggregator(8, 16, 2, np.random.default_rng(9), fanout=2, kind="cross")
+        load_checkpoint(b, save_checkpoint(a, tmp_path / "agg"))
+        x = Tensor(RNG.standard_normal((1, 8, 3, 16)).astype(np.float32))
+        np.testing.assert_allclose(a(x).data, b(x).data, rtol=1e-6)

@@ -1,0 +1,165 @@
+"""Tests for the model assemblies (ChannelViT, MAE, weather forecaster)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    ChannelViT,
+    SerialChannelFrontend,
+    WeatherForecaster,
+    build_serial_forecaster,
+    build_serial_mae,
+    unpatchify_tokens,
+)
+from repro.nn import ViTEncoder, patchify
+from repro.tensor import Tensor
+from repro.train import TrainConfig, Trainer
+
+RNG = np.random.default_rng(51)
+
+
+class TestSerialFrontend:
+    @pytest.mark.parametrize("agg", ["cross", "linear"])
+    def test_maps_images_to_tokens(self, agg):
+        fe = SerialChannelFrontend(6, 4, 32, 4, RNG, agg=agg)
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        out = fe(imgs)
+        assert out.shape == (2, 16, 32)
+
+    def test_bad_agg(self):
+        with pytest.raises(ValueError):
+            SerialChannelFrontend(6, 4, 32, 4, RNG, agg="pool")
+
+
+class TestChannelViT:
+    def _build(self, meta_fields=0):
+        fe = SerialChannelFrontend(6, 4, 32, 4, RNG)
+        enc = ViTEncoder(32, 2, 4, RNG)
+        return ChannelViT(fe, enc, 16, 32, RNG, meta_fields=meta_fields)
+
+    def test_forward_shape(self):
+        model = self._build()
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        assert model(imgs).shape == (2, 16, 32)
+
+    def test_metadata_token_stripped(self):
+        model = self._build(meta_fields=2)
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        meta = np.zeros((2, 2), dtype=np.float32)
+        assert model(imgs, meta).shape == (2, 16, 32)
+
+    def test_metadata_required_when_configured(self):
+        model = self._build(meta_fields=2)
+        imgs = RNG.standard_normal((1, 6, 16, 16)).astype(np.float32)
+        with pytest.raises(ValueError):
+            model(imgs)
+
+    def test_metadata_changes_output(self):
+        model = self._build(meta_fields=1)
+        imgs = RNG.standard_normal((1, 6, 16, 16)).astype(np.float32)
+        a = model(imgs, np.array([[0.0]], dtype=np.float32)).data
+        b = model(imgs, np.array([[5.0]], dtype=np.float32)).data
+        assert not np.allclose(a, b)
+
+
+class TestUnpatchify:
+    def test_inverse_of_patchify(self):
+        imgs = RNG.standard_normal((2, 3, 8, 12)).astype(np.float32)
+        patches = patchify(imgs, 4)  # [2, 3, 6, 16]
+        tokens = Tensor(patches.transpose(0, 2, 3, 1).reshape(2, 6, 16 * 3))
+        rec = unpatchify_tokens(tokens, 4, 2, 3, 3)
+        np.testing.assert_allclose(rec.data, imgs, rtol=1e-6)
+
+    def test_token_count_mismatch(self):
+        with pytest.raises(ValueError):
+            unpatchify_tokens(Tensor(np.zeros((1, 5, 16), dtype=np.float32)), 4, 2, 3, 1)
+
+
+class TestMAE:
+    def _model(self, mask_ratio=0.5):
+        return build_serial_mae(
+            channels=6, image=16, patch=4, dim=32, depth=2, heads=4,
+            rng=np.random.default_rng(0), mask_ratio=mask_ratio, agg="linear",
+        )
+
+    def test_forward_shapes(self):
+        model = self._model()
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        pred, keep, mask = model(imgs, np.random.default_rng(1))
+        assert pred.shape == (2, 16, 4 * 4 * 6)
+        assert mask.shape == (16,)
+        assert len(keep) == 8  # half visible at ratio 0.5
+
+    def test_reconstruction_target_layout(self):
+        model = self._model()
+        imgs = RNG.standard_normal((1, 6, 16, 16)).astype(np.float32)
+        target = model.reconstruction_target(imgs)
+        assert target.shape == (1, 16, 96)
+        # Round trip through unpatchify recovers the image.
+        rec = unpatchify_tokens(Tensor(target), 4, 4, 4, 6)
+        np.testing.assert_allclose(rec.data, imgs, rtol=1e-6)
+
+    def test_loss_scalar_and_differentiable(self):
+        model = self._model()
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        loss = model.loss(imgs, np.random.default_rng(1))
+        assert loss.size == 1
+        loss.backward()
+        assert model.decoder.mask_token.grad is not None
+        assert model.frontend.tokenizer.weight.grad is not None
+
+    def test_training_reduces_loss(self):
+        model = self._model()
+        imgs = RNG.standard_normal((4, 6, 16, 16)).astype(np.float32)
+        tr = Trainer(model, TrainConfig(lr=3e-3, total_steps=15, warmup_steps=2))
+        losses = [tr.step(imgs, np.random.default_rng(i)) for i in range(15)]
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_reconstruct_full_image_shape(self):
+        model = self._model()
+        imgs = RNG.standard_normal((2, 6, 16, 16)).astype(np.float32)
+        rec = model.reconstruct(imgs, np.random.default_rng(0))
+        assert rec.shape == (2, 6, 16, 16)
+
+
+class TestForecaster:
+    def _model(self):
+        return build_serial_forecaster(
+            channels=8, image_hw=(16, 32), patch=8, dim=32, depth=1, heads=4,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_forward_shape_nonsquare(self):
+        model = self._model()
+        x = RNG.standard_normal((2, 8, 16, 32)).astype(np.float32)
+        meta = np.zeros((2, 2), dtype=np.float32)
+        assert model(x, meta).shape == (2, 8, 16, 32)
+
+    def test_loss_differentiable(self):
+        model = self._model()
+        x = RNG.standard_normal((2, 8, 16, 32)).astype(np.float32)
+        y = RNG.standard_normal((2, 8, 16, 32)).astype(np.float32)
+        meta = np.zeros((2, 2), dtype=np.float32)
+        loss = model.loss(x, y, meta)
+        loss.backward()
+        assert model.head.weight.grad is not None
+
+    def test_indivisible_image_raises(self):
+        with pytest.raises(ValueError):
+            build_serial_forecaster(
+                channels=8, image_hw=(15, 32), patch=8, dim=32, depth=1, heads=4,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_training_reduces_loss(self):
+        from repro.data import ERA5Config, SyntheticERA5
+
+        era = SyntheticERA5(ERA5Config(n_steps=12, seed=1))
+        model = build_serial_forecaster(
+            channels=80, image_hw=(32, 64), patch=8, dim=32, depth=1, heads=4,
+            rng=np.random.default_rng(0),
+        )
+        x, y, meta = era.batch([0, 1, 2, 3])
+        tr = Trainer(model, TrainConfig(lr=2e-3, total_steps=10, warmup_steps=1))
+        losses = [tr.step(x, y, meta) for _ in range(10)]
+        assert losses[-1] < losses[0]

@@ -1,0 +1,199 @@
+"""Tests for attention layers, tokenization, and the MAE decoder."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    ChannelCrossAttention,
+    LinearChannelMixer,
+    MAEDecoder,
+    MultiHeadSelfAttention,
+    PatchTokenizer,
+    patchify,
+    random_masking,
+    unpatchify,
+)
+from repro.tensor import Tensor, functional as F
+
+RNG = np.random.default_rng(11)
+
+
+def manual_single_head_attention(x, qkv_w, qkv_b, proj_w, proj_b):
+    """Reference implementation for heads=1."""
+    qkv = x @ qkv_w + qkv_b
+    d = x.shape[-1]
+    q, k, v = qkv[..., :d], qkv[..., d : 2 * d], qkv[..., 2 * d :]
+    scores = q @ k.swapaxes(-1, -2) / np.sqrt(d)
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    attn = np.exp(scores)
+    attn = attn / attn.sum(axis=-1, keepdims=True)
+    return attn @ v @ proj_w + proj_b
+
+
+class TestSelfAttention:
+    def test_matches_manual_single_head(self):
+        mha = MultiHeadSelfAttention(8, 1, RNG)
+        x = RNG.standard_normal((2, 5, 8)).astype(np.float32)
+        expect = manual_single_head_attention(
+            x, mha.qkv.weight.data, mha.qkv.bias.data, mha.proj.weight.data, mha.proj.bias.data
+        )
+        np.testing.assert_allclose(mha(Tensor(x)).data, expect, rtol=1e-4, atol=1e-5)
+
+    def test_multihead_shape_and_grads(self):
+        mha = MultiHeadSelfAttention(16, 4, RNG)
+        x = Tensor(RNG.standard_normal((2, 6, 16)).astype(np.float32), requires_grad=True)
+        out = mha(x)
+        assert out.shape == (2, 6, 16)
+        out.sum().backward()
+        assert x.grad is not None and mha.qkv.weight.grad is not None
+
+    def test_permutation_equivariance(self):
+        """Self-attention without positions commutes with token permutation."""
+        mha = MultiHeadSelfAttention(8, 2, RNG)
+        x = RNG.standard_normal((1, 5, 8)).astype(np.float32)
+        perm = np.array([3, 1, 4, 0, 2])
+        out = mha(Tensor(x)).data
+        out_perm = mha(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(out[:, perm], out_perm, rtol=1e-4, atol=1e-5)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3, RNG)
+
+
+class TestChannelCrossAttention:
+    def test_reduces_channels(self):
+        agg = ChannelCrossAttention(8, 2, RNG)
+        x = Tensor(RNG.standard_normal((2, 6, 4, 8)).astype(np.float32))
+        assert agg(x).shape == (2, 4, 8)
+
+    def test_multi_query_keeps_axis(self):
+        agg = ChannelCrossAttention(8, 2, RNG, num_queries=3)
+        x = Tensor(RNG.standard_normal((1, 6, 4, 8)).astype(np.float32))
+        assert agg(x).shape == (1, 3, 4, 8)
+
+    def test_channel_permutation_invariance(self):
+        """Aggregation over channels (no channel IDs here) is a set operation."""
+        agg = ChannelCrossAttention(8, 2, RNG)
+        x = RNG.standard_normal((1, 5, 3, 8)).astype(np.float32)
+        perm = np.array([4, 2, 0, 3, 1])
+        a = agg(Tensor(x)).data
+        b = agg(Tensor(x[:, perm])).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_spatial_locations_independent(self):
+        """Channel aggregation must not mix spatial positions."""
+        agg = ChannelCrossAttention(8, 2, RNG)
+        x = RNG.standard_normal((1, 4, 6, 8)).astype(np.float32)
+        base = agg(Tensor(x)).data
+        x2 = x.copy()
+        x2[:, :, 3, :] = RNG.standard_normal((1, 4, 8))
+        out2 = agg(Tensor(x2)).data
+        np.testing.assert_allclose(out2[:, :3], base[:, :3], rtol=1e-5)
+        np.testing.assert_allclose(out2[:, 4:], base[:, 4:], rtol=1e-5)
+        assert not np.allclose(out2[:, 3], base[:, 3])
+
+    def test_gradients_flow(self):
+        agg = ChannelCrossAttention(8, 2, RNG)
+        x = Tensor(RNG.standard_normal((1, 4, 3, 8)).astype(np.float32), requires_grad=True)
+        agg(x).sum().backward()
+        assert x.grad is not None and agg.query_tokens.grad is not None
+
+
+class TestLinearChannelMixer:
+    def test_is_weighted_channel_sum(self):
+        mix = LinearChannelMixer(3, 1, RNG)
+        x = RNG.standard_normal((2, 3, 4, 5)).astype(np.float32)
+        out = mix(Tensor(x)).data
+        expect = np.einsum("oc,bcnd->bond", mix.weight.data, x)[:, 0] + mix.bias.data[0]
+        np.testing.assert_allclose(out, expect, rtol=1e-5, atol=1e-6)
+
+    def test_multi_output(self):
+        mix = LinearChannelMixer(4, 2, RNG)
+        x = Tensor(RNG.standard_normal((1, 4, 3, 5)).astype(np.float32))
+        assert mix(x).shape == (1, 2, 3, 5)
+
+    def test_init_near_average(self):
+        mix = LinearChannelMixer(10, 1, np.random.default_rng(0))
+        np.testing.assert_allclose(mix.weight.data.sum(), 1.0, atol=0.5)
+
+    def test_channel_mismatch_raises(self):
+        mix = LinearChannelMixer(3, 1, RNG)
+        with pytest.raises(ValueError):
+            mix(Tensor(np.zeros((1, 4, 2, 5), dtype=np.float32)))
+
+
+class TestPatchTokenizer:
+    def test_patchify_unpatchify_inverse(self):
+        x = RNG.standard_normal((2, 3, 16, 24)).astype(np.float32)
+        np.testing.assert_allclose(unpatchify(patchify(x, 4), 4, 16, 24), x)
+
+    def test_patchify_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            patchify(np.zeros((1, 1, 10, 10)), 4)
+
+    def test_tokenizer_matches_per_channel_matmul(self):
+        tok = PatchTokenizer(3, 4, 8, RNG)
+        imgs = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        out = tok(imgs).data
+        patches = patchify(imgs, 4)  # [2, 3, 4, 16]
+        for c in range(3):
+            expect = patches[:, c] @ tok.weight.data[c] + tok.bias.data[c]
+            np.testing.assert_allclose(out[:, c], expect, rtol=1e-4, atol=1e-5)
+
+    def test_channels_are_independent(self):
+        tok = PatchTokenizer(4, 4, 8, RNG)
+        imgs = RNG.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        base = tok(imgs).data
+        imgs2 = imgs.copy()
+        imgs2[:, 2] = 0.0
+        out2 = tok(imgs2).data
+        np.testing.assert_allclose(out2[:, [0, 1, 3]], base[:, [0, 1, 3]], rtol=1e-5)
+
+    def test_wrong_channel_count(self):
+        tok = PatchTokenizer(3, 4, 8, RNG)
+        with pytest.raises(ValueError):
+            tok(np.zeros((1, 5, 8, 8), dtype=np.float32))
+
+
+class TestMasking:
+    def test_mask_partition(self):
+        keep, masked, mask = random_masking(16, 0.75, np.random.default_rng(0))
+        assert len(keep) == 4 and len(masked) == 12
+        assert set(keep) | set(masked) == set(range(16))
+        np.testing.assert_allclose(mask[keep], 0.0)
+        np.testing.assert_allclose(mask[masked], 1.0)
+
+    def test_keeps_at_least_one(self):
+        keep, _, _ = random_masking(4, 0.999, np.random.default_rng(0))
+        assert len(keep) >= 1
+
+    def test_deterministic_given_rng(self):
+        a = random_masking(32, 0.5, np.random.default_rng(7))
+        b = random_masking(32, 0.5, np.random.default_rng(7))
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestMAEDecoder:
+    def test_output_shape_and_grads(self):
+        dec = MAEDecoder(
+            encoder_dim=8, decoder_dim=16, depth=1, heads=2,
+            num_tokens=9, patch=2, out_channels=3, rng=RNG,
+        )
+        keep = np.array([0, 2, 5])
+        vis = Tensor(RNG.standard_normal((2, 3, 8)).astype(np.float32), requires_grad=True)
+        out = dec(vis, keep)
+        assert out.shape == (2, 9, 2 * 2 * 3)
+        out.sum().backward()
+        assert vis.grad is not None and dec.mask_token.grad is not None
+
+    def test_mask_token_fills_hidden_positions(self):
+        dec = MAEDecoder(8, 16, 0, 2, num_tokens=4, patch=2, out_channels=1, rng=RNG)
+        dec.pos.table.data[:] = 0.0  # remove positional differences
+        keep = np.array([1])
+        vis = Tensor(np.zeros((1, 1, 8), dtype=np.float32))
+        # With depth 0 the decoder is embed + scatter + norm + head; hidden
+        # positions all receive the same mask token -> identical outputs.
+        out = dec(vis, keep).data
+        np.testing.assert_allclose(out[0, 0], out[0, 2], rtol=1e-5)
+        np.testing.assert_allclose(out[0, 2], out[0, 3], rtol=1e-5)

@@ -1,0 +1,181 @@
+"""Tests for the Module system and primitive layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    ChannelIDEmbedding,
+    Dropout,
+    Identity,
+    LayerNorm,
+    Linear,
+    MetadataEmbedding,
+    Module,
+    ModuleList,
+    PositionalEmbedding,
+    TransformerBlock,
+    ViTEncoder,
+    sincos_positions,
+)
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(3)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        lin = Linear(4, 8, RNG)
+        names = dict(lin.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert lin.num_parameters() == 4 * 8 + 8
+
+    def test_nested_names(self):
+        mlp = MLP(4, 16, RNG)
+        names = {n for n, _ in mlp.named_parameters()}
+        assert "fc1.weight" in names and "fc2.bias" in names
+
+    def test_modulelist_registration(self):
+        enc = ViTEncoder(8, 3, 2, RNG)
+        names = {n for n, _ in enc.named_parameters()}
+        assert "blocks.0.attn.qkv.weight" in names
+        assert "blocks.2.mlp.fc2.bias" in names
+        assert len(list(enc.blocks)) == 3
+        assert isinstance(enc.blocks[1], TransformerBlock)
+
+    def test_state_dict_roundtrip(self):
+        a = MLP(4, 8, np.random.default_rng(0))
+        b = MLP(4, 8, np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(RNG.standard_normal((2, 4)).astype(np.float32))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = Linear(4, 8, RNG)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((4, 8))})
+        with pytest.raises(ValueError):
+            a.load_state_dict({"weight": np.zeros((8, 4)), "bias": np.zeros(8)})
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(4, 8, RNG, dropout=0.5)
+        mlp.eval()
+        assert not mlp.training and not mlp.drop.training
+        mlp.train()
+        assert mlp.drop.training
+
+    def test_zero_grad(self):
+        lin = Linear(3, 3, RNG)
+        out = lin(Tensor(np.ones((1, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_named_modules(self):
+        enc = ViTEncoder(8, 2, 2, RNG)
+        mods = dict(enc.named_modules())
+        assert "blocks.0.attn" in mods and "norm" in mods
+
+
+class TestLayers:
+    def test_linear_matches_numpy(self):
+        lin = Linear(5, 3, RNG)
+        x = RNG.standard_normal((4, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            lin(Tensor(x)).data, x @ lin.weight.data + lin.bias.data, rtol=1e-5
+        )
+
+    def test_linear_no_bias(self):
+        lin = Linear(5, 3, RNG, bias=False)
+        assert not hasattr(lin, "bias") or "bias" not in dict(lin.named_parameters())
+
+    def test_linear_explicit_weight_shape_check(self):
+        with pytest.raises(ValueError):
+            Linear(5, 3, weight=np.zeros((3, 5)))
+
+    def test_layernorm_shapes_and_grads(self):
+        ln = LayerNorm(16)
+        x = Tensor(RNG.standard_normal((2, 7, 16)).astype(np.float32), requires_grad=True)
+        out = ln(x)
+        assert out.shape == (2, 7, 16)
+        out.sum().backward()
+        assert ln.weight.grad is not None and x.grad is not None
+
+    def test_dropout_eval_identity(self):
+        d = Dropout(0.9, RNG)
+        d.eval()
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        assert d(x) is x
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+
+class TestEmbeddings:
+    def test_channel_id_adds_per_channel(self):
+        emb = ChannelIDEmbedding(4, 8, RNG)
+        tokens = Tensor(np.zeros((2, 4, 5, 8), dtype=np.float32))
+        out = emb(tokens)
+        for c in range(4):
+            np.testing.assert_allclose(out.data[0, c, 0], emb.table.data[c])
+
+    def test_channel_id_wrong_channels(self):
+        emb = ChannelIDEmbedding(4, 8, RNG)
+        with pytest.raises(ValueError):
+            emb(Tensor(np.zeros((1, 5, 2, 8), dtype=np.float32)))
+
+    def test_positional_learned_vs_fixed(self):
+        learned = PositionalEmbedding(10, 8, RNG)
+        fixed = PositionalEmbedding(10, 8, learned=False)
+        assert learned.table.requires_grad
+        assert not fixed.table.requires_grad
+        np.testing.assert_allclose(fixed.table.data, sincos_positions(10, 8))
+
+    def test_positional_truncates_to_sequence(self):
+        pos = PositionalEmbedding(10, 8, RNG)
+        x = Tensor(np.zeros((2, 6, 8), dtype=np.float32))
+        out = pos(x)
+        np.testing.assert_allclose(out.data[0], pos.table.data[:6])
+
+    def test_positional_too_long_raises(self):
+        pos = PositionalEmbedding(4, 8, RNG)
+        with pytest.raises(ValueError):
+            pos(Tensor(np.zeros((1, 5, 8), dtype=np.float32)))
+
+    def test_sincos_even_dim_required(self):
+        with pytest.raises(ValueError):
+            sincos_positions(4, 7)
+
+    def test_metadata_embedding_shape(self):
+        meta = MetadataEmbedding(2, 8, RNG)
+        out = meta(np.array([[0.5, 1.0], [0.1, 2.0]], dtype=np.float32))
+        assert out.shape == (2, 1, 8)
+
+    def test_metadata_wrong_fields(self):
+        meta = MetadataEmbedding(2, 8, RNG)
+        with pytest.raises(ValueError):
+            meta(np.zeros((2, 3), dtype=np.float32))
+
+
+class TestTransformer:
+    def test_block_preserves_shape(self):
+        blk = TransformerBlock(16, 4, RNG)
+        x = Tensor(RNG.standard_normal((2, 9, 16)).astype(np.float32))
+        assert blk(x).shape == (2, 9, 16)
+
+    def test_encoder_depth(self):
+        enc = ViTEncoder(16, 4, 4, RNG)
+        assert enc.depth == 4 and len(enc.blocks) == 4
+
+    def test_backward_reaches_all_params(self):
+        enc = ViTEncoder(16, 2, 4, RNG)
+        x = Tensor(RNG.standard_normal((1, 4, 16)).astype(np.float32))
+        enc(x).sum().backward()
+        for name, p in enc.named_parameters():
+            assert p.grad is not None, name
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            TransformerBlock(16, 5, RNG)

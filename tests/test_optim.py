@@ -1,0 +1,96 @@
+"""Optimizer tests: convergence, state accounting, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import AdamW, SGD, Tensor, clip_grad_norm
+from repro.tensor.memory import MemoryTracker, track_memory
+
+
+def quadratic_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.standard_normal(8).astype(np.float32)
+    x = Tensor(np.zeros(8, dtype=np.float32), requires_grad=True)
+    return x, target
+
+
+def run(opt_cls, steps=200, **kwargs):
+    x, target = quadratic_problem()
+    opt = opt_cls([x], **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = ((x - Tensor(target)) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return x, target
+
+
+class TestSGD:
+    def test_converges(self):
+        x, target = run(SGD, lr=0.1)
+        np.testing.assert_allclose(x.data, target, atol=1e-3)
+
+    def test_momentum_converges(self):
+        x, target = run(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(x.data, target, atol=1e-3)
+
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        opt = SGD([x], lr=0.1, weight_decay=0.5)
+        x.grad = np.zeros(4, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(x.data, 0.95 * np.ones(4), rtol=1e-6)
+
+
+class TestAdamW:
+    def test_converges(self):
+        x, target = run(AdamW, steps=400, lr=0.05, weight_decay=0.0)
+        np.testing.assert_allclose(x.data, target, atol=1e-2)
+
+    def test_decoupled_weight_decay(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        opt = AdamW([x], lr=0.1, weight_decay=0.5)
+        x.grad = np.zeros(4, dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(x.data, 0.95 * np.ones(4), rtol=1e-5)
+
+    def test_state_bytes_counts_moments(self):
+        x = Tensor(np.zeros(100, dtype=np.float32), requires_grad=True)
+        opt = AdamW([x])
+        x.grad = np.ones(100, dtype=np.float32)
+        opt.step()
+        assert opt.state_bytes() == 2 * 100 * 4  # m and v, fp32
+
+    def test_optimizer_state_tracked_by_memory_tracker(self):
+        tracker = MemoryTracker()
+        with track_memory(tracker):
+            x = Tensor(np.zeros(1000, dtype=np.float32), requires_grad=True)
+            opt = AdamW([x])
+            x.grad = np.ones(1000, dtype=np.float32)
+            opt.step()
+        assert tracker.peak_bytes >= 3 * 1000 * 4  # param + m + v
+
+    def test_skips_params_without_grad(self):
+        x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        opt = AdamW([x], weight_decay=0.0)
+        opt.step()  # no grad: no update, no crash
+        np.testing.assert_allclose(x.data, np.ones(4))
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            AdamW([])
+
+
+class TestClipGradNorm:
+    def test_clips_large(self):
+        x = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        x.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([x], 1.0)
+        np.testing.assert_allclose(norm, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(x.grad), 1.0, rtol=1e-5)
+
+    def test_leaves_small(self):
+        x = Tensor(np.zeros(4, dtype=np.float32), requires_grad=True)
+        x.grad = np.full(4, 0.1, dtype=np.float32)
+        clip_grad_norm([x], 10.0)
+        np.testing.assert_allclose(x.grad, 0.1, rtol=1e-6)

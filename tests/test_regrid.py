@@ -1,0 +1,109 @@
+"""Regridding tests (the xESMF substitute), including conservation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Grid, bilinear_regrid, conservative_regrid, nearest_regrid, regrid
+
+
+class TestGrid:
+    def test_coordinates(self):
+        g = Grid(32, 64)
+        assert g.shape == (32, 64)
+        assert g.lats[0] == pytest.approx(-90 + 90 / 32)
+        assert g.lons[0] == 0.0 and g.lons[-1] < 360.0
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            Grid(1, 10)
+
+
+class TestBilinear:
+    def test_constant_field_preserved(self):
+        src, dst = Grid(32, 64), Grid(16, 32)
+        out = bilinear_regrid(np.full(src.shape, 3.5), src, dst)
+        np.testing.assert_allclose(out, 3.5, rtol=1e-6)
+
+    def test_linear_in_latitude_preserved(self):
+        src, dst = Grid(64, 8), Grid(16, 8)
+        field = np.broadcast_to(src.lats[:, None], src.shape).copy()
+        out = bilinear_regrid(field, src, dst)
+        np.testing.assert_allclose(out, np.broadcast_to(dst.lats[:, None], dst.shape), atol=0.2)
+
+    def test_periodic_longitude(self):
+        """A smooth zonal wave survives interpolation across the seam."""
+        src, dst = Grid(8, 64), Grid(8, 32)
+        wave = np.cos(np.deg2rad(src.lons))[None, :] * np.ones((8, 1))
+        out = bilinear_regrid(wave, src, dst)
+        expect = np.cos(np.deg2rad(dst.lons))[None, :] * np.ones((8, 1))
+        np.testing.assert_allclose(out, expect, atol=0.02)
+
+    def test_leading_dimensions(self):
+        src, dst = Grid(8, 16), Grid(4, 8)
+        field = np.random.default_rng(0).standard_normal((3, 5, 8, 16))
+        out = bilinear_regrid(field, src, dst)
+        assert out.shape == (3, 5, 4, 8)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bilinear_regrid(np.zeros((7, 16)), Grid(8, 16), Grid(4, 8))
+
+
+class TestNearest:
+    def test_identity_on_same_grid(self):
+        g = Grid(8, 16)
+        f = np.random.default_rng(0).standard_normal(g.shape)
+        np.testing.assert_allclose(nearest_regrid(f, g, g), f, rtol=1e-6)
+
+    def test_values_come_from_source(self):
+        src, dst = Grid(16, 32), Grid(4, 8)
+        f = np.random.default_rng(1).standard_normal(src.shape)
+        out = nearest_regrid(f, src, dst)
+        assert np.isin(out, f.astype(np.float32)).all()
+
+
+class TestConservative:
+    def test_area_weighted_mean_preserved(self):
+        """First-order conservative regridding preserves the global mean."""
+        src, dst = Grid(32, 64), Grid(8, 16)
+        f = np.random.default_rng(2).standard_normal(src.shape)
+        out = conservative_regrid(f, src, dst)
+        w_src = np.cos(np.deg2rad(src.lats))[:, None]
+        w_dst = np.cos(np.deg2rad(dst.lats))[:, None]
+        mean_src = (f * w_src).sum() / (w_src.sum() * src.n_lon)
+        mean_dst = (out * w_dst).sum() / (w_dst.sum() * dst.n_lon)
+        np.testing.assert_allclose(mean_dst, mean_src, rtol=0.02, atol=1e-3)
+
+    def test_non_integer_factor_raises(self):
+        with pytest.raises(ValueError):
+            conservative_regrid(np.zeros((10, 16)), Grid(10, 16), Grid(4, 8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_constant_preserved_property(self, seed):
+        rng = np.random.default_rng(seed)
+        value = float(rng.uniform(-100, 100))
+        src, dst = Grid(16, 32), Grid(4, 8)
+        out = conservative_regrid(np.full(src.shape, value), src, dst)
+        np.testing.assert_allclose(out, value, rtol=1e-5, atol=1e-5)
+
+
+class TestDispatch:
+    def test_methods(self):
+        src, dst = Grid(8, 16), Grid(4, 8)
+        f = np.zeros(src.shape)
+        for m in ("bilinear", "nearest", "conservative"):
+            assert regrid(f, src, dst, m).shape == dst.shape
+        with pytest.raises(ValueError):
+            regrid(f, src, dst, "spectral")
+
+    def test_era5_paper_pipeline(self):
+        """The paper's 0.25°-like → 5.625° (32×64) coarsening path."""
+        hi = Grid(128, 256)  # stand-in for 0.25° (memory-friendly)
+        lo = Grid(32, 64)
+        f = np.random.default_rng(3).standard_normal((2, *hi.shape))
+        out = regrid(f, hi, lo, "bilinear")
+        assert out.shape == (2, 32, 64)
+        # Coarsening smooths: variance must not increase.
+        assert out.var() <= f.var() * 1.05

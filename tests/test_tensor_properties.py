@@ -1,0 +1,113 @@
+"""Hypothesis property tests on the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, functional as F
+
+ARRAYS = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-10, 10, allow_nan=False, width=64),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ARRAYS)
+def test_add_self_equals_double(arr):
+    t = Tensor(arr)
+    np.testing.assert_allclose((t + t).data, (2.0 * t).data, rtol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ARRAYS)
+def test_sum_matches_numpy(arr):
+    np.testing.assert_allclose(Tensor(arr).sum().item(), arr.astype(np.float32).sum(), rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ARRAYS)
+def test_reshape_roundtrip_preserves(arr):
+    t = Tensor(arr, requires_grad=True)
+    out = t.reshape(-1).reshape(t.shape)
+    np.testing.assert_allclose(out.data, t.data)
+    out.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(t.data))
+
+
+@settings(max_examples=50, deadline=None)
+@given(ARRAYS)
+def test_mul_gradient_is_other_operand(arr):
+    a = Tensor(arr, requires_grad=True)
+    b = Tensor(np.ones_like(arr) * 3.0)
+    (a * b).sum().backward()
+    np.testing.assert_allclose(a.grad, b.data, rtol=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 6)),
+        elements=st.floats(-30, 30, allow_nan=False, width=64),
+    )
+)
+def test_softmax_is_distribution(arr):
+    s = F.softmax(Tensor(arr)).data
+    assert (s >= 0).all()
+    np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-5)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 4), st.integers(2, 8)),
+        elements=st.floats(-5, 5, allow_nan=False, width=64),
+    )
+)
+def test_layernorm_output_standardized(arr):
+    d = arr.shape[-1]
+    out = F.layer_norm(Tensor(arr), Tensor(np.ones(d)), Tensor(np.zeros(d))).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+    # variance ≈ 1 unless the row is (near-)constant
+    row_var = arr.var(axis=-1)
+    for i, v in enumerate(row_var):
+        if v > 1e-3:
+            np.testing.assert_allclose(out[i].var(), 1.0, atol=2e-2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(1, 4), st.integers(1, 5), st.integers(1, 5), st.integers(1, 4)
+)
+def test_matmul_matches_numpy(b, m, k, n):
+    rng = np.random.default_rng(b * 100 + m * 10 + k)
+    x = rng.standard_normal((b, m, k))
+    y = rng.standard_normal((b, k, n))
+    np.testing.assert_allclose(
+        (Tensor(x) @ Tensor(y)).data, (x @ y).astype(np.float32), rtol=1e-4, atol=1e-5
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(ARRAYS, st.integers(0, 2))
+def test_concat_split_roundtrip(arr, axis_seed):
+    axis = axis_seed % arr.ndim
+    t = Tensor(arr)
+    joined = Tensor.concat([t, t], axis=axis)
+    assert joined.shape[axis] == 2 * arr.shape[axis]
+    parts = joined.split(2, axis=axis)
+    np.testing.assert_allclose(parts[0].data, t.data)
+    np.testing.assert_allclose(parts[1].data, t.data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ARRAYS)
+def test_gelu_between_zero_and_identity(arr):
+    out = F.gelu(Tensor(arr)).data
+    x = arr.astype(np.float32)
+    pos = x >= 0
+    assert (out[pos] <= x[pos] + 1e-5).all() and (out[pos] >= -1e-5).all()
+    assert (out[~pos] <= 1e-5).all() and (out[~pos] >= x[~pos] - 1e-5).all()

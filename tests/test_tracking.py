@@ -1,0 +1,107 @@
+"""Tests for memory and FLOP runtime accounting."""
+
+import gc
+
+import numpy as np
+
+from repro.tensor import (
+    FlopCounter,
+    MemoryTracker,
+    Tensor,
+    count_flops,
+    current_counter,
+    current_tracker,
+    track_memory,
+)
+
+
+class TestMemoryTracker:
+    def test_registers_tensor_bytes(self):
+        tracker = MemoryTracker()
+        with track_memory(tracker):
+            t = Tensor.zeros((1024,))
+        assert tracker.current_bytes >= 4096
+        assert tracker.peak_bytes >= 4096
+        del t
+        gc.collect()
+        assert tracker.current_bytes < 4096
+
+    def test_peak_is_high_water_mark(self):
+        tracker = MemoryTracker()
+        with track_memory(tracker):
+            big = Tensor.zeros((10_000,))
+            del big
+            gc.collect()
+            small = Tensor.zeros((10,))
+        assert tracker.peak_bytes >= 40_000
+        assert tracker.current_bytes < 1000
+        del small
+
+    def test_views_not_double_counted(self):
+        tracker = MemoryTracker()
+        with track_memory(tracker):
+            t = Tensor.zeros((1000,))
+            v = t.reshape(10, 100)  # a view: no new allocation
+        assert tracker.total_allocated_bytes < 2 * 4000
+        del t, v
+
+    def test_grad_buffers_tracked(self):
+        tracker = MemoryTracker()
+        with track_memory(tracker):
+            t = Tensor(np.zeros(1000, dtype=np.float32), requires_grad=True)
+            (t * 2).sum().backward()
+        assert tracker.peak_bytes >= 2 * 4000  # data + grad
+
+    def test_context_isolated(self):
+        assert current_tracker() is None
+        tracker = MemoryTracker()
+        with track_memory(tracker):
+            assert current_tracker() is tracker
+        assert current_tracker() is None
+
+    def test_reset_peak(self):
+        tracker = MemoryTracker()
+        tracker.allocate(100)
+        tracker.free(100)
+        tracker.reset_peak()
+        assert tracker.peak_bytes == 0
+
+
+class TestFlopCounter:
+    def test_matmul_flops_exact(self):
+        with count_flops() as counter:
+            a = Tensor(np.zeros((3, 4), dtype=np.float32))
+            b = Tensor(np.zeros((4, 5), dtype=np.float32))
+            _ = a @ b
+        assert counter.by_category["matmul"] == 2 * 3 * 5 * 4
+
+    def test_batched_matmul_flops(self):
+        with count_flops() as counter:
+            a = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+            b = Tensor(np.zeros((2, 4, 5), dtype=np.float32))
+            _ = a @ b
+        assert counter.by_category["matmul"] == 2 * 2 * 3 * 5 * 4
+
+    def test_backward_counts_separately(self):
+        with count_flops() as counter:
+            a = Tensor(np.zeros((3, 4), dtype=np.float32), requires_grad=True)
+            b = Tensor(np.zeros((4, 5), dtype=np.float32), requires_grad=True)
+            (a @ b).sum().backward()
+        assert counter.by_category["matmul_bwd"] == 2 * (2 * 3 * 5 * 4)
+
+    def test_nested_context_restores(self):
+        assert current_counter() is None
+        with count_flops():
+            inner = FlopCounter()
+            with count_flops(inner):
+                _ = Tensor(np.zeros((2, 2), dtype=np.float32)) @ Tensor(
+                    np.zeros((2, 2), dtype=np.float32)
+                )
+            assert inner.total > 0
+        assert current_counter() is None
+
+    def test_reset(self):
+        c = FlopCounter()
+        c.add(100)
+        c.reset()
+        assert c.total == 0 and c.by_category == {}

@@ -1,0 +1,114 @@
+"""Tests for the training harness (scheduler, trainer, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.data import EVAL_CHANNELS
+from repro.nn import Linear, Module
+from repro.tensor import Tensor, functional as F
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    cosine_warmup,
+    eval_channel_rmse,
+    lat_weighted_rmse,
+    masked_reconstruction_rmse,
+)
+
+
+class TestSchedule:
+    def test_warmup_ramps_linearly(self):
+        lrs = [cosine_warmup(s, 100, 1.0, warmup_steps=10) for s in range(10)]
+        np.testing.assert_allclose(lrs, np.arange(1, 11) / 10)
+
+    def test_cosine_decays_to_min(self):
+        assert cosine_warmup(100, 100, 1.0, warmup_steps=0, min_lr=0.1) == pytest.approx(0.1)
+
+    def test_peak_after_warmup(self):
+        assert cosine_warmup(10, 1000, 1.0, warmup_steps=10) == pytest.approx(1.0, rel=1e-3)
+
+    def test_monotone_decay_after_warmup(self):
+        lrs = [cosine_warmup(s, 50, 1.0, warmup_steps=5) for s in range(5, 50)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            cosine_warmup(0, 0, 1.0)
+
+
+class _Quadratic(Module):
+    def __init__(self):
+        super().__init__()
+        self.lin = Linear(4, 1, np.random.default_rng(0))
+
+    def loss(self, x, y):
+        pred = self.lin(Tensor(x))
+        return F.mse_loss(pred, Tensor(y))
+
+
+class TestTrainer:
+    def test_records_history(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((16, 4)).astype(np.float32)
+        y = (x @ np.array([[1.0], [2.0], [-1.0], [0.5]])).astype(np.float32)
+        model = _Quadratic()
+        tr = Trainer(model, TrainConfig(lr=5e-2, total_steps=40, warmup_steps=2))
+        for _ in range(40):
+            tr.step(x, y)
+        res = tr.result
+        assert len(res.losses) == len(res.lrs) == len(res.grad_norms) == 40
+        assert res.final_loss < res.losses[0] * 0.5
+
+    def test_grad_hook_called(self):
+        calls = []
+        model = _Quadratic()
+        tr = Trainer(model, TrainConfig(total_steps=3), grad_hook=lambda: calls.append(1))
+        x = np.zeros((2, 4), dtype=np.float32)
+        y = np.zeros((2, 1), dtype=np.float32)
+        tr.step(x, y)
+        tr.step(x, y)
+        assert len(calls) == 2
+
+    def test_smoothed_loss(self):
+        model = _Quadratic()
+        tr = Trainer(model, TrainConfig(total_steps=5))
+        tr.result.losses = [5.0, 3.0, 1.0, 1.0, 1.0]
+        sm = tr.result.smoothed(window=3)
+        np.testing.assert_allclose(sm, [3.0, 5.0 / 3, 1.0])
+
+
+class TestMetrics:
+    def test_lat_weighted_rmse_zero_when_equal(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 16))
+        assert lat_weighted_rmse(x, x) == 0.0
+
+    def test_constant_error_gives_that_rmse(self):
+        x = np.zeros((1, 2, 8, 16))
+        assert lat_weighted_rmse(x, x + 2.0) == pytest.approx(2.0, rel=1e-6)
+
+    def test_equator_errors_weigh_more(self):
+        pred = np.zeros((1, 1, 8, 16))
+        pole = pred.copy()
+        pole[0, 0, 0, :] = 1.0  # error at the pole row
+        equator = pred.copy()
+        equator[0, 0, 4, :] = 1.0  # error near the equator
+        target = np.zeros_like(pred)
+        assert lat_weighted_rmse(equator, target) > lat_weighted_rmse(pole, target)
+
+    def test_channel_selection(self):
+        pred = np.zeros((1, 80, 4, 8))
+        target = np.zeros_like(pred)
+        target[0, EVAL_CHANNELS["z500"]] = 1.0
+        per = eval_channel_rmse(pred, target)
+        assert per["z500"] == pytest.approx(1.0, rel=1e-6)
+        assert per["t850"] == 0.0 and per["u10"] == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            lat_weighted_rmse(np.zeros((1, 2, 4, 4)), np.zeros((1, 2, 4, 5)))
+
+    def test_masked_reconstruction_rmse(self):
+        pred = np.zeros((1, 4, 6))
+        target = np.ones((1, 4, 6))
+        mask = np.array([1.0, 0.0, 1.0, 0.0])
+        assert masked_reconstruction_rmse(pred, target, mask) == pytest.approx(1.0)

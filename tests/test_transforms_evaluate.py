@@ -1,0 +1,150 @@
+"""Tests for data transforms, channel subsetting, and evaluation loops."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ERA5Config,
+    Normalizer,
+    SyntheticERA5,
+    add_noise,
+    channel_dropout,
+    random_flip,
+    subset_channel_frontend,
+)
+from repro.models import SerialChannelFrontend, build_serial_forecaster, build_serial_mae
+from repro.train import EarlyStopping, evaluate_forecaster, evaluate_mae
+
+RNG = np.random.default_rng(121)
+
+
+class TestTransforms:
+    def test_flip_preserves_content(self):
+        imgs = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        out = random_flip(imgs, np.random.default_rng(0), p=1.0)
+        np.testing.assert_allclose(np.sort(out.ravel()), np.sort(imgs.ravel()))
+        assert out.shape == imgs.shape
+
+    def test_flip_noop_at_p_zero(self):
+        imgs = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        np.testing.assert_array_equal(random_flip(imgs, np.random.default_rng(0), p=0.0), imgs)
+
+    def test_channel_dropout_zeroes_dropped(self):
+        imgs = np.ones((2, 10, 4, 4), dtype=np.float32)
+        out, kept = channel_dropout(imgs, np.random.default_rng(0), drop_fraction=0.3)
+        assert kept.sum() == 7
+        np.testing.assert_allclose(out[:, ~kept], 0.0)
+        np.testing.assert_allclose(out[:, kept], 1.0)
+        np.testing.assert_allclose(imgs, 1.0)  # input untouched
+
+    def test_channel_dropout_validation(self):
+        with pytest.raises(ValueError):
+            channel_dropout(np.zeros((1, 4, 2, 2)), np.random.default_rng(0), drop_fraction=1.0)
+
+    def test_add_noise_scale(self):
+        imgs = np.zeros((1, 2, 64, 64), dtype=np.float32)
+        out = add_noise(imgs, np.random.default_rng(0), std=0.5)
+        assert 0.4 < out.std() < 0.6
+
+    def test_normalizer_roundtrip(self):
+        imgs = RNG.standard_normal((8, 3, 6, 6)).astype(np.float32) * 5 + 2
+        norm = Normalizer().fit(imgs)
+        z = norm.transform(imgs)
+        np.testing.assert_allclose(z.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(z.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+        np.testing.assert_allclose(norm.inverse(z), imgs, rtol=1e-4, atol=1e-4)
+
+    def test_normalizer_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            Normalizer().transform(np.zeros((1, 1, 2, 2)))
+
+
+class TestChannelSubset:
+    def test_subset_runs_on_fewer_channels(self):
+        fe = SerialChannelFrontend(12, 4, 32, 4, np.random.default_rng(0), agg="cross")
+        idx = np.array([0, 3, 7, 11])
+        sub = subset_channel_frontend(fe, idx)
+        imgs = RNG.standard_normal((2, 12, 16, 16)).astype(np.float32)
+        out = sub(imgs[:, idx])
+        assert out.shape == (2, 16, 32)
+
+    def test_subset_tokenizer_slices_master_weights(self):
+        fe = SerialChannelFrontend(12, 4, 32, 4, np.random.default_rng(0), agg="cross")
+        idx = np.array([2, 5])
+        sub = subset_channel_frontend(fe, idx)
+        np.testing.assert_array_equal(sub.tokenizer.weight.data, fe.tokenizer.weight.data[idx])
+        np.testing.assert_array_equal(sub.channel_ids.table.data, fe.channel_ids.table.data[idx])
+
+    def test_full_subset_matches_original(self):
+        fe = SerialChannelFrontend(8, 4, 32, 4, np.random.default_rng(0), agg="cross")
+        sub = subset_channel_frontend(fe, np.arange(8))
+        imgs = RNG.standard_normal((1, 8, 16, 16)).astype(np.float32)
+        np.testing.assert_allclose(sub(imgs).data, fe(imgs).data, rtol=1e-5)
+
+    def test_aggregator_shared_not_copied(self):
+        fe = SerialChannelFrontend(8, 4, 32, 4, np.random.default_rng(0), agg="cross")
+        sub = subset_channel_frontend(fe, np.array([1, 2]))
+        assert sub.aggregator is fe.aggregator
+
+    def test_linear_aggregator_rejected(self):
+        fe = SerialChannelFrontend(8, 4, 32, 4, np.random.default_rng(0), agg="linear")
+        with pytest.raises(TypeError, match="cross-attention"):
+            subset_channel_frontend(fe, np.array([0, 1]))
+
+    def test_out_of_range_indices(self):
+        fe = SerialChannelFrontend(8, 4, 32, 4, np.random.default_rng(0), agg="cross")
+        with pytest.raises(ValueError):
+            subset_channel_frontend(fe, np.array([0, 8]))
+
+
+class TestEvaluate:
+    def test_evaluate_forecaster_metrics(self):
+        era = SyntheticERA5(ERA5Config(n_steps=12, seed=5))
+        model = build_serial_forecaster(
+            channels=80, image_hw=(32, 64), patch=8, dim=32, depth=1, heads=4,
+            rng=np.random.default_rng(0),
+        )
+        _, test_idx = era.train_test_split(0.3)
+        clim = era.fields.mean(axis=0, keepdims=True)
+        metrics = evaluate_forecaster(model, era, test_idx, climatology=clim)
+        assert set(metrics) == {"rmse", "rmse_z500", "rmse_t850", "rmse_u10", "acc"}
+        assert metrics["rmse"] > 0 and -1 <= metrics["acc"] <= 1
+        assert model.training  # mode restored
+
+    def test_evaluate_mae_metrics(self):
+        model = build_serial_mae(4, 16, 4, 16, 1, 2, np.random.default_rng(0))
+        imgs = RNG.standard_normal((6, 4, 16, 16)).astype(np.float32)
+        metrics = evaluate_mae(model, imgs, np.random.default_rng(1), batch_size=4)
+        assert metrics["masked_mse"] > 0
+        assert abs(metrics["masked_rmse"] - np.sqrt(metrics["masked_mse"])) < 0.1
+
+    def test_evaluation_runs_without_grads(self):
+        model = build_serial_mae(4, 16, 4, 16, 1, 2, np.random.default_rng(0))
+        imgs = RNG.standard_normal((2, 4, 16, 16)).astype(np.float32)
+        evaluate_mae(model, imgs, np.random.default_rng(1))
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        es = EarlyStopping(patience=2)
+        assert not es.step(1.0)
+        assert not es.step(1.1)
+        assert es.step(1.2)
+
+    def test_improvement_resets(self):
+        es = EarlyStopping(patience=2)
+        es.step(1.0)
+        es.step(1.1)
+        assert not es.step(0.5)  # improvement resets the counter
+        assert not es.step(0.6)
+        assert es.step(0.7)
+
+    def test_min_delta(self):
+        es = EarlyStopping(patience=1, min_delta=0.5)
+        es.step(1.0)
+        assert es.step(0.8)  # not enough improvement
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
