@@ -14,7 +14,7 @@ paper's communication claims mechanically:
 import numpy as np
 import pytest
 
-from figutils import print_table
+from figutils import print_table, standalone_main  # also makes src/ importable in direct runs
 from repro.core import DCHAG, DCHAGConfig
 from repro.dist import run_spmd_world
 from repro.nn import ChannelCrossAttention, PatchTokenizer
@@ -80,50 +80,91 @@ def summarize(traffic):
     }
 
 
-def test_tp_baseline_has_no_channel_stage_comm():
-    s = summarize(run_tp_baseline())
+# Shared oracles: the pytest tests and the standalone main() assert the very
+# same claims through these helpers so the two harnesses cannot drift.
+
+
+def assert_tp_baseline_silent(s) -> None:
     assert s["ops"] == {}
 
 
-def test_dist_tok_pays_full_token_gather_and_backward():
-    s = summarize(run_dist_tok())
+def assert_dist_tok_claims(s) -> None:
     expected_fwd = B * (C // WORLD) * N_TOKENS * D * 4
     assert s["fwd_gather_bytes"] == expected_fwd
     assert s["bwd_collectives"] == WORLD  # one ReduceScatter per rank
 
 
-def test_dchag_gather_is_one_channel_and_backward_free():
-    s = summarize(run_dchag())
+def assert_dchag_claims(s) -> None:
     assert s["fwd_gather_bytes"] == B * 1 * N_TOKENS * D * 4
     assert s["bwd_collectives"] == 0
 
 
-def test_dchag_moves_fewer_bytes_than_dist_tok():
+def assert_dchag_cheaper(dchag, dist) -> None:
     """The C/tp ratio shows up on the wire: D-CHAG moves 1 channel where
     distributed tokenization moves C/tp."""
-    dchag = summarize(run_dchag())
-    dist = summarize(run_dist_tok())
     assert dist["fwd_gather_bytes"] == (C // WORLD) * dchag["fwd_gather_bytes"]
     assert dchag["total_wire_bytes"] < dist["total_wire_bytes"] / 2
 
 
-def test_ablation_comm_print_and_benchmark(benchmark):
-    def collect():
-        return {
-            "TP-only": summarize(run_tp_baseline()),
-            "dist-tok (§3.1)": summarize(run_dist_tok()),
-            "D-CHAG (§3.3)": summarize(run_dchag()),
-        }
+def test_tp_baseline_has_no_channel_stage_comm():
+    assert_tp_baseline_silent(summarize(run_tp_baseline()))
 
-    results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    rows = [
-        [name, s["fwd_gather_bytes"], s["bwd_collectives"], s["total_wire_bytes"]]
-        for name, s in results.items()
-    ]
+
+def test_dist_tok_pays_full_token_gather_and_backward():
+    assert_dist_tok_claims(summarize(run_dist_tok()))
+
+
+def test_dchag_gather_is_one_channel_and_backward_free():
+    assert_dchag_claims(summarize(run_dchag()))
+
+
+def test_dchag_moves_fewer_bytes_than_dist_tok():
+    assert_dchag_cheaper(summarize(run_dchag()), summarize(run_dist_tok()))
+
+
+def collect_all():
+    """Measure all three strategies once."""
+    return {
+        "TP-only": summarize(run_tp_baseline()),
+        "dist-tok (§3.1)": summarize(run_dist_tok()),
+        "D-CHAG (§3.3)": summarize(run_dchag()),
+    }
+
+
+def print_results(results) -> None:
     print_table(
         "Ablation — measured channel-stage traffic (4 ranks, 16 channels)",
         ["strategy", "fwd gather B/rank", "bwd collectives", "wire B/rank"],
-        rows,
+        [
+            [name, s["fwd_gather_bytes"], s["bwd_collectives"], s["total_wire_bytes"]]
+            for name, s in results.items()
+        ],
         note="D-CHAG gathers exactly one channel per rank and never "
         "communicates in backward",
+    )
+
+
+def test_ablation_comm_print_and_benchmark(benchmark):
+    results = benchmark.pedantic(collect_all, rounds=1, iterations=1)
+    print_results(results)
+
+
+def _standalone_body() -> None:
+    """Measure once, print the table, assert the suite's claims."""
+    results = collect_all()
+    print_results(results)
+    assert_tp_baseline_silent(results["TP-only"])
+    assert_dist_tok_claims(results["dist-tok (§3.1)"])
+    assert_dchag_claims(results["D-CHAG (§3.3)"])
+    assert_dchag_cheaper(results["D-CHAG (§3.3)"], results["dist-tok (§3.1)"])
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        standalone_main(
+            __doc__.splitlines()[0],
+            _standalone_body,
+            "measured traffic matches the paper's communication claims",
+            "measured traffic contradicts the paper's communication claims",
+        )
     )

@@ -8,11 +8,45 @@ and times the computation under pytest-benchmark.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
 from typing import Sequence
+
+# Direct `python benchmarks/bench_*.py` runs resolve figutils via the script
+# directory (sys.path[0]); give them the package the same way.  Under pytest
+# this is a no-op because pytest.ini already sets pythonpath = src.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 GiB = 1024**3
 
-__all__ = ["GiB", "print_table", "fmt_gb", "fmt_pct"]
+__all__ = ["GiB", "print_table", "fmt_gb", "fmt_pct", "standalone_main"]
+
+
+def standalone_main(description: str, body, ok_msg: str, fail_msg: str, argv=None) -> int:
+    """Shared scaffolding for direct ``python bench_*.py [--smoke]`` runs.
+
+    Parses the (currently cosmetic) ``--smoke`` flag, runs *body* — which
+    prints its table and asserts the same claims the pytest suite does — and
+    maps an AssertionError to exit code 1 with *fail_msg*.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="accepted for harness compatibility; runs are a single quick pass either way",
+    )
+    parser.parse_args(argv)
+    try:
+        body()
+    except AssertionError as exc:
+        print(f"FAIL: {fail_msg} ({exc})")
+        return 1
+    print(f"OK: {ok_msg}")
+    return 0
 
 
 def fmt_gb(nbytes: float) -> str:

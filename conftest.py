@@ -1,0 +1,72 @@
+"""Suite-wide guards: a per-test wall-clock timeout.
+
+The SPMD runtime aborts deadlocked collectives itself (run_spmd's timeout),
+but a hang anywhere else — a livelocked thread, an accidental infinite loop
+in a model under test — would stall the whole suite.  The image ships no
+pytest-timeout plugin, so this implements the ``timeout`` ini option with
+SIGALRM: the alarm fires in the main thread and raises, failing the test
+instead of hanging CI.  Worker threads created by run_spmd are daemons, so
+an interrupted test does not leak blocking threads into the next one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addini("timeout", "per-test wall-clock timeout in seconds (0 disables)", default="300")
+
+
+@contextlib.contextmanager
+def _alarm(config):
+    """Raise TimeoutError in the main thread after the configured limit."""
+    try:
+        limit = float(config.getini("timeout"))
+    except (TypeError, ValueError):
+        limit = 0.0
+    if (
+        limit <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"test phase exceeded the {limit:.0f}s per-test timeout")
+
+    old_handler = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+# Each phase gets its own allotment: expensive module-scoped fixtures (e.g.
+# the trained-model fixtures in tests/test_dchag_sync.py) run during *setup*
+# of the first test, so wrapping only the call phase would let them hang.
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_setup(item):
+    with _alarm(item.config):
+        return (yield)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    with _alarm(item.config):
+        return (yield)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_teardown(item):
+    with _alarm(item.config):
+        return (yield)

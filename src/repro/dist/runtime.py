@@ -1,0 +1,585 @@
+"""The threaded SPMD runtime: one Python thread per simulated rank.
+
+:func:`run_spmd` spawns ``world_size`` threads, hands each a
+:class:`Communicator`, and joins them.  Collectives rendezvous per process
+group: the *n*-th collective a rank issues on a group meets the *n*-th
+collective of every other member, the last arriver reduces the contributions
+**in group-rank order** (so results are bitwise identical on every rank and
+across repeated runs — the invariant D-CHAG's replicated final layer relies
+on, §3.3), and everyone leaves with a private copy.
+
+Failure semantics: an exception on any rank aborts the whole world.  Blocked
+peers poll an abort flag while waiting, so a barrier whose partner died
+raises instead of deadlocking, and :func:`run_spmd` re-raises the original
+failure as :class:`SpmdError` ("rank N failed: ...").  A rank that issues a
+*different* collective than its peers on the same group slot fails fast with
+a mismatch error rather than timing out.
+
+Worlds are fully isolated: every :func:`run_spmd` call builds a fresh
+:class:`World` with its own groups, mailboxes and
+:class:`~repro.dist.stats.TrafficLog`, so concurrent worlds driven from
+different threads never interfere.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .stats import TrafficLog, TrafficRecord, ring_wire_bytes
+
+__all__ = [
+    "SpmdError",
+    "ProcessGroup",
+    "World",
+    "Communicator",
+    "run_spmd",
+    "run_spmd_world",
+]
+
+# How often blocked ranks re-check the abort flag.  Completions are signalled
+# with notify_all, so this only bounds abort latency, not collective latency.
+_POLL_S = 0.05
+
+_DEFAULT_TIMEOUT_S = 120.0
+
+_REDUCE_OPS = ("sum", "mean", "max", "min")
+
+
+class SpmdError(RuntimeError):
+    """A simulated SPMD world failed (rank exception, misuse, or timeout)."""
+
+
+class _Aborted(BaseException):
+    """Internal: unwinds a rank thread after the world aborted.
+
+    Derives from BaseException so user-level ``except Exception`` blocks
+    inside rank functions cannot swallow the shutdown.
+    """
+
+
+class ProcessGroup:
+    """An ordered subset of world ranks that communicates collectively.
+
+    The *i*-th entry of ``ranks`` is group-rank *i*; reductions accumulate in
+    this order, which is what makes them deterministic.
+    """
+
+    __slots__ = ("world", "ranks", "size", "_index", "_state")
+
+    def __init__(self, world: "World", ranks: tuple[int, ...]) -> None:
+        self.world = world
+        self.ranks = ranks
+        self.size = len(ranks)
+        self._index = {r: i for i, r in enumerate(ranks)}
+        self._state = world._group_state(ranks)
+
+    def rank_index(self, world_rank: int) -> int:
+        """This world rank's position within the group."""
+        try:
+            return self._index[world_rank]
+        except KeyError:
+            raise SpmdError(f"rank {world_rank} is not a member of group {list(self.ranks)}") from None
+
+    def __contains__(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessGroup(ranks={list(self.ranks)})"
+
+
+class _Slot:
+    """One collective rendezvous: the n-th collective issued on a group."""
+
+    __slots__ = ("signature", "data", "arrived", "done", "result", "error", "consumed")
+
+    def __init__(self, signature: tuple) -> None:
+        self.signature = signature
+        self.data: dict[int, Any] = {}
+        self.arrived = 0
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.consumed = 0
+
+
+class _GroupState:
+    """Shared rendezvous state for one ranks-tuple (lazily created)."""
+
+    __slots__ = ("cond", "slots", "next_seq")
+
+    def __init__(self) -> None:
+        self.cond = threading.Condition()
+        self.slots: dict[int, _Slot] = {}
+        # Per-rank count of collectives issued on this group so far.
+        self.next_seq: dict[int, int] = {}
+
+
+class World:
+    """Shared state of one SPMD run: groups, mailboxes, traffic, abort flag."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.traffic = TrafficLog()
+        self._lock = threading.Lock()
+        self._group_states: dict[tuple[int, ...], _GroupState] = {}
+        self._abort_event = threading.Event()
+        self._failure: tuple[int, BaseException] | None = None
+        self._mail: dict[tuple[int, int, int], deque] = {}
+        self._mail_cond = threading.Condition()
+        self.default_group = ProcessGroup(self, tuple(range(size)))
+
+    # -- group bookkeeping -------------------------------------------------
+    def _group_state(self, ranks: tuple[int, ...]) -> _GroupState:
+        with self._lock:
+            state = self._group_states.get(ranks)
+            if state is None:
+                state = self._group_states[ranks] = _GroupState()
+            return state
+
+    def group(self, ranks: Sequence[int]) -> ProcessGroup:
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise SpmdError(f"duplicate ranks in group {list(ranks)}")
+        if not ranks:
+            raise SpmdError("cannot create an empty process group")
+        for r in ranks:
+            if not 0 <= r < self.size:
+                raise SpmdError(f"rank {r} out of range for world of size {self.size}")
+        return ProcessGroup(self, ranks)
+
+    # -- failure handling ----------------------------------------------------
+    @property
+    def aborted(self) -> bool:
+        return self._abort_event.is_set()
+
+    def abort(self, rank: int, exc: BaseException) -> None:
+        """Record the first failure and wake every blocked rank."""
+        with self._lock:
+            if self._failure is None:
+                self._failure = (rank, exc)
+        self._abort_event.set()
+        with self._mail_cond:
+            self._mail_cond.notify_all()
+        with self._lock:
+            states = list(self._group_states.values())
+        for state in states:
+            with state.cond:
+                state.cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self._abort_event.is_set():
+            raise _Aborted()
+
+
+def _copy_in(value) -> np.ndarray:
+    """Snapshot a contribution so later mutation by the sender cannot leak."""
+    return np.array(value, copy=True)
+
+
+def _check_mean_dtype(op: str, arr: np.ndarray) -> None:
+    """A mean of integer arrays would be cast back and silently truncate."""
+    if op == "mean" and not np.issubdtype(arr.dtype, np.floating):
+        raise SpmdError(
+            f"mean reduction requires a floating-point array, got dtype {arr.dtype}; "
+            "cast before reducing or use op='sum'"
+        )
+
+
+def _reduce(arrays: list[np.ndarray], op: str) -> np.ndarray:
+    """Reduce in list order — fixed group-rank order, hence deterministic."""
+    shapes = {a.shape for a in arrays}
+    if len(shapes) > 1:
+        raise SpmdError(f"mismatched shapes in reduction: {sorted(shapes)}")
+    dtypes = {a.dtype for a in arrays}
+    if len(dtypes) > 1:
+        # The result is cast to group-rank-0's dtype; mixed inputs would be
+        # silently truncated (e.g. float contributions into an int buffer).
+        raise SpmdError(f"mismatched dtypes in reduction: {sorted(map(str, dtypes))}")
+    # In-place into a private copy: this runs under the group's rendezvous
+    # lock, so avoid n-1 full-size temporaries there.
+    out = arrays[0].copy()
+    if op in ("sum", "mean"):
+        for a in arrays[1:]:
+            out += a
+        if op == "mean":
+            out /= len(arrays)  # float-only; int mean is rejected at the call site
+    elif op == "max":
+        for a in arrays[1:]:
+            np.maximum(out, a, out=out)
+    elif op == "min":
+        for a in arrays[1:]:
+            np.minimum(out, a, out=out)
+    else:  # validated at the call site; defensive here
+        raise SpmdError(f"unknown reduce op {op!r}")
+    return out
+
+
+class Communicator:
+    """One rank's handle on the world — the RCCL substitute.
+
+    All collectives take an optional ``group``; ``None`` means the world
+    group.  ``phase`` is a free-form label ("forward", "backward", ...)
+    stamped on every traffic record this rank emits.
+    """
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+        self.phase = ""
+
+    # -- plumbing ----------------------------------------------------------
+    def group(self, ranks: Sequence[int]) -> ProcessGroup:
+        """Create (or re-attach to) the process group over *ranks*."""
+        return self.world.group(ranks)
+
+    def _resolve(self, group: ProcessGroup | None) -> ProcessGroup:
+        group = group if group is not None else self.world.default_group
+        if self.rank not in group:
+            raise SpmdError(
+                f"rank {self.rank} called a collective on foreign group {list(group.ranks)}"
+            )
+        return group
+
+    def _log(self, op: str, payload_bytes: int, group_size: int) -> None:
+        wire = ring_wire_bytes(op, payload_bytes, group_size)
+        self.world.traffic.add(
+            TrafficRecord(
+                rank=self.rank,
+                op=op,
+                phase=self.phase,
+                payload_bytes=int(payload_bytes),
+                wire_bytes=int(wire),
+                group_size=group_size,
+            )
+        )
+
+    def _rendezvous(
+        self,
+        group: ProcessGroup,
+        signature: tuple,
+        contribution,
+        compute: Callable[[dict[int, Any]], Any],
+    ):
+        """Join the group's next collective slot; return its shared result.
+
+        The last arriver runs *compute* over contributions keyed by group
+        rank; its result is handed to every member.  Callers must copy out
+        anything they plan to mutate.
+        """
+        state = group._state
+        me = group.rank_index(self.rank)
+        with state.cond:
+            seq = state.next_seq.get(self.rank, 0)
+            state.next_seq[self.rank] = seq + 1
+            slot = state.slots.get(seq)
+            if slot is None:
+                slot = state.slots[seq] = _Slot(signature)
+            elif slot.signature != signature:
+                raise SpmdError(
+                    f"collective mismatch on group {list(group.ranks)} slot {seq}: "
+                    f"rank {self.rank} issued {signature[0]!r} but peers issued "
+                    f"{slot.signature[0]!r}"
+                )
+            slot.data[me] = contribution
+            slot.arrived += 1
+            if slot.arrived == group.size:
+                try:
+                    slot.result = compute(slot.data)
+                except BaseException as exc:  # surfaces on every member rank
+                    slot.error = exc
+                slot.done = True
+                state.cond.notify_all()
+            else:
+                while not slot.done:
+                    self.world._check_abort()
+                    state.cond.wait(_POLL_S)
+            error, result = slot.error, slot.result
+            slot.consumed += 1
+            if slot.consumed == group.size:
+                del state.slots[seq]
+        if error is not None:
+            raise SpmdError(f"collective failed: {error}") from error
+        return result
+
+    # -- collectives -------------------------------------------------------
+    def barrier(self, group: ProcessGroup | None = None) -> None:
+        """Block until every group member reaches the same barrier call."""
+        group = self._resolve(group)
+        if group.size == 1:
+            return
+        self._rendezvous(group, ("barrier",), None, lambda data: None)
+
+    def all_reduce(
+        self, array, op: str = "sum", group: ProcessGroup | None = None
+    ) -> np.ndarray:
+        """Reduce *array* over the group; every rank gets the full result."""
+        group = self._resolve(group)
+        if op not in _REDUCE_OPS:
+            raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
+        arr = _copy_in(array)
+        _check_mean_dtype(op, arr)
+        self._log("all_reduce", arr.nbytes, group.size)
+        if group.size == 1:
+            return arr
+        result = self._rendezvous(
+            group,
+            ("all_reduce", op),
+            arr,
+            lambda data: _reduce([data[i] for i in range(group.size)], op),
+        )
+        return result.copy()
+
+    def all_gather(self, array, group: ProcessGroup | None = None) -> list[np.ndarray]:
+        """Gather every rank's array; returns private copies in group order."""
+        group = self._resolve(group)
+        arr = _copy_in(array)
+        self._log("all_gather", arr.nbytes, group.size)
+        if group.size == 1:
+            return [arr]
+        parts = self._rendezvous(
+            group,
+            ("all_gather",),
+            arr,
+            lambda data: [data[i] for i in range(group.size)],
+        )
+        return [p.copy() for p in parts]
+
+    def all_gather_concat(
+        self, array, group: ProcessGroup | None = None, axis: int = 0
+    ) -> np.ndarray:
+        """AllGather then concatenate along *axis* (one logged collective)."""
+        return np.concatenate(self.all_gather(array, group=group), axis=axis)
+
+    def reduce_scatter(
+        self,
+        array,
+        op: str = "sum",
+        group: ProcessGroup | None = None,
+        axis: int = 0,
+    ) -> np.ndarray:
+        """Reduce over the group, return this rank's equal slice of *axis*."""
+        group = self._resolve(group)
+        if op not in _REDUCE_OPS:
+            raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
+        arr = _copy_in(array)
+        _check_mean_dtype(op, arr)
+        n = group.size
+        if arr.shape[axis] % n != 0:
+            raise SpmdError(
+                f"reduce_scatter axis {axis} of size {arr.shape[axis]} "
+                f"not divisible by group size {n}"
+            )
+        self._log("reduce_scatter", arr.nbytes, n)
+        if n == 1:
+            return arr
+        full = self._rendezvous(
+            group,
+            ("reduce_scatter", op, axis),
+            arr,
+            lambda data: _reduce([data[i] for i in range(n)], op),
+        )
+        step = full.shape[axis] // n
+        me = group.rank_index(self.rank)
+        idx = [slice(None)] * full.ndim
+        idx[axis] = slice(me * step, (me + 1) * step)
+        return full[tuple(idx)].copy()
+
+    def broadcast(self, value, root: int, group: ProcessGroup | None = None) -> np.ndarray:
+        """Every rank receives a copy of the *root* world-rank's payload."""
+        group = self._resolve(group)
+        root_index = group.rank_index(root)
+        payload = _copy_in(value) if self.rank == root else None
+        if group.size == 1:
+            self._log("broadcast", payload.nbytes, 1)
+            return payload
+
+        def compute(data: dict[int, Any]) -> np.ndarray:
+            contributed = data[root_index]
+            if contributed is None:
+                raise SpmdError(f"broadcast root rank {root} supplied no payload")
+            return contributed
+
+        result = self._rendezvous(group, ("broadcast", root), payload, compute)
+        self._log("broadcast", result.nbytes, group.size)
+        return result.copy()
+
+    def scatter(self, chunks, root: int, group: ProcessGroup | None = None) -> np.ndarray:
+        """Root supplies one chunk per group rank; each rank gets its own."""
+        group = self._resolve(group)
+        root_index = group.rank_index(root)
+        contribution = None
+        if self.rank == root:
+            if chunks is None or len(chunks) != group.size:
+                raise SpmdError(
+                    f"scatter root must supply exactly {group.size} chunks, "
+                    f"got {0 if chunks is None else len(chunks)}"
+                )
+            contribution = [_copy_in(c) for c in chunks]
+            self._log("scatter", sum(c.nbytes for c in contribution), group.size)
+        else:
+            self._log("scatter", 0, group.size)
+        if group.size == 1:
+            return contribution[0]
+
+        def compute(data: dict[int, Any]) -> list[np.ndarray]:
+            sent = data[root_index]
+            if sent is None:
+                raise SpmdError(f"scatter root rank {root} supplied no chunks")
+            return sent
+
+        parts = self._rendezvous(group, ("scatter", root), contribution, compute)
+        return parts[group.rank_index(self.rank)].copy()
+
+    def gather(self, array, root: int, group: ProcessGroup | None = None) -> list[np.ndarray] | None:
+        """Inverse of scatter: the root receives every rank's array in group
+        order; other ranks receive ``None``."""
+        group = self._resolve(group)
+        group.rank_index(root)  # validate membership
+        arr = _copy_in(array)
+        self._log("gather", arr.nbytes, group.size)
+        if group.size == 1:
+            return [arr]
+        parts = self._rendezvous(
+            group,
+            ("gather", root),
+            arr,
+            lambda data: [data[i] for i in range(group.size)],
+        )
+        if self.rank != root:
+            return None
+        return [p.copy() for p in parts]
+
+    def all_to_all(self, sends, group: ProcessGroup | None = None) -> list[np.ndarray]:
+        """Transpose: element *i* of the result is what group-rank *i* sent
+        to this rank (their ``sends[my_group_index]``)."""
+        group = self._resolve(group)
+        n = group.size
+        if len(sends) != n:
+            raise SpmdError(f"all_to_all needs exactly {n} send buffers, got {len(sends)}")
+        contribution = [_copy_in(s) for s in sends]
+        self._log("all_to_all", sum(c.nbytes for c in contribution), n)
+        if n == 1:
+            return [contribution[0]]
+        matrix = self._rendezvous(
+            group,
+            ("all_to_all",),
+            contribution,
+            lambda data: {i: data[i] for i in range(n)},
+        )
+        me = group.rank_index(self.rank)
+        return [matrix[i][me].copy() for i in range(n)]
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, array, dst: int, tag: int = 0) -> None:
+        """Deposit a tagged message for *dst* (non-blocking)."""
+        if not 0 <= dst < self.size:
+            raise SpmdError(f"send dst {dst} out of range for world of size {self.size}")
+        arr = _copy_in(array)
+        self._log("send", arr.nbytes, 2)
+        key = (self.rank, dst, int(tag))
+        with self.world._mail_cond:
+            self.world._mail.setdefault(key, deque()).append(arr)
+            self.world._mail_cond.notify_all()
+
+    def recv(self, src: int, tag: int = 0) -> np.ndarray:
+        """Block until a message with this (src, tag) arrives."""
+        if not 0 <= src < self.size:
+            raise SpmdError(f"recv src {src} out of range for world of size {self.size}")
+        key = (src, self.rank, int(tag))
+        with self.world._mail_cond:
+            while True:
+                queue = self.world._mail.get(key)
+                if queue:
+                    arr = queue.popleft()
+                    break
+                self.world._check_abort()
+                self.world._mail_cond.wait(_POLL_S)
+        self._log("recv", arr.nbytes, 2)
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator(rank={self.rank}, size={self.size})"
+
+
+def run_spmd_world(
+    fn: Callable[..., Any],
+    world_size: int,
+    *args,
+    timeout: float | None = None,
+) -> tuple[list, World]:
+    """Run ``fn(comm, *args)`` on every rank of a fresh world.
+
+    Returns ``(results, world)`` with results in rank order; the world
+    exposes ``traffic`` and ``default_group`` for post-mortem inspection.
+    Raises :class:`SpmdError` if any rank fails or the run exceeds *timeout*
+    seconds (default 120).
+    """
+    timeout = _DEFAULT_TIMEOUT_S if timeout is None else float(timeout)
+    world = World(world_size)
+    results: list = [None] * world_size
+
+    def runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args)
+        except _Aborted:
+            pass
+        except BaseException as exc:
+            world.abort(rank, exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(world_size)
+    ]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    timed_out = False
+    try:
+        for t in threads:
+            remaining = timeout - (time.monotonic() - start)
+            t.join(max(0.0, remaining))
+            if t.is_alive():
+                timed_out = True
+                break
+    except BaseException as exc:
+        # The driver thread was interrupted (Ctrl-C, a per-test alarm, ...):
+        # tear the world down so rank threads stop executing fn and polling.
+        world.abort(-1, exc)
+        for t in threads:
+            t.join(1.0)
+        raise
+    if timed_out:
+        world.abort(-1, TimeoutError(f"SPMD world timed out after {timeout:g}s"))
+        grace = 5.0
+        for t in threads:
+            t.join(grace)
+    failure = world._failure
+    if failure is not None:
+        rank, exc = failure
+        if rank < 0:
+            raise SpmdError(
+                f"SPMD world timed out after {timeout:g}s "
+                "(likely a deadlocked or mismatched collective)"
+            ) from exc
+        raise SpmdError(f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
+    return results, world
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    world_size: int,
+    *args,
+    timeout: float | None = None,
+) -> list:
+    """Like :func:`run_spmd_world` but returns only the per-rank results."""
+    results, _ = run_spmd_world(fn, world_size, *args, timeout=timeout)
+    return results

@@ -1,0 +1,144 @@
+"""Wire-traffic accounting for the simulated runtime.
+
+Two layers:
+
+* :func:`ring_wire_bytes` — the analytic per-rank wire volume of a ring
+  collective, the same α–β convention :mod:`repro.perf.comm_model` prices
+  (§4.1's RCCL ring algorithms).
+* :class:`TrafficLog` — the per-world collective counter.  Every collective a
+  rank issues appends one :class:`TrafficRecord`; the figure ablations and
+  the D-CHAG communication tests read counts, payload bytes and wire bytes
+  back out with the filter methods.
+
+Payload conventions (matching NCCL/RCCL accounting and the analytic model):
+
+============== =====================================================
+op             ``payload_bytes`` argument
+============== =====================================================
+all_reduce     the full vector (identical on every rank)
+all_gather     this rank's contribution (the shard)
+reduce_scatter the full input vector (before scattering)
+broadcast      the root's payload
+all_to_all     one rank's total send volume
+============== =====================================================
+
+Per-rank ring wire volume:
+
+* ``all_reduce``      → ``2·(n−1)/n · payload``  (reduce-scatter + all-gather phases)
+* ``all_gather``      → ``(n−1) · shard``        (= ``(n−1)/n`` of the gathered total)
+* ``reduce_scatter``  → ``(n−1)/n · payload``
+* ``broadcast``       → ``(n−1)/n · payload``    (pipelined ring)
+* ``all_to_all``      → ``(n−1)/n · payload``    (the diagonal stays local)
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["ring_wire_bytes", "TrafficRecord", "TrafficLog"]
+
+_COLLECTIVE_OPS = frozenset(
+    {"all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all", "scatter", "gather"}
+)
+
+
+def ring_wire_bytes(op: str, payload_bytes: int, group_size: int) -> int:
+    """Per-rank bytes on the wire for one ring collective (see module doc)."""
+    n = int(group_size)
+    if n < 1:
+        raise ValueError(f"group size must be >= 1, got {group_size}")
+    p = int(payload_bytes)
+    if p < 0:
+        raise ValueError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    if n == 1:
+        return 0
+    if op == "all_reduce":
+        return (2 * (n - 1) * p) // n
+    if op == "all_gather":
+        return (n - 1) * p
+    if op in _COLLECTIVE_OPS:
+        return ((n - 1) * p) // n
+    if op == "send":
+        return p
+    if op == "recv":
+        return 0  # the bytes are accounted on the sender's side
+    raise ValueError(f"unknown collective op {op!r}")
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One collective (or point-to-point message) issued by one rank."""
+
+    rank: int
+    op: str
+    phase: str
+    payload_bytes: int
+    wire_bytes: int
+    group_size: int
+
+
+class TrafficLog:
+    """Thread-safe log of every collective a world's ranks issue.
+
+    One record per participating rank per collective, so ``count(op=...)`` on
+    a 4-rank world that performs one AllReduce returns 4 — the convention the
+    ablation benchmarks divide back out.  A fresh log is created for every
+    :func:`~repro.dist.run_spmd` invocation; counters never leak across runs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[TrafficRecord] = []
+
+    def add(self, record: TrafficRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    # -- filtered views ---------------------------------------------------
+    def _select(
+        self, op: str | None = None, phase: str | None = None, rank: int | None = None
+    ) -> list[TrafficRecord]:
+        with self._lock:
+            records = list(self._records)
+        return [
+            r
+            for r in records
+            if (op is None or r.op == op)
+            and (phase is None or r.phase == phase)
+            and (rank is None or r.rank == rank)
+        ]
+
+    def count(self, op: str | None = None, phase: str | None = None, rank: int | None = None) -> int:
+        return len(self._select(op, phase, rank))
+
+    def payload_bytes(
+        self, op: str | None = None, phase: str | None = None, rank: int | None = None
+    ) -> int:
+        return sum(r.payload_bytes for r in self._select(op, phase, rank))
+
+    def wire_bytes(
+        self, op: str | None = None, phase: str | None = None, rank: int | None = None
+    ) -> int:
+        return sum(r.wire_bytes for r in self._select(op, phase, rank))
+
+    def ops_histogram(self, rank: int | None = None) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for r in self._select(rank=rank):
+            hist[r.op] = hist.get(r.op, 0) + 1
+        return hist
+
+    def records(self) -> list[TrafficRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrafficLog({self.ops_histogram()})"

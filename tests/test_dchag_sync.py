@@ -1,0 +1,89 @@
+"""The replicated-layer invariant behind D-CHAG's forward-only gather (§3.3).
+
+The ``core/dchag.py`` docstring promises this module: the forward-only
+AllGather is only sound if the final cross-attention (and everything after
+it) stays *replicated* across the group — identical init, and then
+**bitwise-identical gradients on every rank at every training step**, with
+no gradient AllReduce to fall back on.  That in turn rests on the runtime's
+deterministic, rank-ordered reductions.  These tests assert the chain
+end-to-end over several real AdamW steps, and that the backward pass issues
+zero collectives (via the ``dist.stats`` traffic counters).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DCHAG, DCHAGConfig
+from repro.dist import run_spmd_world
+from repro.tensor import AdamW
+
+B, C, IMG, P, D, HEADS = 2, 16, 16, 4, 32, 4
+STEPS = 5
+N_TOKENS = (IMG // P) ** 2
+
+
+def _train(comm, kind, fanout):
+    imgs = np.random.default_rng(11).standard_normal((B, C, IMG, IMG)).astype(np.float32)
+    cfg = DCHAGConfig(channels=C, patch=P, dim=D, heads=HEADS, kind=kind, fanout=fanout)
+    model = DCHAG(comm, None, cfg, rng_seed=9)
+    opt = AdamW(model.parameters(), lr=1e-3, weight_decay=0.0)
+    shared = model.shared_parameters()
+
+    grads_per_step, weights_per_step = [], []
+    for step in range(STEPS):
+        for p in model.parameters():
+            p.grad = None
+        out = model(imgs + 0.01 * step)  # slightly different batch each step
+        loss = (out * out).mean()
+        comm.phase = "backward"
+        loss.backward()
+        comm.phase = ""
+        grads_per_step.append([p.grad.copy() for p in shared])
+        opt.step()
+        weights_per_step.append([p.data.copy() for p in shared])
+    return grads_per_step, weights_per_step
+
+
+@pytest.fixture(scope="module", params=[("linear", 0), ("cross", 2)], ids=["linear", "cross-tree2"])
+def trained(request):
+    kind, fanout = request.param
+    results, world = run_spmd_world(_train, 4, kind, fanout)
+    return results, world
+
+
+class TestReplicatedLayerInvariant:
+    def test_final_layer_gradients_bitwise_identical_every_step(self, trained):
+        """The docstring's promise, verbatim: bitwise-identical gradients on
+        every rank, at every one of several training steps."""
+        results, _ = trained
+        ref_grads, _ = results[0]
+        for rank, (grads, _) in enumerate(results[1:], start=1):
+            for step in range(STEPS):
+                assert len(grads[step]) == len(ref_grads[step]) > 0
+                for a, b in zip(ref_grads[step], grads[step]):
+                    np.testing.assert_array_equal(
+                        a, b, err_msg=f"rank {rank}, step {step}: shared grad diverged"
+                    )
+
+    def test_final_layer_weights_bitwise_identical_after_optimizer(self, trained):
+        """Identical grads + identical AdamW state ⇒ identical weights, so
+        the replication invariant is self-sustaining across steps."""
+        results, _ = trained
+        _, ref_weights = results[0]
+        for _, weights in results[1:]:
+            for step in range(STEPS):
+                for a, b in zip(ref_weights[step], weights[step]):
+                    np.testing.assert_array_equal(a, b)
+
+    def test_forward_only_gather_issues_zero_backward_collectives(self, trained):
+        """dist.stats counters: no collective of any kind in any backward."""
+        _, world = trained
+        assert world.traffic.count(phase="backward") == 0
+
+    def test_traffic_is_exactly_one_gather_per_rank_per_step(self, trained):
+        """§3.3: the entire communication of a training step is one AllGather
+        of one channel per rank."""
+        _, world = trained
+        assert world.traffic.ops_histogram() == {"all_gather": 4 * STEPS}
+        # Per-rank payload per step: one aggregated channel, [B, 1, N, D] floats.
+        assert world.traffic.payload_bytes(op="all_gather", rank=0) == STEPS * B * N_TOKENS * D * 4

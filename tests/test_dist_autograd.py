@@ -2,8 +2,10 @@
 paper's strategies are built from."""
 
 import numpy as np
+import pytest
 
 from repro.dist import (
+    SpmdError,
     all_gather_autograd,
     all_gather_forward_only,
     average_gradients,
@@ -70,6 +72,18 @@ class TestAllGatherAutograd:
         for rank, grad in enumerate(res):
             np.testing.assert_allclose(grad, weight_sum * 2.0 * (rank + 1))
         assert world.traffic.count(op="reduce_scatter", phase="backward") == world_size
+
+    def test_unequal_shards_rejected(self):
+        """The backward ReduceScatter slices equally, so unequal forward
+        shards would mis-assign gradients; the gather must refuse upfront."""
+
+        def fn(comm):
+            n = 2 if comm.rank == 0 else 6
+            x = Tensor(np.ones((n, 3), dtype=np.float32), requires_grad=True)
+            all_gather_autograd(comm, x, axis=0)
+
+        with pytest.raises(SpmdError, match="equal shards"):
+            run_spmd(fn, 2)
 
 
 class TestConjugateOperators:

@@ -1,0 +1,101 @@
+"""Property tests for ``repro.dist.stats``: the analytic ring formulas and
+the per-invocation traffic counters the ablation benchmarks consume."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dist import TrafficLog, TrafficRecord, ring_wire_bytes, run_spmd_world
+
+PAYLOADS = st.integers(0, 10**9)
+SIZES = st.integers(2, 64)
+
+
+class TestRingFormulas:
+    @settings(max_examples=50, deadline=None)
+    @given(PAYLOADS, SIZES)
+    def test_all_reduce_is_two_ring_passes(self, payload, n):
+        """Ring AllReduce = ReduceScatter pass + AllGather pass:
+        2·(n−1)/n of the full vector crosses each rank's link."""
+        assert ring_wire_bytes("all_reduce", payload, n) == (2 * (n - 1) * payload) // n
+
+    @settings(max_examples=50, deadline=None)
+    @given(PAYLOADS, SIZES)
+    def test_all_gather_moves_every_foreign_shard(self, payload, n):
+        """Payload here is the per-rank shard; each rank receives the other
+        n−1 shards, i.e. (n−1)/n of the gathered total."""
+        assert ring_wire_bytes("all_gather", payload, n) == (n - 1) * payload
+
+    @settings(max_examples=50, deadline=None)
+    @given(PAYLOADS, SIZES)
+    def test_reduce_scatter_is_one_ring_pass(self, payload, n):
+        """(n−1)/n of the full input vector — exactly half an AllReduce."""
+        wire = ring_wire_bytes("reduce_scatter", payload, n)
+        assert wire == ((n - 1) * payload) // n
+        assert 2 * wire <= ring_wire_bytes("all_reduce", payload, n) <= 2 * wire + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from(["all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all"]),
+        PAYLOADS,
+    )
+    def test_singleton_group_never_touches_the_wire(self, op, payload):
+        assert ring_wire_bytes(op, payload, 1) == 0
+
+    def test_unknown_op_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ring_wire_bytes("all_shuffle", 1024, 4)
+        with pytest.raises(ValueError):
+            ring_wire_bytes("all_reduce", -1, 4)
+        with pytest.raises(ValueError):
+            ring_wire_bytes("all_reduce", 1024, 0)
+
+
+def _one_step(comm):
+    comm.all_reduce(np.zeros(256, dtype=np.float32))
+    comm.all_gather(np.zeros(64, dtype=np.float32))
+    comm.barrier()
+    return None
+
+
+class TestCounterLifecycle:
+    def test_counters_reset_per_run_spmd_invocation(self):
+        """Each run_spmd gets a fresh world and a fresh TrafficLog: repeated
+        identical runs report identical (not accumulating) counters."""
+        _, first = run_spmd_world(_one_step, 4)
+        _, second = run_spmd_world(_one_step, 4)
+        assert first is not second
+        assert first.traffic is not second.traffic
+        assert first.traffic.ops_histogram() == second.traffic.ops_histogram()
+        assert first.traffic.count() == second.traffic.count() == 8
+
+    def test_finished_world_log_is_frozen(self):
+        """Running a new world must not append to an old world's log."""
+        _, world = run_spmd_world(_one_step, 2)
+        before = world.traffic.count()
+        run_spmd_world(_one_step, 2)
+        assert world.traffic.count() == before
+
+    def test_barriers_move_no_data_and_are_not_logged(self):
+        _, world = run_spmd_world(_one_step, 4)
+        assert "barrier" not in world.traffic.ops_histogram()
+
+    def test_logged_wire_bytes_match_the_analytic_formula(self):
+        """The log's wire accounting and the α–β model's ring_wire_bytes are
+        the same function — perf/comm_model.py depends on this agreement."""
+        _, world = run_spmd_world(_one_step, 4)
+        assert world.traffic.wire_bytes(op="all_reduce", rank=0) == ring_wire_bytes(
+            "all_reduce", 256 * 4, 4
+        )
+        assert world.traffic.wire_bytes(op="all_gather", rank=0) == ring_wire_bytes(
+            "all_gather", 64 * 4, 4
+        )
+
+    def test_manual_log_reset(self):
+        log = TrafficLog()
+        log.add(TrafficRecord(rank=0, op="all_reduce", phase="", payload_bytes=8, wire_bytes=4, group_size=2))
+        assert log.count() == len(log) == 1
+        log.reset()
+        assert log.count() == 0
+        assert log.ops_histogram() == {}
