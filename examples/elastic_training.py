@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Elastic fault-tolerant training: survive a mid-run rank loss.
+
+The scenario the ROADMAP calls the fault-tolerance workload: an FSDP-sharded
+MAE trains on simulated ranks, checkpointing in shards (one file per rank
+plus a manifest) every few steps.  A scripted failure then kills one rank
+mid-training — exactly what a real GPU loss looks like to the runtime — and
+the :class:`~repro.elastic.ElasticSupervisor`
+
+1. catches the world abort,
+2. shrinks the world by the dead rank,
+3. reshards the last complete checkpoint to the surviving world size
+   (pure data movement — bitwise, optimizer moments included),
+4. resumes mid-schedule.
+
+The demo proves the recovery is *semantically free*: the elastic run's loss
+trajectory matches an uninterrupted run of the same schedule, because FSDP's
+math is independent of how the flat parameters are sharded.
+
+Run:  python examples/elastic_training.py [--world 4] [--kill-step 7]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.elastic import ElasticSupervisor, FailurePlan, fsdp_training_segment
+from repro.models import build_serial_mae
+from repro.train import TrainConfig
+
+C, IMG, P, D, HEADS, DEPTH = 8, 16, 4, 32, 4, 2
+
+
+def parse_args() -> argparse.Namespace:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--world", type=int, default=4, help="initial FSDP world size")
+    ap.add_argument("--steps", type=int, default=12)
+    ap.add_argument("--checkpoint-every", type=int, default=3)
+    ap.add_argument("--kill-rank", type=int, default=2)
+    ap.add_argument("--kill-step", type=int, default=7)
+    ap.add_argument("--ckpt-dir", default=None, help="checkpoint root (default: tempdir)")
+    return ap.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    if args.ckpt_dir is None:
+        import tempfile
+
+        root = tempfile.mkdtemp(prefix="elastic_ckpt_")
+    else:
+        root = args.ckpt_dir
+
+    def module_factory():
+        return build_serial_mae(
+            channels=C, image=IMG, patch=P, dim=D, depth=DEPTH, heads=HEADS,
+            rng=np.random.default_rng(0), mask_ratio=0.5,
+        )
+
+    images = np.random.default_rng(5).standard_normal((4, C, IMG, IMG)).astype(np.float32)
+
+    def batch_fn(step):
+        # Step-indexed masking RNG: every world size (and every restart)
+        # masks identically at a given step.
+        return images, np.random.default_rng(900 + step)
+
+    config = TrainConfig(
+        lr=3e-3, total_steps=args.steps, warmup_steps=2,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+    def run(tag, world, plan, ckpt_root):
+        segment = fsdp_training_segment(module_factory, batch_fn, config, ckpt_root)
+        sup = ElasticSupervisor(segment, ckpt_root, world, timeout=120)
+        res = sup.run(args.steps, failure_plan=plan)
+        print(f"[{tag}] world sizes per step: {res.world_sizes}")
+        print(f"[{tag}] loss: {res.losses[0]:.4f} -> {res.final_loss:.4f} "
+              f"over {len(res.losses)} steps ({res.attempts} attempt(s))")
+        return res
+
+    plan = FailurePlan.kill(args.kill_rank, args.kill_step, "simulated GPU loss")
+    print(f"=== elastic run: kill rank {args.kill_rank} at step {args.kill_step} ===")
+    res = run("elastic", args.world, plan, f"{root}/elastic")
+    for ev in res.recoveries:
+        print(
+            f"[elastic] recovery: rank {ev.failed_rank} died at step {ev.failed_step}; "
+            f"resumed {ev.old_world_size}->{ev.new_world_size} wide from step "
+            f"{ev.resume_step} ({ev.steps_lost} step(s) lost, "
+            f"{ev.reshard_bytes / 1024:.1f} KiB resharded)"
+        )
+
+    print(f"=== uninterrupted baseline (same schedule, {args.world} ranks) ===")
+    base = run("baseline", args.world, None, f"{root}/baseline")
+
+    drift = float(np.max(np.abs(np.asarray(res.losses) - np.asarray(base.losses))))
+    print(f"max |elastic - baseline| over the trajectory: {drift:.2e}")
+    assert np.allclose(res.losses, base.losses, rtol=1e-4, atol=1e-6), (
+        "elastic trajectory diverged from the uninterrupted baseline"
+    )
+    print("OK: recovery preserved the loss trajectory "
+          f"(final {res.final_loss:.6f} vs baseline {base.final_loss:.6f})")
+
+
+if __name__ == "__main__":
+    main()

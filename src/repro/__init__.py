@@ -8,6 +8,7 @@ Subpackages
 ``repro.dist``      simulated multi-rank distributed runtime (RCCL substitute)
 ``repro.parallel``  TP / FSDP / DP / DeviceMesh strategies
 ``repro.core``      the D-CHAG method itself
+``repro.elastic``   fault-tolerant elastic training (sharded ckpts, resharding)
 ``repro.perf``      Frontier machine model + memory/FLOPs/comm/throughput models
 ``repro.data``      synthetic hyperspectral & ERA5-like datasets, regridding
 ``repro.models``    ChannelViT / MAE / weather-forecaster assemblies

@@ -41,6 +41,7 @@ from .autograd import (
     all_gather_forward_only,
     average_gradients,
     broadcast_parameters,
+    clip_grad_norm_sharded,
     copy_to_group,
     reduce_from_group,
 )
@@ -51,6 +52,7 @@ from .runtime import (
     World,
     run_spmd,
     run_spmd_world,
+    split_sizes,
 )
 from .stats import TrafficLog, TrafficRecord, ring_wire_bytes
 
@@ -61,6 +63,7 @@ __all__ = [
     "World",
     "run_spmd",
     "run_spmd_world",
+    "split_sizes",
     "TrafficLog",
     "TrafficRecord",
     "ring_wire_bytes",
@@ -68,6 +71,7 @@ __all__ = [
     "all_gather_forward_only",
     "average_gradients",
     "broadcast_parameters",
+    "clip_grad_norm_sharded",
     "copy_to_group",
     "reduce_from_group",
 ]

@@ -25,6 +25,7 @@ import contextlib
 import numpy as np
 
 from ..tensor import Tensor
+from ..tensor.optim import apply_clip_scale, grad_squared_sum
 from .runtime import Communicator, ProcessGroup, SpmdError
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "reduce_from_group",
     "average_gradients",
     "broadcast_parameters",
+    "clip_grad_norm_sharded",
 ]
 
 
@@ -68,19 +70,23 @@ def all_gather_autograd(
     """
     group = _resolve(comm, group)
     parts = comm.all_gather(x.data, group=group)
-    shapes = {p.shape for p in parts}
-    if len(shapes) > 1:
-        # The backward ReduceScatter hands every rank an equal slice; with
-        # unequal shards it would silently mis-assign gradients (NCCL's
-        # AllGather has the same equal-count requirement).
+    other_dims = {p.shape[:axis] + p.shape[axis + 1 :] for p in parts}
+    if len(other_dims) > 1:
         raise SpmdError(
-            f"all_gather_autograd requires equal shards on every rank, got {sorted(shapes)}"
+            "all_gather_autograd requires matching non-axis dimensions on "
+            f"every rank, got {sorted(other_dims)}"
         )
+    # Shards may be unequal along *axis* (remainder sharding): the backward
+    # ReduceScatter is told the exact per-rank sizes so each rank gets back
+    # the gradient of precisely its own contribution (a padded collective).
+    sizes = tuple(p.shape[axis] for p in parts)
     out_data = np.concatenate(parts, axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         with _backward_phase(comm):
-            shard = comm.reduce_scatter(grad, op=reduce_op, group=group, axis=axis)
+            shard = comm.reduce_scatter(
+                grad, op=reduce_op, group=group, axis=axis, sizes=sizes
+            )
         x._accumulate(shard)
 
     return x._make(out_data, (x,), backward, "all_gather_autograd")
@@ -189,6 +195,28 @@ def average_gradients(
             n = p.data.size
             p.grad = avg[offset : offset + n].reshape(p.data.shape).copy()
             offset += n
+
+
+def clip_grad_norm_sharded(
+    comm: Communicator,
+    params: list[Tensor],
+    max_norm: float,
+    group: ProcessGroup | None = None,
+) -> float:
+    """Global-norm gradient clipping over *sharded* parameters (FSDP).
+
+    Each rank holds a disjoint shard, so the clip norm is the norm of the
+    union: AllReduce the local sum of squares, then scale local grads by the
+    shared factor — every rank applies the identical scale the serial
+    :func:`~repro.tensor.clip_grad_norm` would.  Returns the pre-clip global
+    norm.
+    """
+    group = _resolve(comm, group)
+    local = grad_squared_sum(params)
+    total = float(comm.all_reduce(np.array([local], dtype=np.float64), group=group)[0])
+    norm = float(np.sqrt(total))
+    apply_clip_scale(params, norm, max_norm)
+    return norm
 
 
 def broadcast_parameters(

@@ -39,6 +39,7 @@ __all__ = [
     "Communicator",
     "run_spmd",
     "run_spmd_world",
+    "split_sizes",
 ]
 
 # How often blocked ranks re-check the abort flag.  Completions are signalled
@@ -51,7 +52,16 @@ _REDUCE_OPS = ("sum", "mean", "max", "min")
 
 
 class SpmdError(RuntimeError):
-    """A simulated SPMD world failed (rank exception, misuse, or timeout)."""
+    """A simulated SPMD world failed (rank exception, misuse, or timeout).
+
+    When raised by :func:`run_spmd_world` the error carries post-mortem
+    context for elastic supervisors: ``rank`` is the world rank that failed
+    (``-1`` for driver-side timeouts), and ``world`` is the dead
+    :class:`World`, whose ``rank_status`` and ``traffic`` survive the abort.
+    """
+
+    rank: int = -1
+    world: "World | None" = None
 
 
 class _Aborted(BaseException):
@@ -120,13 +130,28 @@ class _GroupState:
 
 
 class World:
-    """Shared state of one SPMD run: groups, mailboxes, traffic, abort flag."""
+    """Shared state of one SPMD run: groups, mailboxes, traffic, abort flag.
 
-    def __init__(self, size: int) -> None:
+    ``failure_plan`` is any object exposing ``check(rank, step)`` (see
+    :class:`repro.elastic.FailurePlan`); ranks consult it through
+    :meth:`Communicator.tick` so tests can script deterministic crashes.
+    ``rank_status`` records each rank's clean exit state — ``"running"``,
+    ``"ok"``, ``"failed"`` (the rank that raised) or ``"aborted"`` (peers
+    unwound by the abort) — and stays readable after the world dies.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timeline: bool = False,
+        failure_plan: Any | None = None,
+    ) -> None:
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
         self.size = size
-        self.traffic = TrafficLog()
+        self.traffic = TrafficLog(timeline=timeline)
+        self.failure_plan = failure_plan
+        self.rank_status: list[str] = ["running"] * size
         self._lock = threading.Lock()
         self._group_states: dict[tuple[int, ...], _GroupState] = {}
         self._abort_event = threading.Event()
@@ -159,6 +184,11 @@ class World:
     def aborted(self) -> bool:
         return self._abort_event.is_set()
 
+    @property
+    def failed_ranks(self) -> list[int]:
+        """World ranks whose thread raised (not peers unwound by the abort)."""
+        return [r for r, s in enumerate(self.rank_status) if s == "failed"]
+
     def abort(self, rank: int, exc: BaseException) -> None:
         """Record the first failure and wake every blocked rank."""
         with self._lock:
@@ -176,6 +206,20 @@ class World:
     def _check_abort(self) -> None:
         if self._abort_event.is_set():
             raise _Aborted()
+
+
+def split_sizes(total: int, parts: int) -> tuple[int, ...]:
+    """Partition *total* elements over *parts* ranks, remainder spread first.
+
+    The shared uneven-sharding convention (``np.array_split``): the first
+    ``total % parts`` ranks own one extra element, all blocks contiguous.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, rem = divmod(total, parts)
+    return tuple(base + 1 if i < rem else base for i in range(parts))
 
 
 def _copy_in(value) -> np.ndarray:
@@ -239,6 +283,18 @@ class Communicator:
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
         """Create (or re-attach to) the process group over *ranks*."""
         return self.world.group(ranks)
+
+    def tick(self, step: int) -> None:
+        """Consult the world's failure plan at a step boundary.
+
+        Trainers call this once per training step; a scripted
+        :class:`~repro.elastic.FailurePlan` raises on its (rank, step) match,
+        which aborts the world exactly like a real rank loss.  A no-op when
+        the world has no plan installed.
+        """
+        plan = self.world.failure_plan
+        if plan is not None:
+            plan.check(self.rank, step)
 
     def _resolve(self, group: ProcessGroup | None) -> ProcessGroup:
         group = group if group is not None else self.world.default_group
@@ -364,32 +420,56 @@ class Communicator:
         op: str = "sum",
         group: ProcessGroup | None = None,
         axis: int = 0,
+        sizes: Sequence[int] | None = None,
     ) -> np.ndarray:
-        """Reduce over the group, return this rank's equal slice of *axis*."""
+        """Reduce over the group, return this rank's slice of *axis*.
+
+        With *sizes* (one entry per group rank, summing to the axis length)
+        the split may be uneven; without it, a non-divisible axis falls back
+        to the remainder convention of :func:`split_sizes` (first ``r`` ranks
+        get one extra element).  Uneven splits are executed as *padded*
+        collectives — every chunk is padded to the largest, the ring moves
+        the padded volume (which is what the traffic log charges), and the
+        pad is stripped before the result is returned.
+        """
         group = self._resolve(group)
         if op not in _REDUCE_OPS:
             raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
         arr = _copy_in(array)
         _check_mean_dtype(op, arr)
         n = group.size
-        if arr.shape[axis] % n != 0:
-            raise SpmdError(
-                f"reduce_scatter axis {axis} of size {arr.shape[axis]} "
-                f"not divisible by group size {n}"
-            )
-        self._log("reduce_scatter", arr.nbytes, n)
+        dim = arr.shape[axis]
+        if sizes is None:
+            chunk_sizes = split_sizes(dim, n)
+        else:
+            chunk_sizes = tuple(int(s) for s in sizes)
+            if len(chunk_sizes) != n:
+                raise SpmdError(
+                    f"reduce_scatter sizes must have one entry per group rank "
+                    f"({n}), got {len(chunk_sizes)}"
+                )
+            if any(s < 0 for s in chunk_sizes) or sum(chunk_sizes) != dim:
+                raise SpmdError(
+                    f"reduce_scatter sizes {list(chunk_sizes)} do not partition "
+                    f"axis {axis} of size {dim}"
+                )
+        # Padded-collective accounting: with uneven chunks the ring moves
+        # max(chunk) per rank per step, i.e. n·max(chunk) total elements.
+        padded_dim = max(chunk_sizes) * n if chunk_sizes else 0
+        payload = arr.nbytes if dim == 0 else (arr.nbytes // dim) * padded_dim
+        self._log("reduce_scatter", payload, n)
         if n == 1:
             return arr
         full = self._rendezvous(
             group,
-            ("reduce_scatter", op, axis),
+            ("reduce_scatter", op, axis, chunk_sizes),
             arr,
             lambda data: _reduce([data[i] for i in range(n)], op),
         )
-        step = full.shape[axis] // n
         me = group.rank_index(self.rank)
+        lo = int(sum(chunk_sizes[:me]))
         idx = [slice(None)] * full.ndim
-        idx[axis] = slice(me * step, (me + 1) * step)
+        idx[axis] = slice(lo, lo + chunk_sizes[me])
         return full[tuple(idx)].copy()
 
     def broadcast(self, value, root: int, group: ProcessGroup | None = None) -> np.ndarray:
@@ -514,25 +594,33 @@ def run_spmd_world(
     world_size: int,
     *args,
     timeout: float | None = None,
+    timeline: bool = False,
+    failure_plan: Any | None = None,
 ) -> tuple[list, World]:
     """Run ``fn(comm, *args)`` on every rank of a fresh world.
 
     Returns ``(results, world)`` with results in rank order; the world
-    exposes ``traffic`` and ``default_group`` for post-mortem inspection.
-    Raises :class:`SpmdError` if any rank fails or the run exceeds *timeout*
-    seconds (default 120).
+    exposes ``traffic``, ``rank_status`` and ``default_group`` for
+    post-mortem inspection.  Raises :class:`SpmdError` if any rank fails or
+    the run exceeds *timeout* seconds (default 120); the error carries the
+    failed ``rank`` and the dead ``world``.  ``timeline=True`` stamps every
+    traffic record with a per-world sequence number and monotonic timestamp;
+    ``failure_plan`` installs a scripted-crash plan consulted by
+    :meth:`Communicator.tick`.
     """
     timeout = _DEFAULT_TIMEOUT_S if timeout is None else float(timeout)
-    world = World(world_size)
+    world = World(world_size, timeline=timeline, failure_plan=failure_plan)
     results: list = [None] * world_size
 
     def runner(rank: int) -> None:
         comm = Communicator(world, rank)
         try:
             results[rank] = fn(comm, *args)
+            world.rank_status[rank] = "ok"
         except _Aborted:
-            pass
+            world.rank_status[rank] = "aborted"
         except BaseException as exc:
+            world.rank_status[rank] = "failed"
             world.abort(rank, exc)
 
     threads = [
@@ -566,11 +654,15 @@ def run_spmd_world(
     if failure is not None:
         rank, exc = failure
         if rank < 0:
-            raise SpmdError(
+            err = SpmdError(
                 f"SPMD world timed out after {timeout:g}s "
                 "(likely a deadlocked or mismatched collective)"
-            ) from exc
-        raise SpmdError(f"rank {rank} failed: {type(exc).__name__}: {exc}") from exc
+            )
+        else:
+            err = SpmdError(f"rank {rank} failed: {type(exc).__name__}: {exc}")
+        err.rank = rank
+        err.world = world
+        raise err from exc
     return results, world
 
 
@@ -579,7 +671,11 @@ def run_spmd(
     world_size: int,
     *args,
     timeout: float | None = None,
+    timeline: bool = False,
+    failure_plan: Any | None = None,
 ) -> list:
     """Like :func:`run_spmd_world` but returns only the per-rank results."""
-    results, _ = run_spmd_world(fn, world_size, *args, timeout=timeout)
+    results, _ = run_spmd_world(
+        fn, world_size, *args, timeout=timeout, timeline=timeline, failure_plan=failure_plan
+    )
     return results

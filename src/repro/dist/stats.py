@@ -34,7 +34,8 @@ Per-rank ring wire volume:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 __all__ = ["ring_wire_bytes", "TrafficRecord", "TrafficLog"]
 
@@ -68,7 +69,15 @@ def ring_wire_bytes(op: str, payload_bytes: int, group_size: int) -> int:
 
 @dataclass(frozen=True)
 class TrafficRecord:
-    """One collective (or point-to-point message) issued by one rank."""
+    """One collective (or point-to-point message) issued by one rank.
+
+    ``seq`` and ``timestamp`` are only populated when the owning
+    :class:`TrafficLog` runs in timeline mode (``timeline=True``): ``seq`` is
+    a per-world monotonically increasing arrival index and ``timestamp`` a
+    ``time.monotonic()`` stamp, the groundwork for deriving communication
+    overlap fractions instead of assuming them.  Both stay ``-1`` when the
+    flag is off (the default).
+    """
 
     rank: int
     op: str
@@ -76,6 +85,8 @@ class TrafficRecord:
     payload_bytes: int
     wire_bytes: int
     group_size: int
+    seq: int = -1
+    timestamp: float = -1.0
 
 
 class TrafficLog:
@@ -87,12 +98,17 @@ class TrafficLog:
     :func:`~repro.dist.run_spmd` invocation; counters never leak across runs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timeline: bool = False) -> None:
         self._lock = threading.Lock()
         self._records: list[TrafficRecord] = []
+        self.timeline = bool(timeline)
 
     def add(self, record: TrafficRecord) -> None:
         with self._lock:
+            if self.timeline:
+                record = replace(
+                    record, seq=len(self._records), timestamp=time.monotonic()
+                )
             self._records.append(record)
 
     def reset(self) -> None:

@@ -1,0 +1,60 @@
+"""``repro.elastic`` — fault-tolerant, elastically resizable training.
+
+The production-scale counterpart to :mod:`repro.dist`'s abort-on-failure
+semantics: instead of dying with the world, training survives rank loss by
+checkpointing in shards, resharding those shards to the surviving world
+size, and resuming mid-schedule.
+
+Three pieces:
+
+* :mod:`~repro.elastic.checkpoint` — sharded checkpoints: one
+  ``shard_*.npz`` per FSDP rank plus a ``manifest.json`` recording the flat
+  parameter layout.  A checkpoint saved at world size N reshards to any M as
+  pure data movement (bitwise), with AdamW moments carried along; DP
+  replicas are deduplicated at save time.
+* :mod:`~repro.elastic.failure` — deterministic failure injection:
+  :class:`FailurePlan` scripts "kill rank r at step s" and plugs into
+  ``run_spmd(..., failure_plan=...)`` via ``Communicator.tick``.
+* :mod:`~repro.elastic.supervisor` — :class:`ElasticSupervisor` catches the
+  world's :class:`~repro.dist.SpmdError`, shrinks the mesh, reshards the
+  latest complete checkpoint and relaunches; resumed runs follow the same
+  loss trajectory as an uninterrupted baseline.
+"""
+
+from .checkpoint import (
+    MANIFEST_NAME,
+    checkpoint_dir,
+    checkpoint_nbytes,
+    consolidate,
+    latest_checkpoint,
+    load_manifest,
+    load_sharded,
+    reshard,
+    save_sharded,
+)
+from .failure import FailurePlan, InjectedFailure, RankFailure
+from .supervisor import (
+    ElasticResult,
+    ElasticSupervisor,
+    RecoveryEvent,
+    fsdp_training_segment,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "checkpoint_dir",
+    "checkpoint_nbytes",
+    "consolidate",
+    "latest_checkpoint",
+    "load_manifest",
+    "load_sharded",
+    "reshard",
+    "save_sharded",
+    "FailurePlan",
+    "InjectedFailure",
+    "RankFailure",
+    "ElasticResult",
+    "ElasticSupervisor",
+    "RecoveryEvent",
+    "fsdp_training_segment",
+]

@@ -1,0 +1,341 @@
+"""Distributed sharded checkpoints with manifest-driven resharding.
+
+Layout: one checkpoint is a directory ``step_{S:08d}/`` under a checkpoint
+root, holding one ``shard_{i:04d}.npz`` per FSDP group rank plus a
+``manifest.json`` describing the flat-parameter geometry:
+
+.. code-block:: text
+
+    ckpts/
+      step_00000004/
+        manifest.json          # written LAST -> its presence marks completeness
+        shard_0000.npz         # unit{k}.param / unit{k}.m / unit{k}.v
+        shard_0001.npz
+      step_00000004.w3/        # the same step resharded to world size 3
+
+Each shard file stores, per FSDP unit, this rank's slice of the padded flat
+parameter and (optionally) the matching AdamW moment slices — the optimizer
+state rides along with exactly the same geometry, because the optimizer runs
+on the flat shards.
+
+Because the manifest records the *unpadded* layout (parameter names, shapes
+and the flat ``total``), a checkpoint saved at world size N can be
+**resharded** to any world size M as pure data movement: concatenate the N
+shards, strip N's pad, re-pad for M, re-split.  No arithmetic touches the
+values, so reshard → consolidate is bitwise-identical to the original
+consolidated state at any M.
+
+DP replicas hold identical shards by construction, so only one replica
+(``write=True``, conventionally ``mesh.coords.dp == 0``) writes files; the
+other replicas still join the group barrier so the save is collective.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..parallel.fsdp import FSDPModel
+from ..tensor.optim import AdamW
+
+__all__ = [
+    "MANIFEST_NAME",
+    "checkpoint_dir",
+    "save_sharded",
+    "load_sharded",
+    "load_manifest",
+    "latest_checkpoint",
+    "reshard",
+    "consolidate",
+    "checkpoint_nbytes",
+]
+
+MANIFEST_NAME = "manifest.json"
+_VERSION = 1
+
+
+def checkpoint_dir(root: str | Path, step: int) -> Path:
+    """The step directory for checkpoint *step* under *root*."""
+    return Path(root) / f"step_{int(step):08d}"
+
+
+def _shard_name(group_rank: int) -> str:
+    return f"shard_{int(group_rank):04d}.npz"
+
+
+def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """Write-then-rename so a crash mid-save never leaves a torn file."""
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez(tmp, **arrays)
+    os.replace(tmp, path)
+
+
+def save_sharded(
+    root: str | Path,
+    model: FSDPModel,
+    optimizer: AdamW | None = None,
+    step: int = 0,
+    extra: dict | None = None,
+    write: bool = True,
+) -> Path:
+    """Collectively write a sharded checkpoint of *model* at *step*.
+
+    Every rank of the model's FSDP group must call this at the same step.
+    Ranks with ``write=False`` (deduplicated DP replicas) skip file I/O but
+    still participate in the completion barrier.  The manifest is written by
+    group rank 0 strictly after the barrier, so ``manifest.json`` existing
+    implies every shard file is complete — the invariant
+    :func:`latest_checkpoint` relies on to skip checkpoints torn by a crash.
+
+    *extra* (JSON-serializable) is carried in the manifest; elastic trainers
+    stash their loss history there so resumed runs report full trajectories.
+    """
+    comm, group = model.comm, model.group
+    me = group.rank_index(comm.rank)
+    step_dir = checkpoint_dir(root, step)
+    adam_step = 0
+    if write:
+        step_dir.mkdir(parents=True, exist_ok=True)
+        arrays: dict[str, np.ndarray] = {}
+        opt_state = optimizer.state_dict() if optimizer is not None else None
+        if opt_state is not None:
+            adam_step = int(opt_state["step"])
+        for i, unit in enumerate(model.units):
+            arrays[f"unit{i}.param"] = unit.flat.shard.data
+            if opt_state is not None:
+                arrays[f"unit{i}.m"] = opt_state["m"][i]
+                arrays[f"unit{i}.v"] = opt_state["v"][i]
+        _atomic_savez(step_dir / _shard_name(me), arrays)
+    comm.barrier(group)
+    if write and me == 0:
+        manifest = {
+            "version": _VERSION,
+            "step": int(step),
+            "world_size": int(group.size),
+            "units": model.shard_metadata(),
+            "has_optimizer": optimizer is not None,
+            "adam_step": adam_step,
+            "shards": [_shard_name(r) for r in range(group.size)],
+            "extra": extra if extra is not None else {},
+        }
+        tmp = step_dir / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1))
+        os.replace(tmp, step_dir / MANIFEST_NAME)
+    return step_dir
+
+
+def load_manifest(step_dir: str | Path) -> dict:
+    """Parse a step directory's manifest."""
+    return json.loads((Path(step_dir) / MANIFEST_NAME).read_text())
+
+
+def _is_complete(step_dir: Path) -> bool:
+    manifest_path = step_dir / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return False
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return all((step_dir / name).is_file() for name in manifest.get("shards", ()))
+
+
+def latest_checkpoint(root: str | Path) -> Path | None:
+    """The newest *complete* checkpoint under *root*, or ``None``.
+
+    Completeness = manifest present (written last) and every shard file it
+    names on disk.  Ties on step (an original and its reshard) break toward
+    the lexicographically last directory name — they hold identical values,
+    so either is correct.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    candidates: list[tuple[int, str, Path]] = []
+    for child in root.iterdir():
+        if child.is_dir() and child.name.startswith("step_") and _is_complete(child):
+            candidates.append((load_manifest(child)["step"], child.name, child))
+    if not candidates:
+        return None
+    return max(candidates)[2]
+
+
+def _validate_units(manifest: dict, model: FSDPModel) -> None:
+    ours = model.shard_metadata()
+    theirs = manifest["units"]
+    if len(theirs) != len(ours):
+        raise ValueError(
+            f"checkpoint has {len(theirs)} FSDP units, model has {len(ours)}"
+        )
+    for i, (a, b) in enumerate(zip(theirs, ours)):
+        for key in ("names", "shapes", "sizes", "total"):
+            if a[key] != b[key]:
+                raise ValueError(
+                    f"unit {i} layout mismatch on {key!r}: checkpoint {a[key]} vs model {b[key]}"
+                )
+
+
+def load_sharded(
+    step_dir: str | Path,
+    model: FSDPModel,
+    optimizer: AdamW | None = None,
+) -> dict:
+    """Restore *model* (and optionally *optimizer*) from a sharded checkpoint.
+
+    Purely local I/O — each rank reads only its own shard file, so restore
+    moves zero wire bytes and is bitwise exact.  The checkpoint's world size
+    must equal the model's FSDP group size; :func:`reshard` first otherwise.
+    Returns the manifest (whose ``step`` and ``extra`` drive trainer resume).
+    """
+    step_dir = Path(step_dir)
+    manifest = load_manifest(step_dir)
+    group = model.group
+    if manifest["world_size"] != group.size:
+        raise ValueError(
+            f"checkpoint world size {manifest['world_size']} != FSDP group size "
+            f"{group.size}; reshard() it first"
+        )
+    _validate_units(manifest, model)
+    me = group.rank_index(model.comm.rank)
+    with np.load(step_dir / _shard_name(me)) as data:
+        shards = [data[f"unit{i}.param"] for i in range(len(model.units))]
+        model.load_shard_data(shards)
+        if optimizer is not None:
+            if not manifest["has_optimizer"]:
+                raise ValueError("checkpoint carries no optimizer state")
+            optimizer.load_state_dict(
+                {
+                    "step": manifest["adam_step"],
+                    "m": [data[f"unit{i}.m"] for i in range(len(model.units))],
+                    "v": [data[f"unit{i}.v"] for i in range(len(model.units))],
+                }
+            )
+    return manifest
+
+
+def _resplit(full: np.ndarray, total: int, new_world: int) -> list[np.ndarray]:
+    """Strip the old pad, re-pad for *new_world*, split into equal shards."""
+    flat = full[:total]
+    padded = ((total + new_world - 1) // new_world) * new_world
+    shard_size = padded // new_world
+    out = np.zeros(padded, dtype=flat.dtype)
+    out[:total] = flat
+    return [out[r * shard_size : (r + 1) * shard_size].copy() for r in range(new_world)]
+
+
+def reshard(
+    src_dir: str | Path,
+    new_world_size: int,
+    dst_dir: str | Path | None = None,
+) -> tuple[Path, int]:
+    """Rewrite a checkpoint saved at world size N for world size M.
+
+    Offline (driver-side) transformation: per unit, the N parameter shards
+    are concatenated, N's pad stripped, and the flat vector re-split with
+    M's padding; optimizer moments ride along identically.  Returns the new
+    step directory (default ``<src>.w{M}`` alongside the source) and the
+    number of bytes moved — the wire cost a real cluster would pay to
+    re-lay-out the shards, which the recovery benchmark reports.
+
+    Resharding never does arithmetic on values, so consolidating the result
+    is bitwise-identical to consolidating the source at any M.
+    """
+    src_dir = Path(src_dir)
+    if new_world_size < 1:
+        raise ValueError(f"new world size must be >= 1, got {new_world_size}")
+    manifest = load_manifest(src_dir)
+    old_world = manifest["world_size"]
+    if new_world_size == old_world:
+        return src_dir, 0
+    if dst_dir is None:
+        dst_dir = src_dir.with_name(f"{src_dir.name}.w{new_world_size}")
+    dst_dir = Path(dst_dir)
+    dst_dir.mkdir(parents=True, exist_ok=True)
+
+    per_unit: list[dict[str, list[np.ndarray]]] = []
+    keys = ["param"] + (["m", "v"] if manifest["has_optimizer"] else [])
+    n_units = len(manifest["units"])
+    gathered: list[dict[str, list[np.ndarray]]] = [
+        {k: [] for k in keys} for _ in range(n_units)
+    ]
+    for name in manifest["shards"]:
+        with np.load(src_dir / name) as data:
+            for i in range(n_units):
+                for k in keys:
+                    gathered[i][k].append(data[f"unit{i}.{k}"])
+    for i, unit_meta in enumerate(manifest["units"]):
+        total = unit_meta["total"]
+        per_unit.append(
+            {k: _resplit(np.concatenate(gathered[i][k]), total, new_world_size) for k in keys}
+        )
+
+    bytes_moved = 0
+    new_units = []
+    for unit_meta in manifest["units"]:
+        total = unit_meta["total"]
+        padded = ((total + new_world_size - 1) // new_world_size) * new_world_size
+        new_units.append(
+            {
+                **unit_meta,
+                "padded": padded,
+                "shard_size": padded // new_world_size,
+                "group_size": new_world_size,
+            }
+        )
+    for r in range(new_world_size):
+        arrays = {}
+        for i in range(n_units):
+            for k in keys:
+                arr = per_unit[i][k][r]
+                arrays[f"unit{i}.{k}"] = arr
+                bytes_moved += arr.nbytes
+        _atomic_savez(dst_dir / _shard_name(r), arrays)
+    new_manifest = {
+        **manifest,
+        "world_size": new_world_size,
+        "units": new_units,
+        "shards": [_shard_name(r) for r in range(new_world_size)],
+    }
+    tmp = dst_dir / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(new_manifest, indent=1))
+    os.replace(tmp, dst_dir / MANIFEST_NAME)
+    return dst_dir, bytes_moved
+
+
+def consolidate(step_dir: str | Path) -> dict[str, np.ndarray]:
+    """Reassemble the full (unsharded) state dict from a checkpoint.
+
+    Keys follow the :meth:`FSDPModel.consolidated_state_dict` convention
+    (``unit{i}.{param_name}``), so the two are directly comparable.
+    """
+    step_dir = Path(step_dir)
+    manifest = load_manifest(step_dir)
+    flats: list[list[np.ndarray]] = [[] for _ in manifest["units"]]
+    for name in manifest["shards"]:
+        with np.load(step_dir / name) as data:
+            for i in range(len(manifest["units"])):
+                flats[i].append(data[f"unit{i}.param"])
+    out: dict[str, np.ndarray] = {}
+    for i, unit_meta in enumerate(manifest["units"]):
+        flat = np.concatenate(flats[i])[: unit_meta["total"]]
+        offset = 0
+        for name, shape, size in zip(
+            unit_meta["names"], unit_meta["shapes"], unit_meta["sizes"]
+        ):
+            out[f"unit{i}.{name}"] = flat[offset : offset + size].reshape(shape)
+            offset += size
+    return out
+
+
+def checkpoint_nbytes(step_dir: str | Path) -> int:
+    """Total array bytes held in a checkpoint (params + optimizer state)."""
+    step_dir = Path(step_dir)
+    manifest = load_manifest(step_dir)
+    total = 0
+    for name in manifest["shards"]:
+        with np.load(step_dir / name) as data:
+            total += sum(int(data[k].nbytes) for k in data.files)
+    return total

@@ -1,0 +1,85 @@
+"""Deterministic failure injection for the elastic training subsystem.
+
+A :class:`FailurePlan` scripts crashes — "kill rank *r* at step *s*" — so
+tests and benchmarks can rehearse rank loss reproducibly.  Plans plug into
+the runtime through ``run_spmd(..., failure_plan=plan)``: every rank calls
+:meth:`~repro.dist.Communicator.tick` at its step boundaries (the
+``Trainer``'s ``pre_step_hook`` is the natural place), and the plan raises
+:class:`InjectedFailure` on a match, which aborts the world exactly like a
+real rank loss would.
+
+The raised error carries the (rank, step) coordinates, so an elastic
+supervisor can mark that event as fired (:meth:`FailurePlan.without`) and
+not re-trigger it when the surviving world re-runs the same steps after
+resuming from a checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InjectedFailure", "RankFailure", "FailurePlan"]
+
+
+class InjectedFailure(RuntimeError):
+    """A scripted crash fired; carries the (rank, step) that triggered it."""
+
+    def __init__(self, rank: int, step: int, message: str = "") -> None:
+        self.rank = int(rank)
+        self.step = int(step)
+        text = message or f"injected failure: rank {rank} killed at step {step}"
+        super().__init__(text)
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """One scripted event: kill *rank* when it reaches *step*."""
+
+    rank: int
+    step: int
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """An immutable set of scripted rank failures.
+
+    ``check(rank, step)`` is the runtime-facing hook (duck-typed by
+    :class:`~repro.dist.World`); everything else is plan algebra for
+    supervisors.
+    """
+
+    failures: tuple[RankFailure, ...] = ()
+
+    @classmethod
+    def kill(cls, rank: int, step: int, message: str = "") -> "FailurePlan":
+        """The one-event plan: kill *rank* at *step*."""
+        return cls((RankFailure(rank, step, message),))
+
+    def then(self, rank: int, step: int, message: str = "") -> "FailurePlan":
+        """A new plan with one more scripted event appended."""
+        return FailurePlan(self.failures + (RankFailure(rank, step, message),))
+
+    def check(self, rank: int, step: int) -> None:
+        """Raise :class:`InjectedFailure` if an event matches (rank, step)."""
+        for f in self.failures:
+            if f.rank == rank and f.step == step:
+                raise InjectedFailure(rank, step, f.message)
+
+    def without(self, rank: int, step: int) -> "FailurePlan":
+        """The plan minus the event at (rank, step) — it already fired."""
+        return FailurePlan(
+            tuple(f for f in self.failures if not (f.rank == rank and f.step == step))
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.failures)
+
+    def __len__(self) -> int:
+        return len(self.failures)

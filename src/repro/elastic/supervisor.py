@@ -1,0 +1,261 @@
+"""The elastic training driver: survive rank loss by shrinking the world.
+
+:class:`ElasticSupervisor` runs a *training segment* under a fresh SPMD
+world.  When a rank dies (a real exception or a scripted
+:class:`~repro.elastic.InjectedFailure`), the runtime aborts the world and
+surfaces an :class:`~repro.dist.SpmdError` carrying the failed rank; the
+supervisor then
+
+1. shrinks the world by the lost rank,
+2. finds the latest *complete* checkpoint (torn saves are skipped because
+   the manifest is written last),
+3. reshards it to the surviving world size (pure data movement, bitwise),
+4. relaunches the segment from the checkpoint's step.
+
+Because the segment restores parameters, optimizer moments and the step
+index (so the LR schedule continues correctly), and FSDP's forward math is
+independent of how flat parameters are sharded, the resumed run follows the
+same loss trajectory as an uninterrupted run of the same schedule — the
+invariant ``tests/test_elastic_supervisor.py`` locks.
+
+The module also ships :func:`fsdp_training_segment`, the canonical segment:
+an FSDP-wrapped model driven by a :class:`~repro.train.Trainer` with
+step-indexed batches, periodic sharded saves, and failure-plan ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..dist import SpmdError, World, clip_grad_norm_sharded, run_spmd_world
+from ..nn import Module
+from ..parallel.fsdp import FSDPModel
+from ..train.trainer import TrainConfig, Trainer
+from .checkpoint import (
+    latest_checkpoint,
+    load_manifest,
+    load_sharded,
+    reshard,
+    save_sharded,
+)
+
+__all__ = [
+    "RecoveryEvent",
+    "ElasticResult",
+    "ElasticSupervisor",
+    "fsdp_training_segment",
+]
+
+# A segment runs steps [start_step, total) on one rank of a world and returns
+# the full per-step loss history (including pre-resume history restored from
+# the checkpoint manifest).
+Segment = Callable[..., list]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed shrink-reshard-resume cycle."""
+
+    failed_rank: int
+    failed_step: int  # -1 when the failure carried no step information
+    resume_step: int  # 0 = cold restart (no checkpoint existed yet)
+    steps_lost: int  # failed_step - resume_step, or -1 when unknown
+    old_world_size: int
+    new_world_size: int
+    reshard_bytes: int  # data moved to re-lay-out the shards
+
+
+@dataclass
+class ElasticResult:
+    """Outcome of an elastic run that reached ``total_steps``."""
+
+    losses: list[float]
+    world_sizes: list[int]  # world size that produced each step
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    attempts: int = 1
+    final_world: World | None = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def total_steps_lost(self) -> int:
+        return sum(max(0, r.steps_lost) for r in self.recoveries)
+
+    @property
+    def total_reshard_bytes(self) -> int:
+        return sum(r.reshard_bytes for r in self.recoveries)
+
+
+class ElasticSupervisor:
+    """Drive a segment to completion across rank failures.
+
+    *segment* is called as ``segment(comm, start_step, resume_dir)`` on every
+    rank; ``resume_dir`` is ``None`` on a fresh start or a checkpoint
+    directory already resharded to the current world size.  The segment must
+    save its checkpoints under *ckpt_root* (:func:`save_sharded`) for the
+    supervisor to find them.
+
+    Only attributable rank failures are recovered; driver-side timeouts
+    (``SpmdError.rank == -1``) re-raise, since a hang identifies no culprit
+    to evict.
+    """
+
+    def __init__(
+        self,
+        segment: Segment,
+        ckpt_root: str | Path,
+        world_size: int,
+        min_world_size: int = 1,
+        max_recoveries: int = 8,
+        timeout: float | None = None,
+    ) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if not 1 <= min_world_size <= world_size:
+            raise ValueError(
+                f"min_world_size must be in [1, {world_size}], got {min_world_size}"
+            )
+        self.segment = segment
+        self.ckpt_root = Path(ckpt_root)
+        self.world_size = world_size
+        self.min_world_size = min_world_size
+        self.max_recoveries = max_recoveries
+        self.timeout = timeout
+
+    def run(self, total_steps: int, failure_plan=None) -> ElasticResult:
+        plan = failure_plan
+        world_size = self.world_size
+        start_step = 0
+        resume_dir: Path | None = None
+        recoveries: list[RecoveryEvent] = []
+        # (start_step, world_size) per attempt; the per-step world_sizes list
+        # is derived from these against the *actual* trajectory length, so
+        # bookkeeping stays right even if the segment's config.total_steps
+        # disagrees with the total_steps passed here.
+        segments: list[tuple[int, int]] = [(0, world_size)]
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                results, world = run_spmd_world(
+                    self.segment,
+                    world_size,
+                    start_step,
+                    resume_dir,
+                    failure_plan=plan,
+                    timeout=self.timeout,
+                )
+            except SpmdError as err:
+                failed_rank = getattr(err, "rank", -1)
+                if failed_rank < 0:
+                    raise  # timeout/driver interrupt: no rank to evict
+                new_world = world_size - 1
+                if new_world < self.min_world_size:
+                    raise SpmdError(
+                        f"cannot shrink below min_world_size={self.min_world_size} "
+                        f"after rank {failed_rank} failed"
+                    ) from err
+                if len(recoveries) >= self.max_recoveries:
+                    raise SpmdError(
+                        f"gave up after {len(recoveries)} recoveries"
+                    ) from err
+                cause = err.__cause__
+                failed_step = getattr(cause, "step", -1)
+                if plan is not None and failed_step >= 0 and hasattr(plan, "without"):
+                    # The event fired; don't re-kill the shrunken world when
+                    # it re-runs the same steps.
+                    plan = plan.without(failed_rank, failed_step)
+                ckpt = latest_checkpoint(self.ckpt_root)
+                if ckpt is None:
+                    resume_step, new_resume_dir, moved = 0, None, 0
+                else:
+                    resume_step = load_manifest(ckpt)["step"]
+                    new_resume_dir, moved = reshard(ckpt, new_world)
+                recoveries.append(
+                    RecoveryEvent(
+                        failed_rank=failed_rank,
+                        failed_step=failed_step,
+                        resume_step=resume_step,
+                        steps_lost=(failed_step - resume_step) if failed_step >= 0 else -1,
+                        old_world_size=world_size,
+                        new_world_size=new_world,
+                        reshard_bytes=moved,
+                    )
+                )
+                segments.append((resume_step, new_world))
+                world_size, start_step, resume_dir = new_world, resume_step, new_resume_dir
+                continue
+            losses = list(results[0])
+            world_sizes = [segments[0][1]] * len(losses)
+            for seg_start, seg_world in segments[1:]:
+                for i in range(seg_start, len(losses)):
+                    world_sizes[i] = seg_world
+            return ElasticResult(
+                losses=losses,
+                world_sizes=world_sizes,
+                recoveries=recoveries,
+                attempts=attempts,
+                final_world=world,
+            )
+
+
+def fsdp_training_segment(
+    module_factory: Callable[[], Module],
+    batch_fn: Callable[[int], Sequence],
+    config: TrainConfig,
+    ckpt_root: str | Path,
+    units: Callable[[Module], list[Module]] | None = None,
+) -> Segment:
+    """Build the canonical elastic segment: FSDP + Trainer + sharded saves.
+
+    ``module_factory`` must construct the model deterministically (seeded
+    RNGs) so every rank — and every restart — starts from identical master
+    weights; FSDP then carves rank-local shards from them.  ``batch_fn(step)``
+    returns that step's loss arguments, shared by all ranks (the elastic demo
+    shards the *model*, not the batch, so the trajectory is world-size
+    independent).  Checkpoints fire every ``config.checkpoint_every`` steps
+    and stash the loss history in the manifest, so a resumed segment returns
+    the full trajectory from step 0.
+    """
+    ckpt_root = Path(ckpt_root)
+
+    def segment(comm, start_step: int, resume_dir: Path | None) -> list[float]:
+        module = module_factory()
+        model = FSDPModel(
+            comm, None, module, units=units(module) if units is not None else None
+        )
+
+        def save_cb(step: int) -> None:
+            save_sharded(
+                ckpt_root,
+                model,
+                trainer.optimizer,
+                step,
+                extra={"losses": [float(v) for v in trainer.result.losses]},
+            )
+
+        trainer = Trainer(
+            model,
+            config,
+            params=model.shard_parameters(),
+            pre_step_hook=comm.tick,
+            checkpoint_hook=save_cb,
+            start_step=start_step,
+            # Shards are disjoint: clip by the *global* norm so every world
+            # size applies the same scale (the trajectory invariant).
+            clip_fn=lambda params, max_norm: clip_grad_norm_sharded(
+                comm, params, max_norm, model.group
+            ),
+        )
+        if resume_dir is not None:
+            manifest = load_sharded(resume_dir, model, trainer.optimizer)
+            trainer.result.losses.extend(manifest["extra"].get("losses", []))
+        for step in range(start_step, config.total_steps):
+            trainer.step(*batch_fn(step))
+        return trainer.result.losses
+
+    return segment

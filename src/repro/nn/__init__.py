@@ -17,7 +17,13 @@ from .mae import MAEDecoder, random_masking
 from .module import Module, ModuleList, Parameter
 from .patch_embed import PatchTokenizer, patchify, unpatchify
 from .perceiver import PerceiverChannelFusion
-from .serialization import checkpoint_equal, load_checkpoint, save_checkpoint
+from .serialization import (
+    checkpoint_equal,
+    load_checkpoint,
+    read_manifest,
+    resolve_checkpoint_path,
+    save_checkpoint,
+)
 from .swin import SwinBlock, SwinEncoder, WindowAttention, shifted_window_mask, window_partition, window_reverse
 from .transformer import TransformerBlock, ViTEncoder
 
@@ -54,5 +60,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_equal",
+    "read_manifest",
+    "resolve_checkpoint_path",
     "random_masking",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..dist import Communicator, ProcessGroup, all_gather_autograd
+from ..dist import Communicator, ProcessGroup, all_gather_autograd, split_sizes
 from ..nn import ChannelIDEmbedding, Module, PatchTokenizer
 from ..tensor import Tensor
 
@@ -21,13 +21,22 @@ __all__ = ["channel_shard", "DistributedTokenizer"]
 
 
 def channel_shard(channels: int, group: ProcessGroup, world_rank: int) -> slice:
-    """The contiguous channel block owned by *world_rank* within *group*."""
+    """The contiguous channel block owned by *world_rank* within *group*.
+
+    Channel counts need not divide the group size (the paper's 10-channel
+    example): remainder channels go to the lowest group ranks, one each
+    (:func:`~repro.dist.split_sizes`), and the gathers downstream run as
+    padded collectives whose pad is stripped before results are returned.
+    """
     n = group.size
-    if channels % n != 0:
-        raise ValueError(f"channels {channels} not divisible by group size {n}")
-    step = channels // n
+    if channels < n:
+        raise ValueError(
+            f"cannot shard {channels} channels over {n} ranks: every rank needs at least one"
+        )
+    sizes = split_sizes(channels, n)
     idx = group.rank_index(world_rank)
-    return slice(idx * step, (idx + 1) * step)
+    start = int(sum(sizes[:idx]))
+    return slice(start, start + sizes[idx])
 
 
 class DistributedTokenizer(Module):

@@ -71,6 +71,23 @@ class FlatParamShard:
         parts = self.comm.all_gather(self.shard.data, group=self.group)
         return np.concatenate(parts)[: self.total]
 
+    def metadata(self) -> dict:
+        """Layout description used by the elastic checkpoint manifest.
+
+        Everything needed to re-split this unit's flat parameter at another
+        world size: the parameter names/shapes/sizes (layout of the unpadded
+        flat vector) plus the padded/shard geometry of the *saving* world.
+        """
+        return {
+            "names": list(self.names),
+            "shapes": [list(s) for s in self.shapes],
+            "sizes": [int(s) for s in self.sizes],
+            "total": int(self.total),
+            "padded": int(self.padded),
+            "shard_size": int(self.shard_size),
+            "group_size": int(self.group.size),
+        }
+
 
 class FSDPUnit:
     """Wraps one module whose parameters are sharded together."""
@@ -138,10 +155,44 @@ class FSDPModel(Module):
     def shard_bytes(self) -> int:
         return sum(u.flat.shard.nbytes for u in self.units)
 
+    def shard_metadata(self) -> list[dict]:
+        """Per-unit flat-parameter layout (see :meth:`FlatParamShard.metadata`)."""
+        return [u.flat.metadata() for u in self.units]
+
+    def load_shard_data(self, shards: list[np.ndarray]) -> None:
+        """Overwrite every unit's local flat shard in place (checkpoint restore).
+
+        In-place so optimizers already holding the shard tensors keep
+        working; shapes must match this world's shard geometry exactly
+        (reshard the checkpoint first if it was saved at another world size).
+        """
+        if len(shards) != len(self.units):
+            raise ValueError(
+                f"got {len(shards)} shard arrays for {len(self.units)} FSDP units"
+            )
+        for u, arr in zip(self.units, shards):
+            arr = np.asarray(arr, dtype=u.flat.shard.data.dtype)
+            if arr.shape != u.flat.shard.data.shape:
+                raise ValueError(
+                    f"shard shape {arr.shape} does not match unit shard "
+                    f"shape {u.flat.shard.data.shape}"
+                )
+            u.flat.shard.data[...] = arr
+
     def forward(self, *args, **kwargs):
         for u in self.units:
             u.materialize()
         return self.module(*args, **kwargs)
+
+    def loss(self, *args, **kwargs):
+        """Materialize all units, then defer to the wrapped module's loss.
+
+        Lets a ``Trainer`` drive an FSDP-wrapped model directly (with
+        ``params=model.shard_parameters()``).
+        """
+        for u in self.units:
+            u.materialize()
+        return self.module.loss(*args, **kwargs)
 
     def consolidated_state_dict(self) -> dict[str, np.ndarray]:
         """Gather full (unsharded) parameter values, keyed by unit-local names."""

@@ -15,7 +15,14 @@ import numpy as np
 from .memory import current_tracker
 from .tensor import Tensor
 
-__all__ = ["Optimizer", "SGD", "AdamW", "clip_grad_norm"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "AdamW",
+    "clip_grad_norm",
+    "grad_squared_sum",
+    "apply_clip_scale",
+]
 
 
 class Optimizer:
@@ -122,6 +129,44 @@ class AdamW(Optimizer):
             v_hat = v / bc2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict:
+        """Snapshot the moment estimates and step count for checkpointing.
+
+        Uninitialized slots (parameters never stepped) are stored as zeros so
+        the snapshot is always dense — loading them back reproduces the same
+        update trajectory because fresh state is zero-initialized anyway.
+        """
+        return {
+            "step": self._step,
+            "m": [
+                (m.copy() if m is not None else np.zeros_like(p.data, dtype=np.float32))
+                for m, p in zip(self._m, self.params)
+            ],
+            "v": [
+                (v.copy() if v is not None else np.zeros_like(p.data, dtype=np.float32))
+                for v, p in zip(self._v, self.params)
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (shapes must match params)."""
+        ms, vs = state["m"], state["v"]
+        if len(ms) != len(self.params) or len(vs) != len(self.params):
+            raise ValueError(
+                f"optimizer state for {len(ms)} params cannot load into {len(self.params)}"
+            )
+        for i, p in enumerate(self.params):
+            m = np.asarray(ms[i], dtype=np.float32)
+            v = np.asarray(vs[i], dtype=np.float32)
+            if m.shape != p.data.shape or v.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer state shape {m.shape}/{v.shape} does not match "
+                    f"parameter shape {p.data.shape}"
+                )
+            self._m[i] = m.copy()
+            self._v[i] = v.copy()
+        self._step = int(state["step"])
+
     def state_bytes(self) -> int:
         """Bytes held by optimizer state (for memory accounting tests)."""
         total = 0
@@ -134,16 +179,30 @@ class AdamW(Optimizer):
         return total
 
 
-def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
-    """Global-norm gradient clipping; returns the pre-clip norm."""
+def grad_squared_sum(params: Sequence[Tensor]) -> float:
+    """Sum of squared gradient entries over *params* (float64 accumulate).
+
+    The local half of global-norm clipping — distributed variants AllReduce
+    this before applying :func:`apply_clip_scale`.
+    """
     sq = 0.0
     for p in params:
         if p.grad is not None:
             sq += float((p.grad.astype(np.float64) ** 2).sum())
-    norm = float(np.sqrt(sq))
+    return sq
+
+
+def apply_clip_scale(params: Sequence[Tensor], norm: float, max_norm: float) -> None:
+    """Scale every gradient by ``max_norm / norm`` when *norm* exceeds it."""
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
         for p in params:
             if p.grad is not None:
                 p.grad *= scale
+
+
+def clip_grad_norm(params: Sequence[Tensor], max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    norm = float(np.sqrt(grad_squared_sum(params)))
+    apply_clip_scale(params, norm, max_norm)
     return norm

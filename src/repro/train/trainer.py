@@ -33,6 +33,8 @@ class TrainConfig:
     total_steps: int = 100
     grad_clip: float = 1.0
     use_schedule: bool = True
+    # Every N completed steps the trainer's checkpoint_hook fires (0 = never).
+    checkpoint_every: int = 0
 
 
 @dataclass
@@ -57,7 +59,13 @@ class Trainer:
     """Drives ``model.loss(*batch)`` with AdamW.
 
     ``grad_hook`` runs after backward and before the optimizer step — the
-    hook point where DP wrappers AllReduce gradients.
+    hook point where DP wrappers AllReduce gradients.  ``pre_step_hook(step)``
+    runs before each step begins (where elastic runs consult their failure
+    plan via ``comm.tick``), and ``checkpoint_hook(step)`` fires after every
+    ``config.checkpoint_every``-th completed step with the just-finished step
+    index.  ``start_step`` resumes mid-schedule: the LR schedule, the step
+    counter and the checkpoint cadence all continue from that index (restore
+    optimizer state separately via ``trainer.optimizer.load_state_dict``).
     """
 
     def __init__(
@@ -66,35 +74,65 @@ class Trainer:
         config: TrainConfig = TrainConfig(),
         params: Sequence[Tensor] | None = None,
         grad_hook: Callable[[], None] | None = None,
+        pre_step_hook: Callable[[int], None] | None = None,
+        checkpoint_hook: Callable[[int], None] | None = None,
+        start_step: int = 0,
+        clip_fn: Callable[[Sequence[Tensor], float], float] | None = None,
     ) -> None:
         self.model = model
         self.config = config
         self.params = list(params) if params is not None else model.parameters()
         self.optimizer = AdamW(self.params, lr=config.lr, weight_decay=config.weight_decay)
         self.grad_hook = grad_hook
+        self.pre_step_hook = pre_step_hook
+        self.checkpoint_hook = checkpoint_hook
+        # Sharded params (FSDP) need a *global* norm: each rank holds a
+        # disjoint shard, so the default local clip would scale ranks
+        # inconsistently.  clip_fn lets wrappers substitute a distributed
+        # norm while keeping the clip-then-step ordering here.
+        self.clip_fn = clip_fn if clip_fn is not None else clip_grad_norm
         self.result = TrainResult()
-        self._step = 0
+        if start_step < 0:
+            raise ValueError(f"start_step must be >= 0, got {start_step}")
+        self._step = int(start_step)
+
+    @property
+    def step_index(self) -> int:
+        """Index of the next step to run (== completed steps when fresh)."""
+        return self._step
 
     def step(self, *batch) -> float:
         """One optimizer step on one batch; returns the loss value."""
         cfg = self.config
+        if self.pre_step_hook is not None:
+            self.pre_step_hook(self._step)
         if cfg.use_schedule:
             lr = cosine_warmup(self._step, cfg.total_steps, cfg.lr, cfg.warmup_steps)
             self.optimizer.lr = lr
         else:
             lr = cfg.lr
         self.model.zero_grad()
+        # model.zero_grad() only reaches parameters registered in the module
+        # tree; the trained params may live outside it (FSDP flat shards), so
+        # zero the optimizer's list too or their grads accumulate silently.
+        self.optimizer.zero_grad()
         loss = self.model.loss(*batch)
         loss.backward()
         if self.grad_hook is not None:
             self.grad_hook()
-        norm = clip_grad_norm(self.params, cfg.grad_clip) if cfg.grad_clip else 0.0
+        norm = self.clip_fn(self.params, cfg.grad_clip) if cfg.grad_clip else 0.0
         self.optimizer.step()
         value = float(loss.item())
         self.result.losses.append(value)
         self.result.grad_norms.append(float(norm))
         self.result.lrs.append(lr)
         self._step += 1
+        if (
+            self.checkpoint_hook is not None
+            and cfg.checkpoint_every > 0
+            and self._step % cfg.checkpoint_every == 0
+        ):
+            self.checkpoint_hook(self._step)
         return value
 
     def fit(self, batches: Iterable, max_steps: int | None = None) -> TrainResult:

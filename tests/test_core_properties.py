@@ -30,9 +30,12 @@ def test_tree_partitions_channels_exactly(local_c, fanout):
 
 
 @settings(max_examples=50, deadline=None)
-@given(st.integers(1, 64), st.sampled_from([1, 2, 4, 8]))
-def test_channel_shard_partitions_axis(channels_per_rank, world):
-    channels = channels_per_rank * world
+@given(st.integers(1, 256), st.sampled_from([1, 2, 3, 4, 8]))
+def test_channel_shard_partitions_axis(channels, world):
+    """Any channel count ≥ world partitions exactly — divisible or not —
+    with shard sizes differing by at most one (remainder convention)."""
+    if channels < world:
+        channels = world
 
     def fn(comm):
         group = comm.world.default_group
@@ -43,6 +46,9 @@ def test_channel_shard_partitions_axis(channels_per_rank, world):
     for s in shards:
         covered.extend(range(s.start, s.stop))
     assert covered == list(range(channels))
+    widths = [s.stop - s.start for s in shards]
+    assert max(widths) - min(widths) <= 1
+    assert widths == sorted(widths, reverse=True)  # remainder goes first
 
 
 @settings(max_examples=30, deadline=None)

@@ -161,9 +161,27 @@ class TestDCHAG:
 
         assert all(run_spmd(fn, 2))
 
-    def test_channels_not_divisible_raises(self):
+    def test_ten_channels_on_four_ranks_uneven_shards(self):
+        """The paper's 10-channel example: remainder sharding gives the
+        first two ranks 3 channels and the rest 2, covering all channels,
+        and the forward pass runs end-to-end on the uneven shards."""
+        imgs = RNG.standard_normal((B, 10, H, H)).astype(np.float32)
+
         def fn(comm):
             cfg = DCHAGConfig(channels=10, patch=P, dim=D, heads=HEADS)
+            model = DCHAG(comm, None, cfg, rng_seed=5)
+            out = model(imgs)
+            return (model.shard.start, model.shard.stop), out.data.shape
+
+        res = run_spmd(fn, 4)
+        spans = [r[0] for r in res]
+        assert spans == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        for _, shape in res:
+            assert shape == (B, (H // P) ** 2, D)
+
+    def test_fewer_channels_than_ranks_raises(self):
+        def fn(comm):
+            cfg = DCHAGConfig(channels=2, patch=P, dim=D, heads=HEADS)
             DCHAG(comm, None, cfg)
 
         from repro.dist import SpmdError

@@ -73,16 +73,33 @@ class TestAllGatherAutograd:
             np.testing.assert_allclose(grad, weight_sum * 2.0 * (rank + 1))
         assert world.traffic.count(op="reduce_scatter", phase="backward") == world_size
 
-    def test_unequal_shards_rejected(self):
-        """The backward ReduceScatter slices equally, so unequal forward
-        shards would mis-assign gradients; the gather must refuse upfront."""
+    def test_unequal_shards_gather_and_backward(self):
+        """Remainder shards gather correctly and each rank's backward slice
+        is the gradient of exactly its own contribution (padded collective,
+        pad stripped)."""
 
         def fn(comm):
             n = 2 if comm.rank == 0 else 6
-            x = Tensor(np.ones((n, 3), dtype=np.float32), requires_grad=True)
+            x = Tensor(np.full((n, 3), float(comm.rank + 1), dtype=np.float32), requires_grad=True)
+            full = all_gather_autograd(comm, x, axis=0)
+            (full * full).sum().backward()
+            return full.data.shape, x.grad.copy()
+
+        shapes_grads = run_spmd(fn, 2)
+        for shape, grad in shapes_grads:
+            assert shape == (8, 3)
+        # Every rank's upstream grad (2·full) is summed over the group before
+        # scattering: rank 0's rows hold 1.0 → 2·1·2 ranks = 4, rank 1's 2.0 → 8.
+        np.testing.assert_allclose(shapes_grads[0][1], np.full((2, 3), 4.0))
+        np.testing.assert_allclose(shapes_grads[1][1], np.full((6, 3), 8.0))
+
+    def test_mismatched_non_axis_dims_rejected(self):
+        def fn(comm):
+            w = 3 if comm.rank == 0 else 4
+            x = Tensor(np.ones((2, w), dtype=np.float32), requires_grad=True)
             all_gather_autograd(comm, x, axis=0)
 
-        with pytest.raises(SpmdError, match="equal shards"):
+        with pytest.raises(SpmdError, match="non-axis"):
             run_spmd(fn, 2)
 
 

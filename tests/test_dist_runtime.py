@@ -63,12 +63,46 @@ class TestCollectives:
 
         assert all(run_spmd(fn, 4))
 
-    def test_reduce_scatter_uneven_raises(self):
+    def test_reduce_scatter_uneven_pads_and_strips(self):
+        """A non-divisible axis splits by the remainder convention (first
+        ranks get the extra element); the pad never reaches the caller."""
+
         def fn(comm):
-            comm.reduce_scatter(np.zeros(5, dtype=np.float32))
+            x = np.arange(5, dtype=np.float32)
+            return comm.reduce_scatter(x)
+
+        res = run_spmd(fn, 2)
+        np.testing.assert_array_equal(res[0], [0.0, 2.0, 4.0])
+        np.testing.assert_array_equal(res[1], [6.0, 8.0])
+
+    def test_reduce_scatter_explicit_sizes(self):
+        def fn(comm):
+            x = np.arange(6, dtype=np.float32)
+            return comm.reduce_scatter(x, sizes=(1, 5))
+
+        res = run_spmd(fn, 2)
+        np.testing.assert_array_equal(res[0], [0.0])
+        np.testing.assert_array_equal(res[1], [2.0, 4.0, 6.0, 8.0, 10.0])
+
+    def test_reduce_scatter_bad_sizes_raise(self):
+        def fn(comm):
+            comm.reduce_scatter(np.zeros(6, dtype=np.float32), sizes=(2, 2))
 
         with pytest.raises(SpmdError):
             run_spmd(fn, 2)
+
+    def test_uneven_reduce_scatter_charges_padded_wire_bytes(self):
+        """5 floats over 2 ranks pad to 3-per-rank: the ring moves 6 elements'
+        worth, not 5 (ring_wire_bytes of the padded payload)."""
+        from repro.dist import ring_wire_bytes, run_spmd_world
+
+        def fn(comm):
+            comm.reduce_scatter(np.zeros(5, dtype=np.float32))
+
+        _, world = run_spmd_world(fn, 2)
+        assert world.traffic.wire_bytes(op="reduce_scatter", rank=0) == ring_wire_bytes(
+            "reduce_scatter", 6 * 4, 2
+        )
 
     def test_broadcast(self):
         def fn(comm):

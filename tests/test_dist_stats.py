@@ -99,3 +99,29 @@ class TestCounterLifecycle:
         log.reset()
         assert log.count() == 0
         assert log.ops_histogram() == {}
+
+
+class TestTimeline:
+    """Optional per-collective sequence/timestamp stamps (default off) —
+    groundwork for deriving comm/compute overlap instead of assuming it."""
+
+    def test_default_records_carry_no_timeline(self):
+        _, world = run_spmd_world(_one_step, 2)
+        assert not world.traffic.timeline
+        for r in world.traffic.records():
+            assert r.seq == -1 and r.timestamp == -1.0
+
+    def test_timeline_stamps_monotonic_seq_and_time(self):
+        _, world = run_spmd_world(_one_step, 4, timeline=True)
+        records = sorted(world.traffic.records(), key=lambda r: r.seq)
+        assert [r.seq for r in records] == list(range(len(records)))
+        times = [r.timestamp for r in records]
+        assert all(t >= 0 for t in times)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_timeline_orders_dependent_collectives(self):
+        """A rank's own collectives must appear in issue order."""
+        _, world = run_spmd_world(_one_step, 4, timeline=True)
+        mine = [r for r in world.traffic.records() if r.rank == 1]
+        by_seq = sorted(mine, key=lambda r: r.seq)
+        assert [r.op for r in by_seq] == ["all_reduce", "all_gather"]

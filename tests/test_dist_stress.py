@@ -51,6 +51,30 @@ class TestCollectiveStorm:
 
         assert run_spmd(fn, 16) == [16.0] * 16
 
+    def test_thirty_two_ranks_collective_mix(self):
+        """The CI smoke job's target: a 32-rank world driving a mixed
+        collective sequence (AllReduce, AllGather, uneven ReduceScatter,
+        barrier) to completion under the suite's SIGALRM timeout."""
+
+        def fn(comm):
+            total = 0.0
+            for i in range(5):
+                x = np.full(8, float(comm.rank + i), dtype=np.float32)
+                total += comm.all_reduce(x)[0]
+                total += comm.all_gather_concat(np.ones(1, dtype=np.float32)).sum()
+                # 37 elements over 32 ranks: remainder shards exercise the
+                # padded-collective path at scale.
+                total += comm.reduce_scatter(np.ones(37, dtype=np.float32)).sum()
+                comm.barrier()
+            return total
+
+        res = run_spmd(fn, 32, timeout=90)
+        # 37 = 32 + 5: the first five ranks own one extra reduced slot worth
+        # 32.0 per iteration; everything else is identical across ranks.
+        assert all(abs(r - res[0]) < 1e-3 for r in res[1:5])
+        assert all(abs(r - res[31]) < 1e-3 for r in res[5:31])
+        assert res[0] - res[31] == 5 * 32.0
+
     def test_nested_group_membership(self):
         """Every rank participates in log2(n) nested halving groups."""
 

@@ -1,0 +1,271 @@
+"""Sharded checkpoints: save/load round-trips, resharding, consolidation.
+
+Locks the elastic subsystem's core guarantee: a checkpoint saved at world
+size N consolidates — and, after resharding, loads — **bitwise identically**
+at any world size M, optimizer moments included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist import run_spmd, run_spmd_world
+from repro.elastic import (
+    checkpoint_dir,
+    checkpoint_nbytes,
+    consolidate,
+    latest_checkpoint,
+    load_manifest,
+    load_sharded,
+    reshard,
+    save_sharded,
+)
+from repro.nn import MLP, load_checkpoint, read_manifest, save_checkpoint
+from repro.parallel import DeviceMesh, FSDPModel
+from repro.tensor import AdamW, Tensor
+
+DIM, HID = 6, 10  # deliberately not divisible by 4: exercises flat-param padding
+
+
+def make_module(seed=7):
+    return MLP(DIM, HID, np.random.default_rng(seed))
+
+
+def make_batch(seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((4, DIM)).astype(np.float32)
+
+
+def train_and_save(comm, root, steps=2):
+    """A few AdamW steps on an FSDP model, then a sharded save; returns the
+    consolidated state dict for comparison."""
+    module = make_module()
+    model = FSDPModel(comm, None, module)
+    opt = AdamW(model.shard_parameters(), lr=1e-2)
+    x = make_batch()
+    for _ in range(steps):
+        model.zero_grad()
+        (model(Tensor(x)) ** 2).mean().backward()
+        opt.step()
+    save_sharded(root, model, opt, step=steps)
+    return model.consolidated_state_dict()
+
+
+class TestSaveLoadRoundtrip:
+    def test_load_restores_bitwise_and_optimizer(self, tmp_path):
+        def fn(comm):
+            expect = train_and_save(comm, tmp_path)
+            fresh = FSDPModel(comm, None, make_module(seed=99))
+            opt = AdamW(fresh.shard_parameters(), lr=1e-2)
+            manifest = load_sharded(checkpoint_dir(tmp_path, 2), fresh, opt)
+            got = fresh.consolidated_state_dict()
+            same = all(np.array_equal(got[k], expect[k]) for k in expect)
+            return same, manifest["step"], opt.state_dict()["step"]
+
+        for same, step, adam_step in run_spmd(fn, 4):
+            assert same
+            assert step == 2
+            assert adam_step == 2  # moments resumed mid-trajectory
+
+    def test_consolidate_matches_model_consolidated_state_dict(self, tmp_path):
+        def fn(comm):
+            return train_and_save(comm, tmp_path)
+
+        expect = run_spmd(fn, 4)[0]
+        got = consolidate(checkpoint_dir(tmp_path, 2))
+        assert got.keys() == expect.keys()
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+
+    def test_world_size_mismatch_requires_reshard(self, tmp_path):
+        def save(comm):
+            train_and_save(comm, tmp_path)
+
+        run_spmd(save, 4)
+
+        def load_wrong(comm):
+            model = FSDPModel(comm, None, make_module())
+            load_sharded(checkpoint_dir(tmp_path, 2), model)
+
+        from repro.dist import SpmdError
+
+        with pytest.raises(SpmdError, match="reshard"):
+            run_spmd(load_wrong, 2)
+
+
+class TestReshard:
+    @pytest.mark.parametrize("new_world", [1, 2])
+    def test_reshard_consolidates_bitwise(self, tmp_path, new_world):
+        """The acceptance criterion: a world-size-4 checkpoint loads
+        bitwise-identically at world sizes 1 and 2."""
+
+        def save(comm):
+            return train_and_save(comm, tmp_path)
+
+        expect = run_spmd(save, 4)[0]
+        src = checkpoint_dir(tmp_path, 2)
+        dst, moved = reshard(src, new_world)
+        assert dst != src and moved > 0
+        assert load_manifest(dst)["world_size"] == new_world
+        got = consolidate(dst)
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+
+        # And a live model at the new world size restores the same values.
+        def load(comm):
+            model = FSDPModel(comm, None, make_module(seed=123))
+            opt = AdamW(model.shard_parameters(), lr=1e-2)
+            load_sharded(dst, model, opt)
+            return model.consolidated_state_dict()
+
+        for state in run_spmd(load, new_world):
+            for k in expect:
+                np.testing.assert_array_equal(state[k], expect[k])
+
+    def test_reshard_same_world_is_a_no_op(self, tmp_path):
+        def save(comm):
+            train_and_save(comm, tmp_path)
+
+        run_spmd(save, 4)
+        src = checkpoint_dir(tmp_path, 2)
+        dst, moved = reshard(src, 4)
+        assert dst == src and moved == 0
+
+    def test_reshard_chain_stays_bitwise(self, tmp_path):
+        """4 → 3 → 1 (two hops, uneven padding in between) stays exact."""
+
+        def save(comm):
+            return train_and_save(comm, tmp_path)
+
+        expect = run_spmd(save, 4)[0]
+        hop1, _ = reshard(checkpoint_dir(tmp_path, 2), 3)
+        hop2, _ = reshard(hop1, 1)
+        got = consolidate(hop2)
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+
+    def test_optimizer_state_reshards_with_params(self, tmp_path):
+        def save(comm):
+            train_and_save(comm, tmp_path)
+
+        run_spmd(save, 4)
+        src = checkpoint_dir(tmp_path, 2)
+        dst, _ = reshard(src, 2)
+
+        def load(comm):
+            model = FSDPModel(comm, None, make_module())
+            opt = AdamW(model.shard_parameters(), lr=1e-2)
+            load_sharded(dst, model, opt)
+            st = opt.state_dict()
+            return st["step"], sum(float(np.abs(m).sum()) for m in st["m"])
+
+        for step, m_mass in run_spmd(load, 2):
+            assert step == 2
+            assert m_mass > 0.0  # moments actually travelled
+
+
+class TestConsolidatedVsSerial:
+    def test_consolidated_state_dict_matches_serial_bitwise(self):
+        """Satellite: FSDP consolidation ≡ the serial module's state dict.
+
+        A whole-module FSDP wrap has one unit whose parameter names are the
+        module's own dotted names, so ``unit0.<name>`` maps 1:1.
+        """
+        serial = make_module()
+        expect = serial.state_dict()
+
+        def fn(comm):
+            return FSDPModel(comm, None, make_module()).consolidated_state_dict()
+
+        for world in (1, 2, 4):
+            got = run_spmd(fn, world)[0]
+            assert set(got) == {f"unit0.{k}" for k in expect}
+            for k in expect:
+                np.testing.assert_array_equal(got[f"unit0.{k}"], expect[k])
+
+
+class TestLatestCheckpoint:
+    def test_picks_highest_step_and_skips_torn_dirs(self, tmp_path):
+        def fn(comm):
+            module = make_module()
+            model = FSDPModel(comm, None, module)
+            for step in (1, 3, 5):
+                save_sharded(tmp_path, model, step=step)
+
+        run_spmd(fn, 2)
+        # Tear step 5: a save that died before its manifest landed.
+        (checkpoint_dir(tmp_path, 5) / "manifest.json").unlink()
+        assert latest_checkpoint(tmp_path) == checkpoint_dir(tmp_path, 3)
+        # Tear step 3 differently: manifest present, shard file missing.
+        (checkpoint_dir(tmp_path, 3) / "shard_0001.npz").unlink()
+        assert latest_checkpoint(tmp_path) == checkpoint_dir(tmp_path, 1)
+
+    def test_empty_root_returns_none(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "missing") is None
+
+    def test_checkpoint_nbytes_counts_params_and_moments(self, tmp_path):
+        def fn(comm):
+            model = FSDPModel(comm, None, make_module())
+            opt = AdamW(model.shard_parameters(), lr=1e-2)
+            (model(Tensor(make_batch())) ** 2).mean().backward()
+            opt.step()
+            save_sharded(tmp_path, model, opt, step=1)
+            return sum(u.flat.shard.nbytes for u in model.units)
+
+        per_rank = run_spmd(fn, 2)[0]
+        # 2 ranks × (param + m + v) per unit shard.
+        assert checkpoint_nbytes(checkpoint_dir(tmp_path, 1)) == 2 * 3 * per_rank
+
+
+class TestDPDeduplication:
+    def test_only_one_replica_writes(self, tmp_path):
+        """On a dp×fsdp mesh, replicas hold identical shards; only dp==0
+        writes, and the checkpoint's world size is the FSDP group size."""
+
+        def fn(comm):
+            mesh = DeviceMesh(comm, fsdp=2, dp=2)
+            module = make_module()
+            model = FSDPModel(comm, mesh.fsdp_group, module)
+            save_sharded(tmp_path, model, step=1, write=mesh.coords.dp == 0)
+            return model.consolidated_state_dict()
+
+        results, _ = run_spmd_world(fn, 4)
+        manifest = load_manifest(checkpoint_dir(tmp_path, 1))
+        assert manifest["world_size"] == 2
+        assert len(manifest["shards"]) == 2
+        got = consolidate(checkpoint_dir(tmp_path, 1))
+        for k in results[0]:
+            np.testing.assert_array_equal(got[k], results[0][k])
+
+
+class TestSerializationSuffix:
+    def test_save_path_roundtrips_through_load(self, tmp_path):
+        """Satellite: ``model.ckpt`` → ``model.ckpt.npz`` without the caller
+        re-deriving the path — load accepts the original argument."""
+        a, b = make_module(seed=1), make_module(seed=2)
+        written = save_checkpoint(a, tmp_path / "model.ckpt")
+        assert written == tmp_path / "model.ckpt.npz"
+        # Load via the *original* (pre-derivation) path.
+        load_checkpoint(b, tmp_path / "model.ckpt")
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_bare_and_npz_paths_roundtrip(self, tmp_path):
+        a, b = make_module(seed=1), make_module(seed=2)
+        save_checkpoint(a, tmp_path / "bare")
+        load_checkpoint(b, tmp_path / "bare")
+        c = make_module(seed=3)
+        save_checkpoint(a, tmp_path / "exact.npz")
+        load_checkpoint(c, tmp_path / "exact.npz")
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_embedded_manifest_roundtrips_and_stays_invisible(self, tmp_path):
+        a, b = make_module(seed=1), make_module(seed=2)
+        meta = {"step": 17, "world_size": 4, "note": "elastic"}
+        path = save_checkpoint(a, tmp_path / "with_meta.ckpt", manifest=meta)
+        assert read_manifest(tmp_path / "with_meta.ckpt") == meta
+        # The reserved key must not leak into strict state-dict loading.
+        load_checkpoint(b, path)
+        plain = save_checkpoint(a, tmp_path / "plain")
+        assert read_manifest(plain) is None

@@ -47,5 +47,14 @@ def test_multimodal_fusion():
 
 
 @pytest.mark.slow
+def test_elastic_training(tmp_path):
+    run_example(
+        "elastic_training.py",
+        ["--world", "3", "--steps", "8", "--checkpoint-every", "2",
+         "--kill-rank", "1", "--kill-step", "5", "--ckpt-dir", str(tmp_path)],
+    )
+
+
+@pytest.mark.slow
 def test_scaling_planner():
     run_example("scaling_planner.py", ["--model", "1.7B", "--channels", "512", "--gpus", "64"])

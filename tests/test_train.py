@@ -76,6 +76,55 @@ class TestTrainer:
         sm = tr.result.smoothed(window=3)
         np.testing.assert_allclose(sm, [3.0, 5.0 / 3, 1.0])
 
+    def test_checkpoint_cadence_fires_on_step_multiples(self):
+        fired = []
+        model = _Quadratic()
+        tr = Trainer(
+            model,
+            TrainConfig(total_steps=10, checkpoint_every=3),
+            checkpoint_hook=fired.append,
+        )
+        x = np.zeros((2, 4), dtype=np.float32)
+        y = np.zeros((2, 1), dtype=np.float32)
+        for _ in range(10):
+            tr.step(x, y)
+        assert fired == [3, 6, 9]
+
+    def test_pre_step_hook_sees_step_indices(self):
+        seen = []
+        model = _Quadratic()
+        tr = Trainer(model, TrainConfig(total_steps=4), pre_step_hook=seen.append)
+        x = np.zeros((2, 4), dtype=np.float32)
+        y = np.zeros((2, 1), dtype=np.float32)
+        for _ in range(3):
+            tr.step(x, y)
+        assert seen == [0, 1, 2]
+
+    def test_resume_continues_schedule_and_cadence(self):
+        """A trainer resumed at start_step=s uses step s's LR and keeps the
+        absolute checkpoint cadence (fires at multiples of the step index,
+        not of the steps run since resume)."""
+        x = np.random.default_rng(1).standard_normal((8, 4)).astype(np.float32)
+        y = np.zeros((8, 1), dtype=np.float32)
+        cfg = TrainConfig(lr=1e-2, total_steps=20, warmup_steps=4, checkpoint_every=4)
+
+        full = Trainer(_Quadratic(), cfg)
+        for _ in range(8):
+            full.step(x, y)
+
+        fired = []
+        resumed = Trainer(_Quadratic(), cfg, start_step=6, checkpoint_hook=fired.append)
+        assert resumed.step_index == 6
+        resumed.step(x, y)
+        resumed.step(x, y)
+        assert fired == [8]
+        # Step 6 and 7 of the resumed run use the same schedule LRs.
+        np.testing.assert_allclose(resumed.result.lrs, full.result.lrs[6:8])
+
+    def test_negative_start_step_rejected(self):
+        with pytest.raises(ValueError):
+            Trainer(_Quadratic(), TrainConfig(), start_step=-1)
+
 
 class TestMetrics:
     def test_lat_weighted_rmse_zero_when_equal(self):
