@@ -54,7 +54,7 @@ from .runtime import (
     run_spmd_world,
     split_sizes,
 )
-from .stats import TrafficLog, TrafficRecord, ring_wire_bytes
+from .stats import TrafficLog, TrafficRecord, TrafficTotals, ring_wire_bytes
 
 __all__ = [
     "Communicator",
@@ -66,6 +66,7 @@ __all__ = [
     "split_sizes",
     "TrafficLog",
     "TrafficRecord",
+    "TrafficTotals",
     "ring_wire_bytes",
     "all_gather_autograd",
     "all_gather_forward_only",

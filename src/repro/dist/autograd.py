@@ -20,8 +20,6 @@ primitive                              forward / backward communication
 
 from __future__ import annotations
 
-import contextlib
-
 import numpy as np
 
 from ..tensor import Tensor
@@ -39,15 +37,9 @@ __all__ = [
 ]
 
 
-@contextlib.contextmanager
 def _backward_phase(comm: Communicator):
     """Stamp collectives issued inside with ``phase="backward"``."""
-    prev = comm.phase
-    comm.phase = "backward"
-    try:
-        yield
-    finally:
-        comm.phase = prev
+    return comm.phase_scope("backward")
 
 
 def _resolve(comm: Communicator, group: ProcessGroup | None) -> ProcessGroup:

@@ -19,14 +19,25 @@ Worlds are fully isolated: every :func:`run_spmd` call builds a fresh
 :class:`World` with its own groups, mailboxes and
 :class:`~repro.dist.stats.TrafficLog`, so concurrent worlds driven from
 different threads never interfere.
+
+Virtual clock: ``run_spmd(..., clock=VirtualClock(machine))`` attaches a
+deterministic simulated clock (:class:`repro.perf.clock.VirtualClock`, duck
+typed — this module never imports it).  Every collective then advances the
+member ranks to ``max(arrival times) + α–β collective cost``, every traffic
+record carries virtual ``vstart``/``vend`` stamps, and ranks can charge
+compute intervals with :meth:`Communicator.charge_compute` — the substrate
+from which :mod:`repro.perf.overlap` derives communication/compute overlap
+fractions instead of assuming them.  Timelines depend only on program order
+(never on thread scheduling), so repeated runs are bitwise identical.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -105,7 +116,18 @@ class ProcessGroup:
 class _Slot:
     """One collective rendezvous: the n-th collective issued on a group."""
 
-    __slots__ = ("signature", "data", "arrived", "done", "result", "error", "consumed")
+    __slots__ = (
+        "signature",
+        "data",
+        "arrived",
+        "done",
+        "result",
+        "error",
+        "consumed",
+        "arrivals",
+        "payload_max",
+        "finish",
+    )
 
     def __init__(self, signature: tuple) -> None:
         self.signature = signature
@@ -115,6 +137,12 @@ class _Slot:
         self.result: Any = None
         self.error: BaseException | None = None
         self.consumed = 0
+        # Virtual-clock bookkeeping (unused without a clock): per-group-rank
+        # arrival times, the largest payload bid (the padded-collective
+        # convention), and the shared completion time.
+        self.arrivals: dict[int, float] = {}
+        self.payload_max = 0
+        self.finish = -1.0
 
 
 class _GroupState:
@@ -138,6 +166,12 @@ class World:
     ``rank_status`` records each rank's clean exit state — ``"running"``,
     ``"ok"``, ``"failed"`` (the rank that raised) or ``"aborted"`` (peers
     unwound by the abort) — and stays readable after the world dies.
+
+    ``clock`` is an optional virtual clock (duck typed against
+    :class:`repro.perf.clock.VirtualClock`: ``bind``/``now``/``sync``/
+    ``charge``/``collective_seconds``/``p2p_seconds``); when installed,
+    every collective advances the simulated per-rank timelines and stamps
+    its traffic records with virtual start/end times.
     """
 
     def __init__(
@@ -145,12 +179,16 @@ class World:
         size: int,
         timeline: bool = False,
         failure_plan: Any | None = None,
+        clock: Any | None = None,
     ) -> None:
         if size < 1:
             raise ValueError(f"world size must be >= 1, got {size}")
         self.size = size
         self.traffic = TrafficLog(timeline=timeline)
         self.failure_plan = failure_plan
+        self.clock = clock
+        if clock is not None:
+            clock.bind(size)
         self.rank_status: list[str] = ["running"] * size
         self._lock = threading.Lock()
         self._group_states: dict[tuple[int, ...], _GroupState] = {}
@@ -304,7 +342,14 @@ class Communicator:
             )
         return group
 
-    def _log(self, op: str, payload_bytes: int, group_size: int) -> None:
+    def _log(
+        self,
+        op: str,
+        payload_bytes: int,
+        group_size: int,
+        vstart: float = -1.0,
+        vend: float = -1.0,
+    ) -> None:
         wire = ring_wire_bytes(op, payload_bytes, group_size)
         self.world.traffic.add(
             TrafficRecord(
@@ -314,8 +359,15 @@ class Communicator:
                 payload_bytes=int(payload_bytes),
                 wire_bytes=int(wire),
                 group_size=group_size,
+                vstart=vstart,
+                vend=vend,
             )
         )
+
+    def _vnow(self) -> float:
+        """This rank's virtual time (``-1`` without a clock)."""
+        clock = self.world.clock
+        return clock.now(self.rank) if clock is not None else -1.0
 
     def _rendezvous(
         self,
@@ -323,15 +375,28 @@ class Communicator:
         signature: tuple,
         contribution,
         compute: Callable[[dict[int, Any]], Any],
-    ):
+        payload_bytes: int = 0,
+    ) -> tuple[Any, float, float]:
         """Join the group's next collective slot; return its shared result.
 
         The last arriver runs *compute* over contributions keyed by group
-        rank; its result is handed to every member.  Callers must copy out
-        anything they plan to mutate.
+        rank — **outside** the group's critical section, so a large
+        reduction never serializes unrelated groups' rendezvous on this
+        state (contributions buffer under the lock; only the done/notify
+        handoff re-acquires it).  Callers must copy out anything they plan
+        to mutate.
+
+        Returns ``(result, vstart, vend)``: this rank's virtual arrival time
+        and the group-wide virtual completion (slowest arrival + collective
+        cost priced by the world's clock), both ``-1.0`` without a clock.
+        With a clock, op name ``signature[0]`` is priced over the largest
+        per-rank payload bid (the padded-collective convention) and every
+        member's clock is advanced to the shared completion time.
         """
         state = group._state
         me = group.rank_index(self.rank)
+        clock = self.world.clock
+        vstart = clock.now(self.rank) if clock is not None else -1.0
         with state.cond:
             seq = state.next_seq.get(self.rank, 0)
             state.next_seq[self.rank] = seq + 1
@@ -345,29 +410,111 @@ class Communicator:
                     f"{slot.signature[0]!r}"
                 )
             slot.data[me] = contribution
+            if clock is not None:
+                slot.arrivals[me] = vstart
+                if payload_bytes > slot.payload_max:
+                    slot.payload_max = int(payload_bytes)
             slot.arrived += 1
-            if slot.arrived == group.size:
-                try:
-                    slot.result = compute(slot.data)
-                except BaseException as exc:  # surfaces on every member rank
-                    slot.error = exc
+            last = slot.arrived == group.size
+        if last:
+            # Reduction compute runs outside the per-group critical section:
+            # no other rank mutates slot.data once everyone has arrived.
+            result: Any = None
+            error: BaseException | None = None
+            try:
+                result = compute(slot.data)
+            except BaseException as exc:  # surfaces on every member rank
+                error = exc
+            finish = -1.0
+            if clock is not None:
+                finish = max(slot.arrivals.values()) + clock.collective_seconds(
+                    signature[0], slot.payload_max, group.ranks
+                )
+            with state.cond:
+                slot.result, slot.error, slot.finish = result, error, finish
                 slot.done = True
                 state.cond.notify_all()
-            else:
-                while not slot.done:
-                    self.world._check_abort()
-                    state.cond.wait(_POLL_S)
-            error, result = slot.error, slot.result
+        with state.cond:
+            while not slot.done:
+                self.world._check_abort()
+                state.cond.wait(_POLL_S)
+            error, result, finish = slot.error, slot.result, slot.finish
             slot.consumed += 1
             if slot.consumed == group.size:
                 del state.slots[seq]
+        if clock is not None and finish >= 0.0:
+            clock.sync(self.rank, finish)
         if error is not None:
             raise SpmdError(f"collective failed: {error}") from error
+        return result, vstart, finish
+
+    def _run_collective(
+        self,
+        group: ProcessGroup,
+        signature: tuple,
+        contribution,
+        compute: Callable[[dict[int, Any]], Any],
+        payload_bytes: int,
+    ):
+        """Rendezvous + traffic accounting for one logged collective.
+
+        A collective that fails or is unwound by a world abort is **still
+        logged** (with ``vend=-1.0``, marking it incomplete) so post-mortem
+        traffic accounting across a failure boundary sees every op each
+        rank issued — the convention the elastic recovery-cost benchmarks
+        rely on.
+        """
+        op = signature[0]
+        try:
+            result, vs, ve = self._rendezvous(
+                group, signature, contribution, compute, payload_bytes
+            )
+        except BaseException:
+            self._log(op, payload_bytes, group.size, self._vnow(), -1.0)
+            raise
+        self._log(op, payload_bytes, group.size, vs, ve)
         return result
+
+    # -- virtual clock -----------------------------------------------------
+    def now(self) -> float:
+        """This rank's virtual time (``-1.0`` when no clock is installed)."""
+        return self._vnow()
+
+    def charge_compute(
+        self, seconds: float, phase: str = "compute", label: str = ""
+    ) -> tuple[float, float] | None:
+        """Advance this rank's virtual clock by a compute interval.
+
+        The parallel wrappers (:class:`~repro.parallel.DataParallel`,
+        :class:`~repro.parallel.FSDPModel`, :class:`~repro.parallel.TPContext`)
+        call this so rank timelines interleave compute with communication and
+        :mod:`repro.perf.overlap` can derive overlap fractions.  Returns the
+        ``(start, end)`` virtual interval, or ``None`` when the world has no
+        clock (a no-op, so instrumented code runs unchanged without one).
+        """
+        clock = self.world.clock
+        if clock is None or seconds <= 0.0:
+            return None
+        return clock.charge(self.rank, float(seconds), phase=phase, label=label)
+
+    @contextlib.contextmanager
+    def phase_scope(self, phase: str) -> Iterator[None]:
+        """Stamp every traffic record issued inside with *phase*."""
+        prev = self.phase
+        self.phase = phase
+        try:
+            yield
+        finally:
+            self.phase = prev
 
     # -- collectives -------------------------------------------------------
     def barrier(self, group: ProcessGroup | None = None) -> None:
-        """Block until every group member reaches the same barrier call."""
+        """Block until every group member reaches the same barrier call.
+
+        Not logged as traffic (it moves no payload), but with a clock it
+        still costs its latency steps and synchronizes the group's virtual
+        timelines to the slowest arrival.
+        """
         group = self._resolve(group)
         if group.size == 1:
             return
@@ -382,14 +529,16 @@ class Communicator:
             raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
         arr = _copy_in(array)
         _check_mean_dtype(op, arr)
-        self._log("all_reduce", arr.nbytes, group.size)
         if group.size == 1:
+            t = self._vnow()
+            self._log("all_reduce", arr.nbytes, 1, t, t)
             return arr
-        result = self._rendezvous(
+        result = self._run_collective(
             group,
             ("all_reduce", op),
             arr,
             lambda data: _reduce([data[i] for i in range(group.size)], op),
+            payload_bytes=arr.nbytes,
         )
         return result.copy()
 
@@ -397,14 +546,16 @@ class Communicator:
         """Gather every rank's array; returns private copies in group order."""
         group = self._resolve(group)
         arr = _copy_in(array)
-        self._log("all_gather", arr.nbytes, group.size)
         if group.size == 1:
+            t = self._vnow()
+            self._log("all_gather", arr.nbytes, 1, t, t)
             return [arr]
-        parts = self._rendezvous(
+        parts = self._run_collective(
             group,
             ("all_gather",),
             arr,
             lambda data: [data[i] for i in range(group.size)],
+            payload_bytes=arr.nbytes,
         )
         return [p.copy() for p in parts]
 
@@ -457,14 +608,16 @@ class Communicator:
         # max(chunk) per rank per step, i.e. n·max(chunk) total elements.
         padded_dim = max(chunk_sizes) * n if chunk_sizes else 0
         payload = arr.nbytes if dim == 0 else (arr.nbytes // dim) * padded_dim
-        self._log("reduce_scatter", payload, n)
         if n == 1:
+            t = self._vnow()
+            self._log("reduce_scatter", payload, 1, t, t)
             return arr
-        full = self._rendezvous(
+        full = self._run_collective(
             group,
             ("reduce_scatter", op, axis, chunk_sizes),
             arr,
             lambda data: _reduce([data[i] for i in range(n)], op),
+            payload_bytes=payload,
         )
         me = group.rank_index(self.rank)
         lo = int(sum(chunk_sizes[:me]))
@@ -478,7 +631,8 @@ class Communicator:
         root_index = group.rank_index(root)
         payload = _copy_in(value) if self.rank == root else None
         if group.size == 1:
-            self._log("broadcast", payload.nbytes, 1)
+            t = self._vnow()
+            self._log("broadcast", payload.nbytes, 1, t, t)
             return payload
 
         def compute(data: dict[int, Any]) -> np.ndarray:
@@ -487,8 +641,17 @@ class Communicator:
                 raise SpmdError(f"broadcast root rank {root} supplied no payload")
             return contributed
 
-        result = self._rendezvous(group, ("broadcast", root), payload, compute)
-        self._log("broadcast", result.nbytes, group.size)
+        bid = payload.nbytes if payload is not None else 0
+        try:
+            result, vs, ve = self._rendezvous(
+                group, ("broadcast", root), payload, compute, payload_bytes=bid
+            )
+        except BaseException:
+            # Failed/aborted broadcasts still log (vend=-1), like every
+            # other collective; non-root ranks only know their zero bid.
+            self._log("broadcast", bid, group.size, self._vnow(), -1.0)
+            raise
+        self._log("broadcast", result.nbytes, group.size, vs, ve)
         return result.copy()
 
     def scatter(self, chunks, root: int, group: ProcessGroup | None = None) -> np.ndarray:
@@ -496,6 +659,7 @@ class Communicator:
         group = self._resolve(group)
         root_index = group.rank_index(root)
         contribution = None
+        payload = 0
         if self.rank == root:
             if chunks is None or len(chunks) != group.size:
                 raise SpmdError(
@@ -503,10 +667,10 @@ class Communicator:
                     f"got {0 if chunks is None else len(chunks)}"
                 )
             contribution = [_copy_in(c) for c in chunks]
-            self._log("scatter", sum(c.nbytes for c in contribution), group.size)
-        else:
-            self._log("scatter", 0, group.size)
+            payload = sum(c.nbytes for c in contribution)
         if group.size == 1:
+            t = self._vnow()
+            self._log("scatter", payload, 1, t, t)
             return contribution[0]
 
         def compute(data: dict[int, Any]) -> list[np.ndarray]:
@@ -515,7 +679,9 @@ class Communicator:
                 raise SpmdError(f"scatter root rank {root} supplied no chunks")
             return sent
 
-        parts = self._rendezvous(group, ("scatter", root), contribution, compute)
+        parts = self._run_collective(
+            group, ("scatter", root), contribution, compute, payload_bytes=payload
+        )
         return parts[group.rank_index(self.rank)].copy()
 
     def gather(self, array, root: int, group: ProcessGroup | None = None) -> list[np.ndarray] | None:
@@ -524,14 +690,16 @@ class Communicator:
         group = self._resolve(group)
         group.rank_index(root)  # validate membership
         arr = _copy_in(array)
-        self._log("gather", arr.nbytes, group.size)
         if group.size == 1:
+            t = self._vnow()
+            self._log("gather", arr.nbytes, 1, t, t)
             return [arr]
-        parts = self._rendezvous(
+        parts = self._run_collective(
             group,
             ("gather", root),
             arr,
             lambda data: [data[i] for i in range(group.size)],
+            payload_bytes=arr.nbytes,
         )
         if self.rank != root:
             return None
@@ -545,28 +713,42 @@ class Communicator:
         if len(sends) != n:
             raise SpmdError(f"all_to_all needs exactly {n} send buffers, got {len(sends)}")
         contribution = [_copy_in(s) for s in sends]
-        self._log("all_to_all", sum(c.nbytes for c in contribution), n)
+        payload = sum(c.nbytes for c in contribution)
         if n == 1:
+            t = self._vnow()
+            self._log("all_to_all", payload, 1, t, t)
             return [contribution[0]]
-        matrix = self._rendezvous(
+        matrix = self._run_collective(
             group,
             ("all_to_all",),
             contribution,
             lambda data: {i: data[i] for i in range(n)},
+            payload_bytes=payload,
         )
         me = group.rank_index(self.rank)
         return [matrix[i][me].copy() for i in range(n)]
 
     # -- point-to-point ----------------------------------------------------
     def send(self, array, dst: int, tag: int = 0) -> None:
-        """Deposit a tagged message for *dst* (non-blocking)."""
+        """Deposit a tagged message for *dst* (non-blocking).
+
+        With a clock the sender is charged the full transfer
+        (store-and-forward); the message carries its virtual delivery time so
+        the matching :meth:`recv` completes no earlier.
+        """
         if not 0 <= dst < self.size:
             raise SpmdError(f"send dst {dst} out of range for world of size {self.size}")
         arr = _copy_in(array)
-        self._log("send", arr.nbytes, 2)
+        clock = self.world.clock
+        vstart = vend = -1.0
+        if clock is not None:
+            vstart = clock.now(self.rank)
+            vend = vstart + clock.p2p_seconds(arr.nbytes, self.rank, dst)
+            clock.sync(self.rank, vend)
+        self._log("send", arr.nbytes, 2, vstart, vend)
         key = (self.rank, dst, int(tag))
         with self.world._mail_cond:
-            self.world._mail.setdefault(key, deque()).append(arr)
+            self.world._mail.setdefault(key, deque()).append((arr, vend))
             self.world._mail_cond.notify_all()
 
     def recv(self, src: int, tag: int = 0) -> np.ndarray:
@@ -578,11 +760,17 @@ class Communicator:
             while True:
                 queue = self.world._mail.get(key)
                 if queue:
-                    arr = queue.popleft()
+                    arr, sent_vend = queue.popleft()
                     break
                 self.world._check_abort()
                 self.world._mail_cond.wait(_POLL_S)
-        self._log("recv", arr.nbytes, 2)
+        clock = self.world.clock
+        vstart = vend = -1.0
+        if clock is not None:
+            vstart = clock.now(self.rank)
+            vend = max(vstart, sent_vend)
+            clock.sync(self.rank, vend)
+        self._log("recv", arr.nbytes, 2, vstart, vend)
         return arr
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -596,6 +784,7 @@ def run_spmd_world(
     timeout: float | None = None,
     timeline: bool = False,
     failure_plan: Any | None = None,
+    clock: Any | None = None,
 ) -> tuple[list, World]:
     """Run ``fn(comm, *args)`` on every rank of a fresh world.
 
@@ -606,10 +795,12 @@ def run_spmd_world(
     failed ``rank`` and the dead ``world``.  ``timeline=True`` stamps every
     traffic record with a per-world sequence number and monotonic timestamp;
     ``failure_plan`` installs a scripted-crash plan consulted by
-    :meth:`Communicator.tick`.
+    :meth:`Communicator.tick`; ``clock`` installs a virtual clock (e.g.
+    :class:`repro.perf.clock.VirtualClock`) that prices every collective and
+    produces deterministic per-rank simulated timelines.
     """
     timeout = _DEFAULT_TIMEOUT_S if timeout is None else float(timeout)
-    world = World(world_size, timeline=timeline, failure_plan=failure_plan)
+    world = World(world_size, timeline=timeline, failure_plan=failure_plan, clock=clock)
     results: list = [None] * world_size
 
     def runner(rank: int) -> None:
@@ -673,9 +864,16 @@ def run_spmd(
     timeout: float | None = None,
     timeline: bool = False,
     failure_plan: Any | None = None,
+    clock: Any | None = None,
 ) -> list:
     """Like :func:`run_spmd_world` but returns only the per-rank results."""
     results, _ = run_spmd_world(
-        fn, world_size, *args, timeout=timeout, timeline=timeline, failure_plan=failure_plan
+        fn,
+        world_size,
+        *args,
+        timeout=timeout,
+        timeline=timeline,
+        failure_plan=failure_plan,
+        clock=clock,
     )
     return results

@@ -37,7 +37,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
-__all__ = ["ring_wire_bytes", "TrafficRecord", "TrafficLog"]
+__all__ = ["ring_wire_bytes", "TrafficRecord", "TrafficTotals", "TrafficLog"]
 
 _COLLECTIVE_OPS = frozenset(
     {"all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all", "scatter", "gather"}
@@ -74,9 +74,15 @@ class TrafficRecord:
     ``seq`` and ``timestamp`` are only populated when the owning
     :class:`TrafficLog` runs in timeline mode (``timeline=True``): ``seq`` is
     a per-world monotonically increasing arrival index and ``timestamp`` a
-    ``time.monotonic()`` stamp, the groundwork for deriving communication
-    overlap fractions instead of assuming them.  Both stay ``-1`` when the
-    flag is off (the default).
+    ``time.monotonic()`` stamp.  Both stay ``-1`` when the flag is off (the
+    default).
+
+    ``vstart``/``vend`` are **virtual-clock** stamps, populated when the
+    world runs with ``run_spmd(..., clock=VirtualClock(machine))``: ``vstart``
+    is this rank's simulated time when it entered the collective and ``vend``
+    the group-wide simulated completion (slowest arrival + α–β collective
+    cost), so ``vend − vstart`` includes time spent waiting for stragglers.
+    Both stay ``-1.0`` without a clock.
     """
 
     rank: int
@@ -87,6 +93,17 @@ class TrafficRecord:
     group_size: int
     seq: int = -1
     timestamp: float = -1.0
+    vstart: float = -1.0
+    vend: float = -1.0
+
+
+@dataclass(frozen=True)
+class TrafficTotals:
+    """Single-pass aggregate of one (op, phase, rank) bucket of records."""
+
+    count: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
 
 
 class TrafficLog:
@@ -96,11 +113,21 @@ class TrafficLog:
     a 4-rank world that performs one AllReduce returns 4 — the convention the
     ablation benchmarks divide back out.  A fresh log is created for every
     :func:`~repro.dist.run_spmd` invocation; counters never leak across runs.
+
+    Aggregates (``count`` / ``payload_bytes`` / ``wire_bytes`` /
+    ``ops_histogram`` / ``totals``) are maintained as **running per-bucket
+    totals** keyed by ``(op, phase, rank)`` and updated on :meth:`add`, so a
+    query scans the handful of distinct buckets rather than snapshotting and
+    filtering the full record list — the benchmark loops over 32–64-rank
+    worlds used to be quadratic in the record count.  :meth:`records` still
+    returns the full per-record list for timeline consumers.
     """
 
     def __init__(self, timeline: bool = False) -> None:
         self._lock = threading.Lock()
         self._records: list[TrafficRecord] = []
+        # (op, phase, rank) -> [count, payload_bytes, wire_bytes]
+        self._buckets: dict[tuple[str, str, int], list[int]] = {}
         self.timeline = bool(timeline)
 
     def add(self, record: TrafficRecord) -> None:
@@ -110,17 +137,32 @@ class TrafficLog:
                     record, seq=len(self._records), timestamp=time.monotonic()
                 )
             self._records.append(record)
+            bucket = self._buckets.get((record.op, record.phase, record.rank))
+            if bucket is None:
+                bucket = self._buckets[(record.op, record.phase, record.rank)] = [0, 0, 0]
+            bucket[0] += 1
+            bucket[1] += record.payload_bytes
+            bucket[2] += record.wire_bytes
 
     def reset(self) -> None:
         with self._lock:
             self._records.clear()
+            self._buckets.clear()
 
     # -- filtered views ---------------------------------------------------
-    def _select(
+    def records(
         self, op: str | None = None, phase: str | None = None, rank: int | None = None
     ) -> list[TrafficRecord]:
+        """Matching records in arrival order.
+
+        Unlike the aggregate queries this walks the full record list
+        (O(records)); use it for per-record data — timeline stamps,
+        virtual intervals — not for counting.
+        """
         with self._lock:
             records = list(self._records)
+        if op is None and phase is None and rank is None:
+            return records
         return [
             r
             for r in records
@@ -129,28 +171,44 @@ class TrafficLog:
             and (rank is None or r.rank == rank)
         ]
 
+    def totals(
+        self, op: str | None = None, phase: str | None = None, rank: int | None = None
+    ) -> TrafficTotals:
+        """Aggregate over every bucket matching the given filters, in one
+        pass over the (small) bucket table."""
+        count = payload = wire = 0
+        with self._lock:
+            for (b_op, b_phase, b_rank), (c, p, w) in self._buckets.items():
+                if (
+                    (op is None or b_op == op)
+                    and (phase is None or b_phase == phase)
+                    and (rank is None or b_rank == rank)
+                ):
+                    count += c
+                    payload += p
+                    wire += w
+        return TrafficTotals(count=count, payload_bytes=payload, wire_bytes=wire)
+
     def count(self, op: str | None = None, phase: str | None = None, rank: int | None = None) -> int:
-        return len(self._select(op, phase, rank))
+        return self.totals(op, phase, rank).count
 
     def payload_bytes(
         self, op: str | None = None, phase: str | None = None, rank: int | None = None
     ) -> int:
-        return sum(r.payload_bytes for r in self._select(op, phase, rank))
+        return self.totals(op, phase, rank).payload_bytes
 
     def wire_bytes(
         self, op: str | None = None, phase: str | None = None, rank: int | None = None
     ) -> int:
-        return sum(r.wire_bytes for r in self._select(op, phase, rank))
+        return self.totals(op, phase, rank).wire_bytes
 
     def ops_histogram(self, rank: int | None = None) -> dict[str, int]:
         hist: dict[str, int] = {}
-        for r in self._select(rank=rank):
-            hist[r.op] = hist.get(r.op, 0) + 1
-        return hist
-
-    def records(self) -> list[TrafficRecord]:
         with self._lock:
-            return list(self._records)
+            for (b_op, _b_phase, b_rank), (c, _p, _w) in self._buckets.items():
+                if rank is None or b_rank == rank:
+                    hist[b_op] = hist.get(b_op, 0) + c
+        return hist
 
     def __len__(self) -> int:
         with self._lock:

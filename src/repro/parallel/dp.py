@@ -28,7 +28,18 @@ def shard_batch(batch: np.ndarray, comm: Communicator, group: ProcessGroup | Non
 
 
 class DataParallel(Module):
-    """DDP-style wrapper: broadcast at init, ``sync_gradients`` after backward."""
+    """DDP-style wrapper: broadcast at init, ``sync_gradients`` after backward.
+
+    Compute-cost hooks: under a virtual clock (``run_spmd(...,
+    clock=VirtualClock(machine))``), ``forward_seconds``/``backward_seconds``
+    charge the replica's per-step compute onto the rank timeline — forward
+    after the wrapped module runs, backward just before the gradient sync —
+    and the sync's AllReduce is stamped ``phase="dp_sync"``.  That is the
+    exact shape :func:`repro.perf.overlap.derive_overlaps` needs to derive
+    the DP overlap fraction (how much of the gradient AllReduce a bucketed
+    implementation hides under backward).  Both hooks are no-ops without a
+    clock.
+    """
 
     def __init__(
         self,
@@ -36,22 +47,32 @@ class DataParallel(Module):
         group: ProcessGroup | None,
         module: Module,
         sync_init: bool = True,
+        forward_seconds: float = 0.0,
+        backward_seconds: float = 0.0,
     ) -> None:
         super().__init__()
         group = group if group is not None else comm.world.default_group
         self.comm = comm
         self.group = group
         self.module = module
+        self.forward_seconds = float(forward_seconds)
+        self.backward_seconds = float(backward_seconds)
         if sync_init and group.size > 1:
             broadcast_parameters(comm, module.parameters(), root=group.ranks[0], group=group)
 
     def forward(self, *args, **kwargs):
-        return self.module(*args, **kwargs)
+        out = self.module(*args, **kwargs)
+        if self.forward_seconds:
+            self.comm.charge_compute(self.forward_seconds, phase="forward")
+        return out
 
     def sync_gradients(self) -> None:
         """AllReduce (mean) every parameter gradient across the DP group."""
+        if self.backward_seconds:
+            self.comm.charge_compute(self.backward_seconds, phase="backward")
         if self.group.size > 1:
-            average_gradients(self.comm, self.module.parameters(), group=self.group)
+            with self.comm.phase_scope("dp_sync"):
+                average_gradients(self.comm, self.module.parameters(), group=self.group)
 
     def parameters(self) -> list[Tensor]:  # type: ignore[override]
         return self.module.parameters()

@@ -56,9 +56,13 @@ class FlatParamShard:
 
         The returned tensors carry autograd history back to ``self.shard``;
         their gradients ReduceScatter (mean, the DDP/FSDP convention) onto
-        ``shard.grad`` in backward.
+        ``shard.grad`` in backward.  The forward gather is stamped
+        ``phase="fsdp_gather"`` so :mod:`repro.perf.overlap` can derive how
+        much of it a prefetching implementation hides under forward compute
+        (the backward collectives keep the runtime's ``"backward"`` stamp).
         """
-        full = all_gather_autograd(self.comm, self.shard, self.group, axis=0, reduce_op="mean")
+        with self.comm.phase_scope("fsdp_gather"):
+            full = all_gather_autograd(self.comm, self.shard, self.group, axis=0, reduce_op="mean")
         tensors = []
         offset = 0
         for shape, size in zip(self.shapes, self.sizes):
@@ -123,6 +127,12 @@ class FSDPModel(Module):
         out = model(x)          # materializes all units, then runs net.forward
         loss.backward()          # grads land on model.shard_parameters()
         optimizer = AdamW(model.shard_parameters())
+
+    ``unit_seconds`` is the virtual-clock compute-cost hook: each unit's
+    forward compute (charged ``phase="forward"`` right after its gather) so
+    rank timelines interleave gather/compute per unit the way real FSDP
+    prefetching does — the input :mod:`repro.perf.overlap` derives the FSDP
+    overlap fraction from.  A no-op without a clock.
     """
 
     def __init__(
@@ -131,12 +141,14 @@ class FSDPModel(Module):
         group: ProcessGroup | None,
         module: Module,
         units: list[Module] | None = None,
+        unit_seconds: float = 0.0,
     ) -> None:
         super().__init__()
         group = group if group is not None else comm.world.default_group
         self.comm = comm
         self.group = group
         self.module = module
+        self.unit_seconds = float(unit_seconds)
         unit_modules = units if units is not None else [module]
         # Any parameter not inside a listed unit forms a residual unit.
         listed: set[int] = set()
@@ -179,9 +191,14 @@ class FSDPModel(Module):
                 )
             u.flat.shard.data[...] = arr
 
-    def forward(self, *args, **kwargs):
+    def _materialize_all(self) -> None:
         for u in self.units:
             u.materialize()
+            if self.unit_seconds:
+                self.comm.charge_compute(self.unit_seconds, phase="forward")
+
+    def forward(self, *args, **kwargs):
+        self._materialize_all()
         return self.module(*args, **kwargs)
 
     def loss(self, *args, **kwargs):
@@ -190,8 +207,7 @@ class FSDPModel(Module):
         Lets a ``Trainer`` drive an FSDP-wrapped model directly (with
         ``params=model.shard_parameters()``).
         """
-        for u in self.units:
-            u.materialize()
+        self._materialize_all()
         return self.module.loss(*args, **kwargs)
 
     def consolidated_state_dict(self) -> dict[str, np.ndarray]:

@@ -15,6 +15,8 @@ correctness baseline (§5).
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from ..dist import Communicator, ProcessGroup, copy_to_group, reduce_from_group
@@ -35,13 +37,41 @@ __all__ = [
 
 
 class TPContext:
-    """The (communicator, group) pair a TP layer communicates over."""
+    """The (communicator, group) pair a TP layer communicates over.
 
-    def __init__(self, comm: Communicator, group: ProcessGroup | None = None) -> None:
+    Virtual-clock hooks: ``block_seconds`` is the per-transformer-block
+    forward compute a block charges onto the rank timeline (half after the
+    attention region, half after the MLP region — TP collectives sit on the
+    critical path between them, matching the analytic model's overlap-0
+    treatment of TP); ``phase`` optionally stamps every forward collective a
+    block issues (e.g. ``"tp"``) so measured traffic can be split by axis.
+    Both are no-ops by default / without a clock.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        group: ProcessGroup | None = None,
+        block_seconds: float = 0.0,
+        phase: str | None = None,
+    ) -> None:
         self.comm = comm
         self.group = group if group is not None else comm.world.default_group
         self.size = self.group.size
         self.index = self.group.rank_index(comm.rank)
+        self.block_seconds = float(block_seconds)
+        self.phase = phase
+
+    def charge(self, seconds: float) -> None:
+        """Charge forward compute onto this rank's virtual timeline."""
+        if seconds:
+            self.comm.charge_compute(seconds, phase="forward")
+
+    def scope(self):
+        """Phase scope for this context's forward collectives (or a no-op)."""
+        if self.phase is None:
+            return contextlib.nullcontext()
+        return self.comm.phase_scope(self.phase)
 
     def shard(self, n: int) -> slice:
         """This rank's contiguous slice of an axis of size *n*."""
@@ -226,11 +256,16 @@ class TPTransformerBlock(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         ctx = self.ctx
-        h = copy_to_group(ctx.comm, self.norm1(x), ctx.group)
-        h = reduce_from_group(ctx.comm, self.attn(h), ctx.group) + self.attn.proj_bias
-        x = x + h
-        h = copy_to_group(ctx.comm, self.norm2(x), ctx.group)
-        h = reduce_from_group(ctx.comm, self.mlp(h), ctx.group) + self.mlp.fc2_bias
+        with ctx.scope():
+            h = copy_to_group(ctx.comm, self.norm1(x), ctx.group)
+            attn = self.attn(h)
+            ctx.charge(0.5 * ctx.block_seconds)
+            h = reduce_from_group(ctx.comm, attn, ctx.group) + self.attn.proj_bias
+            x = x + h
+            h = copy_to_group(ctx.comm, self.norm2(x), ctx.group)
+            mlp = self.mlp(h)
+            ctx.charge(0.5 * ctx.block_seconds)
+            h = reduce_from_group(ctx.comm, mlp, ctx.group) + self.mlp.fc2_bias
         return x + h
 
 
@@ -323,16 +358,18 @@ class TPChannelCrossAttention(Module):
         """Replicated [B, C, N, D] -> replicated [B, N, D] (Q=1)."""
         ctx = self.ctx
         b, c, n, d = x.shape
-        x = copy_to_group(ctx.comm, x, ctx.group)
-        tokens = x.transpose(0, 2, 1, 3).reshape(b * n, c, d)
-        q_in = self.query_tokens.expand_dims(0).broadcast_to((b * n, self.num_queries, d))
-        q = _split_heads(self.q_proj(q_in), self.local_heads)
-        k, v = self.kv_proj(tokens).split(2, axis=-1)
-        k = _split_heads(k, self.local_heads)
-        v = _split_heads(v, self.local_heads)
-        out = scaled_dot_product_attention(q, k, v)
-        out = self.proj(_merge_heads(out))
-        out = reduce_from_group(ctx.comm, out, ctx.group) + self.proj_bias
+        with ctx.scope():
+            x = copy_to_group(ctx.comm, x, ctx.group)
+            tokens = x.transpose(0, 2, 1, 3).reshape(b * n, c, d)
+            q_in = self.query_tokens.expand_dims(0).broadcast_to((b * n, self.num_queries, d))
+            q = _split_heads(self.q_proj(q_in), self.local_heads)
+            k, v = self.kv_proj(tokens).split(2, axis=-1)
+            k = _split_heads(k, self.local_heads)
+            v = _split_heads(v, self.local_heads)
+            out = scaled_dot_product_attention(q, k, v)
+            out = self.proj(_merge_heads(out))
+            ctx.charge(ctx.block_seconds)
+            out = reduce_from_group(ctx.comm, out, ctx.group) + self.proj_bias
         out = out.reshape(b, n, self.num_queries, d).transpose(0, 2, 1, 3)
         if self.num_queries == 1:
             return out.squeeze(1)

@@ -6,10 +6,19 @@ in ``tests/test_perf_validation.py``.
 """
 
 from .autotune import TunedPlan, best_configuration, search_configurations
+from .clock import ComputeInterval, VirtualClock
+from .cost import CostModel
 from .figures import FIGURE_BATCH
-from .comm_model import CommBreakdown, collective_time, estimate_step_comm
+from .comm_model import (
+    CommBreakdown,
+    CommEvent,
+    collective_time,
+    estimate_step_comm,
+    step_comm_schedule,
+)
 from .flops import TRAIN_MULT, FlopsBreakdown, estimate_flops, useful_flops_per_step
 from .machine import GiB, MachineSpec, frontier
+from .overlap import DerivedOverlaps, OverlapReport, derive_overlap, derive_overlaps
 from .memory_model import MemoryBreakdown, estimate_memory
 from .modelcfg import MODEL_ZOO, ModelConfig, named_model, transformer_param_count
 from .plan import ParallelPlan, Precision, Workload
@@ -45,8 +54,17 @@ __all__ = [
     "useful_flops_per_step",
     "TRAIN_MULT",
     "CommBreakdown",
+    "CommEvent",
     "collective_time",
     "estimate_step_comm",
+    "step_comm_schedule",
+    "CostModel",
+    "VirtualClock",
+    "ComputeInterval",
+    "DerivedOverlaps",
+    "OverlapReport",
+    "derive_overlap",
+    "derive_overlaps",
     "StepEstimate",
     "estimate_step",
     "throughput_gain",

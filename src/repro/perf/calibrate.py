@@ -1,0 +1,393 @@
+"""Calibration harness: the analytic/measured contract, enforced.
+
+Three layers of cross-checking between the α–β :class:`CostModel` and the
+SPMD runtime driven with a :class:`VirtualClock`:
+
+1. :func:`calibrate` — runs every ring collective through real
+   :func:`~repro.dist.run_spmd` worlds (2/4/8 ranks, intra- and inter-node
+   placements) and checks the traffic log's **measured wire bytes equal the
+   CostModel prediction exactly**, and the virtual step time equals
+   :func:`~repro.perf.comm_model.collective_time`.
+2. :func:`fit_machine` — least-squares-fits α (latency/step) and β (1/bw)
+   from (steps, wire, seconds) samples over a payload sweep and reports the
+   residuals against the :class:`MachineSpec` constants — the hook for
+   tightening specs against *real* timestamps later (timeline mode).
+3. :func:`measure_plan` — replays the exact
+   :func:`~repro.perf.comm_model.step_comm_schedule` of a hybrid
+   (tp × fsdp × dp) plan through a real :class:`~repro.parallel.DeviceMesh`
+   world, returning per-axis measured wire/seconds plus derived overlap
+   fractions; the measured fig-15/16 benchmarks sweep factorizations
+   through it.
+
+Run the smoke check from a shell (the CI job does)::
+
+    python -m repro.perf.calibrate --ranks 4 --smoke
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..dist import run_spmd_world
+from .clock import VirtualClock
+from .comm_model import (
+    CommBreakdown,
+    axis_group_sizes,
+    estimate_step_comm,
+    step_comm_schedule,
+)
+from .cost import CostModel
+from .flops import TRAIN_MULT, estimate_flops
+from .machine import MachineSpec, frontier
+from .modelcfg import ModelConfig
+from .overlap import DerivedOverlaps, derive_overlaps, phase_comm_seconds
+from .plan import ParallelPlan, Precision, Workload
+from .throughput import batch_efficiency
+
+__all__ = [
+    "RING_OPS",
+    "CalibrationRow",
+    "CalibrationReport",
+    "calibrate",
+    "FittedLink",
+    "fit_machine",
+    "MeasuredComm",
+    "measure_plan",
+    "main",
+]
+
+#: The collectives whose wire accounting the analytic model prices.
+RING_OPS = ("all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all")
+
+#: Schedule axis → traffic phase stamped by the measured replay.
+AXIS_PHASES = {"tp": "tp", "gather": "gather", "fsdp": "fsdp_gather", "dp": "dp_sync"}
+
+
+def _issue(comm, op: str, payload_bytes: int, group) -> None:
+    """Issue one collective with exactly *payload_bytes* of per-rank payload
+    (uint8 buffers, so any integer byte count is representable)."""
+    n = group.size
+    if op in ("reduce_scatter", "all_to_all") and payload_bytes % n != 0:
+        raise ValueError(
+            f"{op} payload {payload_bytes} not divisible by group size {n}: "
+            "pick shapes whose payloads split evenly or the padded-collective "
+            "convention breaks exact wire parity"
+        )
+    buf = np.zeros(payload_bytes, dtype=np.uint8)
+    if op == "all_reduce":
+        comm.all_reduce(buf, group=group)
+    elif op == "all_gather":
+        comm.all_gather(buf, group=group)
+    elif op == "reduce_scatter":
+        comm.reduce_scatter(buf, group=group)
+    elif op == "broadcast":
+        root = group.ranks[0]
+        comm.broadcast(buf if comm.rank == root else None, root=root, group=group)
+    elif op == "all_to_all":
+        comm.all_to_all(np.split(buf, n), group=group)
+    else:
+        raise ValueError(f"unknown ring collective {op!r}")
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One (op, world size, placement) cross-check."""
+
+    op: str
+    ranks: int
+    intra_node: bool
+    payload_bytes: int
+    predicted_wire: int
+    measured_wire: int
+    predicted_seconds: float
+    measured_seconds: float
+
+    @property
+    def wire_match(self) -> bool:
+        return self.predicted_wire == self.measured_wire
+
+    @property
+    def time_residual(self) -> float:
+        """Relative |measured − predicted| virtual seconds."""
+        scale = max(abs(self.predicted_seconds), 1e-30)
+        return abs(self.measured_seconds - self.predicted_seconds) / scale
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    machine: MachineSpec
+    rows: list[CalibrationRow]
+
+    @property
+    def wire_exact(self) -> bool:
+        return all(r.wire_match for r in self.rows)
+
+    @property
+    def max_time_residual(self) -> float:
+        return max((r.time_residual for r in self.rows), default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return self.wire_exact and self.max_time_residual < 1e-9
+
+
+def _run_one(
+    op: str, world_size: int, payload_bytes: int, machine: MachineSpec
+) -> CalibrationRow:
+    cost = CostModel(machine)
+    clock = VirtualClock(machine)
+
+    def fn(comm):
+        _issue(comm, op, payload_bytes, comm.world.default_group)
+        return comm.now()
+
+    _, world = run_spmd_world(fn, world_size, clock=clock, timeout=60.0)
+    intra = cost.intra_node(range(world_size))
+    rec = next(r for r in world.traffic.records() if r.rank == 0 and r.op == op)
+    return CalibrationRow(
+        op=op,
+        ranks=world_size,
+        intra_node=intra,
+        payload_bytes=payload_bytes,
+        predicted_wire=cost.wire_bytes(op, rec.payload_bytes, world_size),
+        measured_wire=world.traffic.wire_bytes(op=op, rank=0),
+        predicted_seconds=cost.collective_seconds(
+            op, rec.payload_bytes, world_size, intra
+        ),
+        measured_seconds=clock.elapsed(),
+    )
+
+
+def calibrate(
+    world_sizes: tuple[int, ...] = (2, 4, 8),
+    machine: MachineSpec | None = None,
+    payload_bytes: int = 4096,
+) -> CalibrationReport:
+    """Cross-check every ring collective at every world size, both placements.
+
+    The inter-node placement reuses the same machine with
+    ``gpus_per_node = world_size // 2`` so the world's default group spans
+    two simulated nodes.
+    """
+    machine = machine if machine is not None else frontier()
+    rows: list[CalibrationRow] = []
+    for n in world_sizes:
+        # Payload divisible by every group size keeps padded conventions exact.
+        payload = payload_bytes - payload_bytes % n
+        for spec in (machine, replace(machine, gpus_per_node=max(1, n // 2))):
+            for op in RING_OPS:
+                rows.append(_run_one(op, n, payload, spec))
+    return CalibrationReport(machine=machine, rows=rows)
+
+
+@dataclass(frozen=True)
+class FittedLink:
+    """α–β constants recovered from measured samples of one link."""
+
+    intra_node: bool
+    alpha: float            # fitted seconds per latency step
+    beta: float             # fitted seconds per wire byte
+    spec_alpha: float       # MachineSpec latency
+    spec_beta: float        # 1 / MachineSpec bandwidth
+    rms_residual: float     # RMS of (measured − fitted) seconds
+
+    @property
+    def alpha_error(self) -> float:
+        return abs(self.alpha - self.spec_alpha) / self.spec_alpha
+
+    @property
+    def beta_error(self) -> float:
+        return abs(self.beta - self.spec_beta) / self.spec_beta
+
+
+def fit_machine(
+    machine: MachineSpec | None = None,
+    world_size: int = 4,
+    payload_sweep: tuple[int, ...] = (1 << 10, 1 << 12, 1 << 14, 1 << 16),
+    intra_node: bool = True,
+) -> FittedLink:
+    """Recover α and β by least squares over a payload sweep.
+
+    ``seconds = α·steps + β·wire`` is linear in (steps, wire); samples come
+    from real virtual-clock runs, so with the clock driving the same
+    CostModel the fit recovers the :class:`MachineSpec` constants to float
+    precision — the residual is the proof the two layers share one pricing
+    core.  Plug wall-clock timestamps in instead (timeline mode) to fit
+    constants for the *host* machine.
+    """
+    machine = machine if machine is not None else frontier()
+    spec = machine if intra_node else replace(machine, gpus_per_node=max(1, world_size // 2))
+    cost = CostModel(spec)
+    rows = []
+    seconds = []
+    for payload in payload_sweep:
+        payload -= payload % world_size
+        for op in RING_OPS:
+            r = _run_one(op, world_size, payload, spec)
+            rows.append([cost.latency_steps(op, world_size), r.measured_wire])
+            seconds.append(r.measured_seconds)
+    a = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(seconds, dtype=np.float64)
+    coef, _, _, _ = np.linalg.lstsq(a, y, rcond=None)
+    alpha, beta = float(coef[0]), float(coef[1])
+    resid = float(np.sqrt(np.mean((a @ coef - y) ** 2)))
+    bw, lat = cost.link(intra_node)
+    return FittedLink(
+        intra_node=intra_node,
+        alpha=alpha,
+        beta=beta,
+        spec_alpha=lat,
+        spec_beta=1.0 / bw,
+        rms_residual=resid,
+    )
+
+
+@dataclass(frozen=True)
+class MeasuredComm:
+    """One plan's step replayed through a real DeviceMesh world."""
+
+    plan: ParallelPlan
+    world_size: int
+    wire: dict[str, int]          # per-rank measured wire bytes by axis
+    seconds: dict[str, float]     # per-rank measured collective seconds by axis
+    step_seconds: float           # virtual makespan (compute + exposed comm)
+    overlaps: DerivedOverlaps
+    predicted: CommBreakdown      # analytic, overlap 0 (raw comm)
+
+    @property
+    def comm_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def wire_matches_predicted(self) -> bool:
+        return all(
+            self.wire.get(axis, 0) == predicted
+            for axis, predicted in self.predicted.wire_by_axis().items()
+        )
+
+
+def measure_plan(
+    model: ModelConfig,
+    workload: Workload,
+    plan: ParallelPlan,
+    machine: MachineSpec | None = None,
+    precision: Precision = Precision(),
+    timeout: float = 90.0,
+) -> MeasuredComm:
+    """Replay one step's collective schedule through a real SPMD world.
+
+    The world is factored by a :class:`~repro.parallel.DeviceMesh` exactly
+    as the plan prescribes (TP innermost); each rank issues the events of
+    :func:`step_comm_schedule` on its own mesh groups, phase-tagged per
+    axis, with forward/backward compute charged around them (⅓ / ⅔ of the
+    plan's step FLOPs at the plan's batch efficiency).  Returns measured
+    per-axis wire/seconds — comparable byte-for-byte with
+    :func:`estimate_step_comm` — plus overlap fractions derived from the
+    run's own timelines.
+    """
+    from ..parallel.mesh import DeviceMesh  # runtime import: parallel pulls nn
+
+    machine = machine if machine is not None else frontier()
+    events = step_comm_schedule(model, workload, plan, precision)
+    own = TRAIN_MULT * estimate_flops(model, workload, plan).total
+    compute = own / (machine.peak_flops * batch_efficiency(machine, workload.batch))
+    fwd_seconds, bwd_seconds = compute / 3.0, 2.0 * compute / 3.0
+    clock = VirtualClock(machine)
+
+    def fn(comm):
+        mesh = DeviceMesh(comm, tp=plan.tp, fsdp=plan.fsdp, dp=plan.dp)
+        groups = {
+            "tp": mesh.tp_group,
+            "gather": mesh.tp_group,
+            "fsdp": mesh.fsdp_group,
+            "dp": mesh.dp_group,
+        }
+        comm.charge_compute(fwd_seconds, phase="forward")
+        for ev in events:
+            if ev.axis == "dp":
+                continue
+            with comm.phase_scope(AXIS_PHASES[ev.axis]):
+                for _ in range(ev.count):
+                    _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis])
+        comm.charge_compute(bwd_seconds, phase="backward")
+        for ev in events:
+            if ev.axis != "dp":
+                continue
+            with comm.phase_scope(AXIS_PHASES["dp"]):
+                for _ in range(ev.count):
+                    _issue(comm, ev.op, ev.payload_bytes, groups["dp"])
+        return comm.now()
+
+    _, world = run_spmd_world(fn, plan.total_gpus, clock=clock, timeout=timeout)
+    sizes = axis_group_sizes(plan)
+    wire = {
+        axis: world.traffic.wire_bytes(phase=phase, rank=0)
+        for axis, phase in AXIS_PHASES.items()
+        if sizes[axis] > 1
+    }
+    seconds = {
+        axis: phase_comm_seconds(world, phase, rank=0)
+        for axis, phase in AXIS_PHASES.items()
+        if sizes[axis] > 1
+    }
+    predicted = estimate_step_comm(
+        model, workload, plan, machine, precision, dp_overlap=0.0, fsdp_overlap=0.0
+    )
+    return MeasuredComm(
+        plan=plan,
+        world_size=plan.total_gpus,
+        wire=wire,
+        seconds=seconds,
+        step_seconds=clock.elapsed(),
+        overlaps=derive_overlaps(world),
+        predicted=predicted,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the calibration matrix and print per-op residuals."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ranks", type=int, nargs="+", default=[2, 4],
+                        help="world sizes to calibrate at")
+    parser.add_argument("--payload", type=int, default=4096, help="payload bytes")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smallest quick pass (2 and 4 ranks, skip the fit sweep)")
+    args = parser.parse_args(argv)
+
+    sizes = tuple(args.ranks) if not args.smoke else tuple(r for r in args.ranks if r <= 4)
+    report = calibrate(world_sizes=sizes or (2, 4), payload_bytes=args.payload)
+    header = f"{'op':<16}{'ranks':>6}{'placement':>12}{'wire ok':>9}{'time resid':>12}"
+    print(f"calibration on {report.machine.name} (payload {args.payload} B)")
+    print(header)
+    print("-" * len(header))
+    for r in report.rows:
+        place = "intra" if r.intra_node else "inter"
+        print(
+            f"{r.op:<16}{r.ranks:>6}{place:>12}"
+            f"{'yes' if r.wire_match else 'NO':>9}{r.time_residual:>12.2e}"
+        )
+    if not args.smoke:
+        for intra in (True, False):
+            fit = fit_machine(intra_node=intra)
+            place = "intra" if intra else "inter"
+            print(
+                f"fitted {place}: alpha {fit.alpha:.3e}s (spec {fit.spec_alpha:.3e}), "
+                f"beta {fit.beta:.3e}s/B (spec {fit.spec_beta:.3e}), "
+                f"rms residual {fit.rms_residual:.2e}"
+            )
+            if fit.alpha_error > 1e-6 or fit.beta_error > 1e-6 or not math.isfinite(fit.rms_residual):
+                print("FAIL: fitted constants diverge from MachineSpec")
+                return 1
+    if not report.ok:
+        print("FAIL: measured traffic diverges from the CostModel")
+        return 1
+    print(f"OK: wire bytes exact, max time residual {report.max_time_residual:.2e}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Deterministic virtual clock for the SPMD runtime.
+
+``run_spmd(fn, n, clock=VirtualClock(machine))`` makes every collective in
+:mod:`repro.dist.runtime` advance a simulated per-rank clock: the group's
+members synchronize to ``max(arrival times) + CostModel seconds`` and every
+traffic record is stamped with virtual start/end times.  Ranks charge local
+compute with :meth:`Communicator.charge_compute`, which appends a
+:class:`ComputeInterval` to the rank's timeline.
+
+Determinism: virtual times are pure functions of each rank's *program
+order* — compute charges plus the maxima taken at collective rendezvous —
+never of wall-clock time or thread scheduling, so repeated runs of the same
+world produce bitwise-identical timelines.
+
+Thread-safety contract (by construction, no locks needed): ``bind`` runs
+before the rank threads start; ``now``/``charge``/``sync`` touch only the
+calling rank's own slot; the cross-rank ``max`` over arrivals happens inside
+the runtime's rendezvous, whose condition variable already orders the reads
+after every write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .cost import CostModel
+from .machine import MachineSpec, frontier
+
+__all__ = ["ComputeInterval", "VirtualClock"]
+
+
+@dataclass(frozen=True)
+class ComputeInterval:
+    """One charged compute span on a rank's virtual timeline."""
+
+    rank: int
+    phase: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+class VirtualClock:
+    """Per-rank simulated time driven by one shared :class:`CostModel`.
+
+    A clock belongs to **one world at a time**: :class:`~repro.dist.World`
+    calls :meth:`bind` at construction, which resets the timelines.  Read
+    ``times()`` / ``compute_intervals()`` between runs, not across them.
+    """
+
+    def __init__(
+        self, machine: MachineSpec | None = None, cost: CostModel | None = None
+    ) -> None:
+        if cost is None:
+            cost = CostModel(machine if machine is not None else frontier())
+        elif machine is not None and cost.machine is not machine:
+            raise ValueError("pass either machine or cost, not conflicting both")
+        self.cost = cost
+        self.machine = cost.machine
+        self._times: list[float] = []
+        self._compute: list[list[ComputeInterval]] = []
+
+    # -- world plumbing (called by repro.dist.runtime) ---------------------
+    def bind(self, world_size: int) -> None:
+        """Attach to a fresh world: zero all per-rank timelines."""
+        self._times = [0.0] * int(world_size)
+        self._compute = [[] for _ in range(int(world_size))]
+
+    @property
+    def world_size(self) -> int:
+        return len(self._times)
+
+    def now(self, rank: int) -> float:
+        return self._times[rank]
+
+    def sync(self, rank: int, t: float) -> None:
+        """Advance *rank* to time *t* (never backwards)."""
+        if t > self._times[rank]:
+            self._times[rank] = t
+
+    def charge(
+        self, rank: int, seconds: float, phase: str = "compute", label: str = ""
+    ) -> tuple[float, float]:
+        """Append a compute interval to *rank*'s timeline; returns (start, end)."""
+        if seconds < 0.0:
+            raise ValueError(f"compute seconds must be >= 0, got {seconds}")
+        start = self._times[rank]
+        end = start + seconds
+        self._times[rank] = end
+        self._compute[rank].append(
+            ComputeInterval(rank=rank, phase=phase, label=label, start=start, end=end)
+        )
+        return start, end
+
+    def collective_seconds(
+        self, op: str, payload_bytes: int, ranks: Sequence[int]
+    ) -> float:
+        """α–β cost of one collective over the given world ranks."""
+        return self.cost.collective_seconds_for(op, payload_bytes, ranks)
+
+    def p2p_seconds(self, nbytes: int, src: int, dst: int) -> float:
+        return self.cost.p2p_seconds(nbytes, src, dst)
+
+    # -- read-out ----------------------------------------------------------
+    def times(self) -> list[float]:
+        """Per-rank virtual completion times (a copy)."""
+        return list(self._times)
+
+    def elapsed(self) -> float:
+        """The world's virtual makespan: the slowest rank's clock."""
+        return max(self._times, default=0.0)
+
+    def compute_intervals(
+        self, rank: int | None = None, phase: str | None = None
+    ) -> list[ComputeInterval]:
+        ranks = range(len(self._compute)) if rank is None else (rank,)
+        out: list[ComputeInterval] = []
+        for r in ranks:
+            out.extend(
+                iv for iv in self._compute[r] if phase is None or iv.phase == phase
+            )
+        return out
+
+    def compute_seconds(
+        self, rank: int | None = None, phase: str | None = None
+    ) -> float:
+        return sum(iv.seconds for iv in self.compute_intervals(rank, phase))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VirtualClock(machine={self.machine.name!r}, "
+            f"world={self.world_size}, elapsed={self.elapsed():.3e}s)"
+        )

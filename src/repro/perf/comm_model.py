@@ -4,18 +4,47 @@ Collective time = latency·steps + moved-bytes / bottleneck-bandwidth, with
 ring algorithms (what RCCL runs).  A group whose ranks all live inside one
 node rides Infinity Fabric (50 GB/s); a group spanning nodes is limited by
 the per-GPU share of the node's Slingshot injection bandwidth (§4.1).
+
+All pricing delegates to the shared :class:`~repro.perf.cost.CostModel` —
+the same core the runtime's :class:`~repro.perf.clock.VirtualClock` uses, so
+analytic predictions and measured (simulated) runs can be cross-checked
+byte-for-byte (``perf/calibrate.py``).
+
+:func:`step_comm_schedule` is the single source of the per-step collective
+schedule: :func:`estimate_step_comm` prices it analytically, and the
+calibration harness replays the identical events through real
+:func:`~repro.dist.run_spmd` worlds on :class:`~repro.parallel.DeviceMesh`
+groups.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from ..dist.stats import ring_wire_bytes
+from .cost import CostModel
 from .machine import MachineSpec
 from .modelcfg import ModelConfig, transformer_param_count
 from .plan import ParallelPlan, Precision, Workload
 
-__all__ = ["collective_time", "CommBreakdown", "estimate_step_comm"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .overlap import DerivedOverlaps
+
+__all__ = [
+    "collective_time",
+    "CommEvent",
+    "step_comm_schedule",
+    "axis_group_sizes",
+    "axis_intra_node",
+    "CommBreakdown",
+    "estimate_step_comm",
+]
+
+#: Default hidden fractions when no derived overlaps are supplied — the
+#: paper-era assumptions.  Derive real ones with a virtual-clock run and
+#: :func:`repro.perf.overlap.derive_overlaps`, then pass ``overlaps=``.
+DEFAULT_DP_OVERLAP = 0.8
+DEFAULT_FSDP_OVERLAP = 0.5
 
 
 def collective_time(
@@ -26,46 +55,40 @@ def collective_time(
     intra_node: bool,
 ) -> float:
     """Seconds for one collective; *payload_bytes* is the per-rank payload
-    (matching :func:`repro.dist.stats.ring_wire_bytes` conventions)."""
-    if group_size <= 1:
-        return 0.0
-    wire = ring_wire_bytes(op, int(payload_bytes), group_size)
-    if intra_node:
-        bw, lat = machine.intra_node_bw, machine.intra_latency
-    else:
-        bw, lat = machine.inter_node_bw_per_gpu, machine.inter_latency
-    steps = 2 * (group_size - 1) if op == "all_reduce" else (group_size - 1)
-    return lat * steps + wire / bw
+    (matching :func:`repro.dist.stats.ring_wire_bytes` conventions).
+
+    Thin wrapper over :meth:`CostModel.collective_seconds` — kept as the
+    historical entry point of the analytic layer.
+    """
+    return CostModel(machine).collective_seconds(op, payload_bytes, group_size, intra_node)
 
 
 @dataclass(frozen=True)
-class CommBreakdown:
-    """Per-step communication seconds by parallel axis."""
+class CommEvent:
+    """One collective in a training step's schedule.
 
-    tp_time: float
-    gather_time: float      # channel-stage gather (dist_tok / dchag)
-    fsdp_time: float
-    dp_time: float
+    ``axis`` names the parallel axis whose process group carries the event
+    (``"tp"``, ``"gather"`` — the channel-stage gather, rides the TP group —
+    ``"fsdp"`` or ``"dp"``); ``count`` is the per-step multiplicity.
+    """
 
-    @property
-    def total(self) -> float:
-        return self.tp_time + self.gather_time + self.fsdp_time + self.dp_time
+    axis: str
+    op: str
+    payload_bytes: int
+    count: int = 1
 
 
-def estimate_step_comm(
+def step_comm_schedule(
     model: ModelConfig,
     workload: Workload,
     plan: ParallelPlan,
-    machine: MachineSpec,
     precision: Precision = Precision(),
-    dp_overlap: float = 0.8,
-    fsdp_overlap: float = 0.5,
-) -> CommBreakdown:
-    """Non-overlapped communication seconds for one training step.
+) -> list[CommEvent]:
+    """Every collective one training step issues, with exact payload bytes.
 
-    DP AllReduce and FSDP gathers partially overlap with compute
-    (``*_overlap`` = hidden fraction); TP collectives sit on the critical
-    path (overlap 0), as in Megatron-style implementations.
+    The analytic pricer and the measured replay (``perf/calibrate.py``)
+    consume this same list, which is what makes their wire-byte accounting
+    comparable at all.
     """
     D = model.dim
     N = model.tokens
@@ -74,54 +97,142 @@ def estimate_step_comm(
     ab = precision.act_bytes
     tp, fsdp, dp = plan.tp, plan.fsdp, plan.dp
 
-    tp_intra = tp <= machine.gpus_per_node
-    # A replica occupies tp·fsdp consecutive GPUs; FSDP crosses nodes once
-    # tp·fsdp exceeds a node.  DP is outermost (almost always cross-node).
-    fsdp_intra = tp * fsdp <= machine.gpus_per_node
-    dp_intra = tp * fsdp * dp <= machine.gpus_per_node
+    events: list[CommEvent] = []
 
-    # ---- TP: 2 AllReduce fwd + 2 bwd per block, each B·N·D activations ----
-    tp_time = 0.0
+    # ---- TP: 2 AllReduce fwd + 2 bwd per block, each B·N·D activations,
+    # plus the channel-aggregation module's own TP collectives (2 fwd + 2 bwd).
     if tp > 1:
-        act_bytes = B * N * D * ab
-        per_block = 4 * collective_time("all_reduce", act_bytes, tp, machine, tp_intra)
-        tp_time = model.depth * per_block
-        # channel-aggregation module's own TP collectives (2 fwd + 2 bwd)
-        tp_time += 4 * collective_time("all_reduce", act_bytes, tp, machine, tp_intra)
+        act_bytes = int(B * N * D * ab)
+        events.append(CommEvent("tp", "all_reduce", act_bytes, 4 * model.depth + 4))
 
     # ---- channel-stage gather ------------------------------------------
-    gather_time = 0.0
     if plan.strategy == "dist_tok" and tp > 1:
-        shard = B * (C // tp) * N * D * ab
-        gather_time += collective_time("all_gather", shard, tp, machine, tp_intra)
+        shard = int(B * (C // tp) * N * D * ab)
+        events.append(CommEvent("gather", "all_gather", shard))
         # backward pays the ReduceScatter of the full gradient
-        gather_time += collective_time("reduce_scatter", shard * tp, tp, machine, tp_intra)
+        events.append(CommEvent("gather", "reduce_scatter", shard * tp))
     elif plan.strategy == "dchag" and tp > 1:
-        one_channel = B * 1 * N * D * ab
-        gather_time += collective_time("all_gather", one_channel, tp, machine, tp_intra)
+        one_channel = int(B * 1 * N * D * ab)
+        events.append(CommEvent("gather", "all_gather", one_channel))
         # no backward collective (the paper's headline property)
 
     # ---- FSDP: AllGather params fwd + bwd, ReduceScatter grads ----------
-    fsdp_time = 0.0
     if fsdp > 1:
         params = transformer_param_count(model) / tp
-        shard_bytes = params * precision.param_bytes / fsdp
-        t = 2 * collective_time("all_gather", shard_bytes, fsdp, machine, fsdp_intra)
-        t += collective_time(
-            "reduce_scatter", params * precision.grad_bytes, fsdp, machine, fsdp_intra
+        shard_bytes = int(params * precision.param_bytes / fsdp)
+        events.append(CommEvent("fsdp", "all_gather", shard_bytes, 2))
+        events.append(
+            CommEvent("fsdp", "reduce_scatter", int(params * precision.grad_bytes))
         )
-        fsdp_time = t * (1.0 - fsdp_overlap)
 
     # ---- DP: one gradient AllReduce per step -----------------------------
-    dp_time = 0.0
     if dp > 1:
-        grad_bytes = (transformer_param_count(model) / tp / fsdp) * precision.grad_bytes
-        dp_time = collective_time("all_reduce", grad_bytes, dp, machine, dp_intra)
-        dp_time *= 1.0 - dp_overlap
+        grad_bytes = int(
+            (transformer_param_count(model) / tp / fsdp) * precision.grad_bytes
+        )
+        events.append(CommEvent("dp", "all_reduce", grad_bytes))
+
+    return events
+
+
+def axis_group_sizes(plan: ParallelPlan) -> dict[str, int]:
+    """Process-group size carrying each schedule axis."""
+    return {"tp": plan.tp, "gather": plan.tp, "fsdp": plan.fsdp, "dp": plan.dp}
+
+
+def axis_intra_node(plan: ParallelPlan, machine: MachineSpec) -> dict[str, bool]:
+    """Placement per axis: a replica occupies tp·fsdp consecutive GPUs, so
+    FSDP crosses nodes once tp·fsdp exceeds a node; DP is outermost (almost
+    always cross-node).  Matches the TP-innermost
+    :class:`~repro.parallel.DeviceMesh` rank layout."""
+    tp, fsdp, dp = plan.tp, plan.fsdp, plan.dp
+    g = machine.gpus_per_node
+    tp_intra = tp <= g
+    return {
+        "tp": tp_intra,
+        "gather": tp_intra,
+        "fsdp": tp * fsdp <= g,
+        "dp": tp * fsdp * dp <= g,
+    }
+
+
+@dataclass(frozen=True)
+class CommBreakdown:
+    """Per-step communication seconds (and per-rank wire bytes) by axis.
+
+    The ``*_time`` fields are **exposed** seconds — the FSDP and DP entries
+    already discounted by their overlap fractions; the ``*_wire`` fields are
+    raw per-rank ring wire bytes (overlap hides time, not bytes).
+    """
+
+    tp_time: float
+    gather_time: float      # channel-stage gather (dist_tok / dchag)
+    fsdp_time: float
+    dp_time: float
+    tp_wire: int = 0
+    gather_wire: int = 0
+    fsdp_wire: int = 0
+    dp_wire: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.tp_time + self.gather_time + self.fsdp_time + self.dp_time
+
+    @property
+    def total_wire(self) -> int:
+        return self.tp_wire + self.gather_wire + self.fsdp_wire + self.dp_wire
+
+    def wire_by_axis(self) -> dict[str, int]:
+        return {
+            "tp": self.tp_wire,
+            "gather": self.gather_wire,
+            "fsdp": self.fsdp_wire,
+            "dp": self.dp_wire,
+        }
+
+
+def estimate_step_comm(
+    model: ModelConfig,
+    workload: Workload,
+    plan: ParallelPlan,
+    machine: MachineSpec,
+    precision: Precision = Precision(),
+    dp_overlap: float = DEFAULT_DP_OVERLAP,
+    fsdp_overlap: float = DEFAULT_FSDP_OVERLAP,
+    overlaps: "DerivedOverlaps | None" = None,
+) -> CommBreakdown:
+    """Non-overlapped communication seconds for one training step.
+
+    DP AllReduce and FSDP gathers partially overlap with compute
+    (``*_overlap`` = hidden fraction); TP collectives sit on the critical
+    path (overlap 0), as in Megatron-style implementations.  Pass
+    ``overlaps=`` (a :class:`~repro.perf.overlap.DerivedOverlaps` from a
+    virtual-clock run) to replace the assumed fractions with derived ones.
+    """
+    if overlaps is not None:
+        dp_overlap = overlaps.dp_overlap
+        fsdp_overlap = overlaps.fsdp_overlap
+    cost = CostModel(machine)
+    sizes = axis_group_sizes(plan)
+    intra = axis_intra_node(plan, machine)
+
+    times = {"tp": 0.0, "gather": 0.0, "fsdp": 0.0, "dp": 0.0}
+    wires = {"tp": 0, "gather": 0, "fsdp": 0, "dp": 0}
+    for ev in step_comm_schedule(model, workload, plan, precision):
+        n = sizes[ev.axis]
+        times[ev.axis] += ev.count * cost.collective_seconds(
+            ev.op, ev.payload_bytes, n, intra[ev.axis]
+        )
+        if n > 1:
+            wires[ev.axis] += ev.count * cost.wire_bytes(ev.op, ev.payload_bytes, n)
 
     return CommBreakdown(
-        tp_time=float(tp_time),
-        gather_time=float(gather_time),
-        fsdp_time=float(fsdp_time),
-        dp_time=float(dp_time),
+        tp_time=times["tp"],
+        gather_time=times["gather"],
+        fsdp_time=times["fsdp"] * (1.0 - fsdp_overlap),
+        dp_time=times["dp"] * (1.0 - dp_overlap),
+        tp_wire=wires["tp"],
+        gather_wire=wires["gather"],
+        fsdp_wire=wires["fsdp"],
+        dp_wire=wires["dp"],
     )

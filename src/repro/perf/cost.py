@@ -1,0 +1,130 @@
+"""The α–β pricing core shared by the analytic model and the SPMD runtime.
+
+One :class:`CostModel` instance prices every collective the system issues —
+the analytic layer (:func:`repro.perf.comm_model.collective_time` and
+:func:`~repro.perf.comm_model.estimate_step_comm`) and the runtime's
+:class:`~repro.perf.clock.VirtualClock` both delegate here, so the two
+layers can cross-check each other byte-for-byte (``perf/calibrate.py``).
+
+Pricing convention (§4.1, RCCL ring algorithms)::
+
+    seconds = latency · steps(op, n)  +  wire_bytes(op, payload, n) / bandwidth
+
+Latency **step counts** per op — the single source of truth the runtime and
+the analytic model share (audited against the ring conventions documented in
+:mod:`repro.dist.stats`):
+
+=================  ============  ==================================================
+op                 steps         why
+=================  ============  ==================================================
+``all_reduce``     ``2·(n−1)``   ring ReduceScatter pass + ring AllGather pass
+``all_gather``     ``n−1``       one ring pass, shards rotate n−1 hops
+``reduce_scatter`` ``n−1``       one ring pass
+``broadcast``      ``n−1``       pipelined ring from the root
+``scatter``        ``n−1``       root emits one chunk per peer
+``gather``         ``n−1``       inverse of scatter
+``all_to_all``     ``1``         **not** a serialized ring: every pair exchanges
+                                 directly in a single concurrent round, so only
+                                 one latency is paid (the volume term carries
+                                 the per-peer payloads)
+``barrier``        ``n−1``       latency-only ring pass, zero bytes
+``send``           ``1``         one point-to-point message
+``recv``           ``0``         priced on the sender's side
+=================  ============  ==================================================
+
+Topology placement: ranks map onto nodes contiguously
+(``node = rank // gpus_per_node``); a group whose ranks all share a node
+rides the intra-node fabric, anything else pays the per-GPU share of the
+node injection bandwidth.  This is the same placement rule
+:func:`~repro.perf.comm_model.estimate_step_comm` applies to the
+TP-innermost :class:`~repro.parallel.DeviceMesh` layout, so analytic and
+measured placements coincide by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..dist.stats import ring_wire_bytes
+from .machine import MachineSpec
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices collectives (seconds + wire bytes) on one :class:`MachineSpec`."""
+
+    machine: MachineSpec
+
+    # -- the shared step-count table --------------------------------------
+    def latency_steps(self, op: str, group_size: int) -> int:
+        """Serialized latency rounds for one collective (see module table)."""
+        n = int(group_size)
+        if n < 1:
+            raise ValueError(f"group size must be >= 1, got {group_size}")
+        if op == "send":
+            return 1
+        if op == "recv":
+            return 0
+        if n == 1:
+            return 0
+        if op == "all_reduce":
+            return 2 * (n - 1)
+        if op in ("all_gather", "reduce_scatter", "broadcast", "scatter", "gather", "barrier"):
+            return n - 1
+        if op == "all_to_all":
+            return 1
+        raise ValueError(f"unknown collective op {op!r}")
+
+    def wire_bytes(self, op: str, payload_bytes: int, group_size: int) -> int:
+        """Per-rank ring wire volume (:func:`repro.dist.stats.ring_wire_bytes`)."""
+        if op == "barrier":
+            return 0
+        return ring_wire_bytes(op, int(payload_bytes), group_size)
+
+    # -- topology placement ------------------------------------------------
+    def node_of(self, rank: int) -> int:
+        return int(rank) // self.machine.gpus_per_node
+
+    def intra_node(self, ranks: Sequence[int]) -> bool:
+        """True when every rank of the group lives on one node."""
+        return len({self.node_of(r) for r in ranks}) <= 1
+
+    def link(self, intra_node: bool) -> tuple[float, float]:
+        """(bandwidth bytes/s, latency s/step) of the bottleneck link."""
+        m = self.machine
+        if intra_node:
+            return m.intra_node_bw, m.intra_latency
+        return m.inter_node_bw_per_gpu, m.inter_latency
+
+    # -- pricing -----------------------------------------------------------
+    def collective_seconds(
+        self, op: str, payload_bytes: float, group_size: int, intra_node: bool
+    ) -> float:
+        """Seconds for one collective; *payload_bytes* follows the per-op
+        conventions of :mod:`repro.dist.stats`."""
+        if group_size <= 1:
+            return 0.0
+        wire = self.wire_bytes(op, int(payload_bytes), group_size)
+        bw, lat = self.link(intra_node)
+        return lat * self.latency_steps(op, group_size) + wire / bw
+
+    def collective_seconds_for(
+        self, op: str, payload_bytes: float, ranks: Sequence[int]
+    ) -> float:
+        """Like :meth:`collective_seconds` with placement derived from the
+        group's world ranks."""
+        return self.collective_seconds(
+            op, payload_bytes, len(ranks), self.intra_node(ranks)
+        )
+
+    def p2p_seconds(self, nbytes: float, src: int, dst: int) -> float:
+        """One tagged point-to-point message between two world ranks."""
+        bw, lat = self.link(self.node_of(src) == self.node_of(dst))
+        return lat + int(nbytes) / bw
+
+    def compute_seconds(self, flops: float) -> float:
+        """GEMM time at the machine's sustained throughput."""
+        return float(flops) / self.machine.sustained_flops

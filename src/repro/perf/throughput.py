@@ -19,12 +19,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from .comm_model import CommBreakdown, estimate_step_comm
 from .flops import TRAIN_MULT, estimate_flops
 from .machine import MachineSpec
 from .memory_model import MemoryBreakdown, estimate_memory
 from .modelcfg import ModelConfig
 from .plan import ParallelPlan, Precision, Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .overlap import DerivedOverlaps
 
 __all__ = [
     "StepEstimate",
@@ -121,13 +126,18 @@ def estimate_step(
     plan: ParallelPlan,
     machine: MachineSpec,
     precision: Precision = Precision(),
+    overlaps: "DerivedOverlaps | None" = None,
 ) -> StepEstimate:
-    """Estimate a step at an explicit micro-batch (``workload.batch``)."""
+    """Estimate a step at an explicit micro-batch (``workload.batch``).
+
+    ``overlaps`` replaces the assumed dp/fsdp overlap fractions with ones
+    derived from a virtual-clock run (:func:`repro.perf.overlap.derive_overlaps`).
+    """
     memory = estimate_memory(model, workload, plan, precision)
     own = TRAIN_MULT * estimate_flops(model, workload, plan).total
     eff = batch_efficiency(machine, workload.batch)
     compute = own / (machine.peak_flops * eff)
-    comm = estimate_step_comm(model, workload, plan, machine, precision)
+    comm = estimate_step_comm(model, workload, plan, machine, precision, overlaps=overlaps)
     return StepEstimate(
         plan=plan,
         micro_batch=workload.batch,
@@ -146,6 +156,7 @@ def sustained_estimate(
     machine: MachineSpec,
     precision: Precision = Precision(),
     micro_batch: int | None = None,
+    overlaps: "DerivedOverlaps | None" = None,
 ) -> StepEstimate:
     """Estimate at the best (largest fitting) micro-batch for this plan."""
     b = micro_batch if micro_batch is not None else max_batch_per_replica(
@@ -153,8 +164,8 @@ def sustained_estimate(
     )
     if b == 0:
         # Report the infeasible single-sample point (fits=False ⇒ 0 TFLOPs).
-        return estimate_step(model, Workload(channels, 1), plan, machine, precision)
-    return estimate_step(model, Workload(channels, b), plan, machine, precision)
+        return estimate_step(model, Workload(channels, 1), plan, machine, precision, overlaps)
+    return estimate_step(model, Workload(channels, b), plan, machine, precision, overlaps)
 
 
 def throughput_gain(

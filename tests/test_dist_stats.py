@@ -4,7 +4,7 @@ the per-invocation traffic counters the ablation benchmarks consume."""
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.dist import TrafficLog, TrafficRecord, ring_wire_bytes, run_spmd_world
+from repro.dist import TrafficLog, TrafficRecord, TrafficTotals, ring_wire_bytes, run_spmd_world
 
 PAYLOADS = st.integers(0, 10**9)
 SIZES = st.integers(2, 64)
@@ -98,6 +98,64 @@ class TestCounterLifecycle:
         assert log.count() == len(log) == 1
         log.reset()
         assert log.count() == 0
+        assert log.ops_histogram() == {}
+
+
+class TestRunningAggregation:
+    """count/payload/wire queries scan per-(op, phase, rank) running totals,
+    not the record list — and must stay consistent with a naive re-scan."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),                      # rank
+                st.sampled_from(["all_reduce", "all_gather", "send"]),
+                st.sampled_from(["", "forward", "backward"]),
+                st.integers(0, 1 << 20),                # payload
+            ),
+            max_size=60,
+        )
+    )
+    def test_totals_match_naive_scan(self, entries):
+        log = TrafficLog()
+        for rank, op, phase, payload in entries:
+            log.add(
+                TrafficRecord(
+                    rank=rank, op=op, phase=phase,
+                    payload_bytes=payload, wire_bytes=payload // 2, group_size=4,
+                )
+            )
+        for op, phase, rank in [(None, None, None), ("all_reduce", None, None),
+                                (None, "backward", 2), ("send", "", 0)]:
+            naive = [
+                r for r in log.records()
+                if (op is None or r.op == op)
+                and (phase is None or r.phase == phase)
+                and (rank is None or r.rank == rank)
+            ]
+            assert log.totals(op, phase, rank) == TrafficTotals(
+                count=len(naive),
+                payload_bytes=sum(r.payload_bytes for r in naive),
+                wire_bytes=sum(r.wire_bytes for r in naive),
+            )
+            assert log.count(op, phase, rank) == len(naive)
+
+    def test_records_accept_the_same_filters(self):
+        _, world = run_spmd_world(_one_step, 4)
+        mine = world.traffic.records(op="all_reduce", rank=2)
+        assert [r.op for r in mine] == ["all_reduce"]
+        assert len(world.traffic.records()) == world.traffic.count()
+
+    def test_totals_update_incrementally(self):
+        log = TrafficLog()
+        rec = TrafficRecord(rank=0, op="all_reduce", phase="", payload_bytes=100,
+                            wire_bytes=50, group_size=2)
+        for i in range(1, 4):
+            log.add(rec)
+            assert log.totals(op="all_reduce") == TrafficTotals(i, 100 * i, 50 * i)
+        log.reset()
+        assert log.totals() == TrafficTotals(0, 0, 0)
         assert log.ops_histogram() == {}
 
 

@@ -58,3 +58,8 @@ def test_elastic_training(tmp_path):
 @pytest.mark.slow
 def test_scaling_planner():
     run_example("scaling_planner.py", ["--model", "1.7B", "--channels", "512", "--gpus", "64"])
+
+
+@pytest.mark.slow
+def test_overlap_calibration():
+    run_example("overlap_calibration.py", ["--steps", "2"])

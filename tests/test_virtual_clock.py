@@ -1,0 +1,460 @@
+"""The virtual-clock cost engine: one α–β pricing core for both layers.
+
+Covers the acceptance contract of the cost-engine redesign:
+
+* ``run_spmd(..., clock=VirtualClock(machine))`` produces **deterministic**
+  per-rank timelines — bitwise identical across runs and thread schedules.
+* Measured wire bytes equal the analytic ``ring_wire_bytes`` predictions for
+  every ring collective at 2/4/8 ranks (the calibration harness's claim).
+* The shared :class:`CostModel` is the single source of latency-step truth
+  (``all_to_all`` pays one round, rings pay n−1, AllReduce 2·(n−1)).
+* :mod:`repro.perf.overlap` derives dp/fsdp overlap fractions from rank
+  timelines, and :func:`estimate_step_comm` accepts them in place of the
+  hard-coded constants.
+"""
+
+import math
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.dist import ring_wire_bytes, run_spmd, run_spmd_world
+from repro.parallel import DataParallel, DeviceMesh, FSDPModel, shard_batch
+from repro.perf import (
+    CostModel,
+    ModelConfig,
+    ParallelPlan,
+    VirtualClock,
+    Workload,
+    collective_time,
+    derive_overlaps,
+    estimate_step_comm,
+    frontier,
+    step_comm_schedule,
+)
+from repro.perf.calibrate import calibrate, fit_machine, measure_plan
+from repro.perf.overlap import DerivedOverlaps, OverlapReport, derive_overlap
+
+MACHINE = frontier()
+
+
+class TestCostModel:
+    def test_step_counts_follow_ring_conventions(self):
+        """The audited per-op latency table (satellite fix: all_to_all is a
+        single direct exchange round, not a serialized ring)."""
+        cost = CostModel(MACHINE)
+        n = 8
+        assert cost.latency_steps("all_reduce", n) == 2 * (n - 1)
+        for op in ("all_gather", "reduce_scatter", "broadcast", "scatter", "gather", "barrier"):
+            assert cost.latency_steps(op, n) == n - 1, op
+        assert cost.latency_steps("all_to_all", n) == 1
+        assert cost.latency_steps("send", n) == 1
+        assert cost.latency_steps("recv", n) == 0
+
+    def test_single_rank_groups_are_free(self):
+        cost = CostModel(MACHINE)
+        for op in ("all_reduce", "all_gather", "all_to_all", "barrier"):
+            assert cost.latency_steps(op, 1) == 0
+            assert cost.collective_seconds(op, 1 << 20, 1, True) == 0.0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(MACHINE).latency_steps("all_shuffle", 4)
+
+    def test_collective_time_delegates_to_cost_model(self):
+        """The analytic entry point and the CostModel are the same function."""
+        cost = CostModel(MACHINE)
+        for op in ("all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all"):
+            for intra in (True, False):
+                assert collective_time(op, 1 << 20, 8, MACHINE, intra) == cost.collective_seconds(
+                    op, 1 << 20, 8, intra
+                )
+
+    def test_all_to_all_cheaper_than_ring_latency(self):
+        """At small payloads the single-round all_to_all beats a ring pass."""
+        cost = CostModel(MACHINE)
+        assert cost.collective_seconds("all_to_all", 64, 8, True) < cost.collective_seconds(
+            "broadcast", 64, 8, True
+        )
+
+    def test_topology_placement(self):
+        cost = CostModel(MACHINE)  # 8 GPUs per node
+        assert cost.intra_node(range(8))
+        assert not cost.intra_node([7, 8])
+        assert cost.intra_node([3])
+
+
+class TestVirtualClockDeterminism:
+    @staticmethod
+    def _workload(comm):
+        """A mixed workload with rank-skewed compute, subgroups and p2p."""
+        lo = comm.group([0, 1])
+        hi = comm.group([2, 3])
+        mine = lo if comm.rank < 2 else hi
+        comm.charge_compute(1e-6 * (comm.rank + 1), phase="forward")
+        for i in range(5):
+            comm.all_reduce(np.ones(256, dtype=np.float32))
+            comm.all_reduce(np.full(64, float(comm.rank), dtype=np.float32), group=mine)
+            comm.charge_compute(2e-7 * ((comm.rank + i) % 3), phase="backward")
+            comm.barrier()
+        if comm.rank == 0:
+            comm.send(np.ones(128, dtype=np.float32), dst=3, tag=9)
+        if comm.rank == 3:
+            comm.recv(src=0, tag=9)
+        # Real sleep perturbs the thread schedule but must not perturb
+        # virtual time.
+        time.sleep(0.001 * (comm.rank % 2))
+        return comm.now()
+
+    def test_timelines_identical_across_runs(self):
+        runs = []
+        for _ in range(3):
+            clock = VirtualClock(MACHINE)
+            times = run_spmd(self._workload, 4, clock=clock)
+            assert times == clock.times()
+            runs.append(times)
+        assert runs[0] == runs[1] == runs[2]  # bitwise, not approximate
+
+    def test_records_stamped_identically_across_runs(self):
+        def stamps():
+            clock = VirtualClock(MACHINE)
+            _, world = run_spmd_world(self._workload, 4, clock=clock)
+            return sorted(
+                (r.rank, r.op, r.vstart, r.vend) for r in world.traffic.records()
+            )
+
+        assert stamps() == stamps()
+
+    def test_no_clock_means_no_stamps(self):
+        def fn(comm):
+            comm.all_reduce(np.ones(4, dtype=np.float32))
+            assert comm.now() == -1.0
+            assert comm.charge_compute(1.0) is None
+            return None
+
+        _, world = run_spmd_world(fn, 2)
+        for r in world.traffic.records():
+            assert r.vstart == -1.0 and r.vend == -1.0
+
+    def test_inflight_collectives_logged_on_abort(self):
+        """A collective interrupted by a world abort still appears in the
+        post-mortem traffic log, stamped incomplete (vend=-1) — the
+        accounting the elastic recovery benchmarks rely on (regression)."""
+        from repro.dist import SpmdError
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.all_reduce(np.ones(4, dtype=np.float32))
+            return None
+
+        try:
+            run_spmd(fn, 2, timeout=10, clock=VirtualClock(MACHINE))
+            raise AssertionError("world should have aborted")
+        except SpmdError as err:
+            world = err.world
+        recs = world.traffic.records(op="all_reduce", rank=1)
+        assert len(recs) == 1
+        assert recs[0].vend == -1.0
+
+
+class TestVirtualClockSemantics:
+    def test_group_synchronizes_to_slowest_arrival(self):
+        clock = VirtualClock(MACHINE)
+
+        def fn(comm):
+            comm.charge_compute(1e-3 * comm.rank, phase="forward")
+            comm.all_reduce(np.ones(1, dtype=np.float32))
+            return comm.now()
+
+        times = run_spmd(fn, 4, clock=clock)
+        cost = CostModel(MACHINE).collective_seconds("all_reduce", 4, 4, True)
+        expected = 3e-3 + cost  # slowest arrival (rank 3) + collective cost
+        assert times == [expected] * 4
+
+    def test_barrier_costs_latency_only(self):
+        clock = VirtualClock(MACHINE)
+        run_spmd(lambda comm: comm.barrier(), 4, clock=clock)
+        assert math.isclose(clock.elapsed(), 3 * MACHINE.intra_latency, rel_tol=1e-12)
+        # ...and barriers still never appear in the traffic log.
+
+    def test_inter_node_group_costs_more(self):
+        def elapsed(machine):
+            clock = VirtualClock(machine)
+            run_spmd(
+                lambda comm: comm.all_reduce(np.ones(1024, dtype=np.float32)),
+                4,
+                clock=clock,
+            )
+            return clock.elapsed()
+
+        intra = elapsed(MACHINE)                                # 4 ranks, 1 node
+        inter = elapsed(replace(MACHINE, gpus_per_node=2))      # spans 2 nodes
+        assert inter > intra
+
+    def test_send_recv_carry_virtual_delivery_time(self):
+        clock = VirtualClock(MACHINE)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(1 << 20, dtype=np.float32), dst=1)
+            else:
+                comm.recv(src=0)
+            return comm.now()
+
+        t0, t1 = run_spmd(fn, 2, clock=clock)
+        expected = CostModel(MACHINE).p2p_seconds(4 << 20, 0, 1)
+        assert math.isclose(t0, expected, rel_tol=1e-12)
+        assert t1 >= t0  # receiver cannot finish before delivery
+
+    def test_compute_intervals_recorded_per_phase(self):
+        clock = VirtualClock(MACHINE)
+
+        def fn(comm):
+            comm.charge_compute(2e-6, phase="forward")
+            comm.charge_compute(3e-6, phase="backward", label="blk0")
+            return None
+
+        run_spmd(fn, 2, clock=clock)
+        assert math.isclose(clock.compute_seconds(phase="forward"), 2 * 2e-6, rel_tol=1e-12)
+        assert math.isclose(clock.compute_seconds(rank=1, phase="backward"), 3e-6, rel_tol=1e-12)
+        (iv,) = clock.compute_intervals(rank=0, phase="backward")
+        assert iv.label == "blk0" and math.isclose(iv.seconds, 3e-6, rel_tol=1e-12)
+
+    def test_negative_charge_rejected(self):
+        clock = VirtualClock(MACHINE)
+        clock.bind(1)
+        with pytest.raises(ValueError):
+            clock.charge(0, -1.0)
+
+
+class TestWireParity:
+    """Measured wire bytes == ring_wire_bytes predictions, all ops, 2/4/8."""
+
+    @pytest.mark.parametrize("world_size", [2, 4, 8])
+    def test_all_ops_exact(self, world_size):
+        report = calibrate(world_sizes=(world_size,), payload_bytes=2048)
+        for row in report.rows:
+            assert row.wire_match, (row.op, row.ranks, row.intra_node)
+            assert row.measured_wire == ring_wire_bytes(
+                row.op, row.payload_bytes, row.ranks
+            ), row.op
+
+    def test_virtual_time_matches_analytic_exactly(self):
+        report = calibrate(world_sizes=(2, 4, 8), payload_bytes=2048)
+        assert report.ok
+        assert report.max_time_residual == 0.0
+
+    def test_fitted_constants_recover_machine_spec(self):
+        for intra in (True, False):
+            fit = fit_machine(world_size=4, payload_sweep=(1 << 10, 1 << 13, 1 << 16),
+                              intra_node=intra)
+            assert fit.alpha_error < 1e-6, fit
+            assert fit.beta_error < 1e-6, fit
+            assert fit.rms_residual < 1e-12
+
+
+class TestMeasuredPlans:
+    TINY = ModelConfig("tiny", dim=32, depth=2, heads=4, patch=4, image_hw=(16, 16))
+
+    def test_hybrid_plan_wire_and_time_parity(self):
+        machine = replace(MACHINE, gpus_per_node=4)
+        plan = ParallelPlan("dchag", tp=2, dchag_kind="linear", fsdp=2, dp=2)
+        m = measure_plan(self.TINY, Workload(16, 2), plan, machine)
+        assert m.wire_matches_predicted(), (m.wire, m.predicted.wire_by_axis())
+        assert abs(m.comm_seconds - m.predicted.total) <= 1e-9 + 1e-6 * m.predicted.total
+        assert m.step_seconds >= m.comm_seconds
+
+    def test_schedule_is_shared_source_of_truth(self):
+        """The analytic wire fields equal pricing the schedule by hand."""
+        plan = ParallelPlan("dist_tok", tp=4, fsdp=2, dp=2)
+        workload = Workload(16, 2)
+        cost = CostModel(MACHINE)
+        sizes = {"tp": plan.tp, "gather": plan.tp, "fsdp": plan.fsdp, "dp": plan.dp}
+        by_axis = {"tp": 0, "gather": 0, "fsdp": 0, "dp": 0}
+        for ev in step_comm_schedule(self.TINY, workload, plan):
+            by_axis[ev.axis] += ev.count * cost.wire_bytes(ev.op, ev.payload_bytes, sizes[ev.axis])
+        comm = estimate_step_comm(self.TINY, workload, plan, MACHINE)
+        assert comm.wire_by_axis() == by_axis
+
+
+class TestDerivedOverlap:
+    def _world(self, comm_seconds_payload: int, backward_seconds: float):
+        """One dp_sync AllReduce of a known payload after known backward."""
+        clock = VirtualClock(MACHINE)
+
+        def fn(comm):
+            comm.charge_compute(backward_seconds, phase="backward")
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(np.ones(comm_seconds_payload // 4, dtype=np.float32))
+            return None
+
+        _, world = run_spmd_world(fn, 4, clock=clock)
+        return world
+
+    def test_full_overlap_when_compute_dominates(self):
+        world = self._world(1 << 10, backward_seconds=1.0)
+        rep = derive_overlap(world, "dp_sync", "backward")
+        assert rep.overlap == 1.0
+
+    def test_partial_overlap_is_ratio(self):
+        payload = 1 << 20
+        comm = CostModel(MACHINE).collective_seconds("all_reduce", payload, 4, True)
+        world = self._world(payload, backward_seconds=comm / 2)
+        rep = derive_overlap(world, "dp_sync", "backward")
+        assert math.isclose(rep.overlap, 0.5, rel_tol=1e-9)
+
+    def test_zero_when_no_comm_in_phase(self):
+        world = self._world(1 << 10, backward_seconds=1e-6)
+        rep = derive_overlap(world, "no_such_phase", "backward")
+        assert rep.overlap == 0.0 and rep.comm_seconds == 0.0
+
+    def test_zero_duration_records_do_not_divide_by_zero(self):
+        """A size-1 group logs vstart == vend; the derivation must report
+        overlap 0, not crash (regression)."""
+        clock = VirtualClock(MACHINE)
+
+        def fn(comm):
+            solo = comm.group([comm.rank])
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(np.ones(8, dtype=np.float32), group=solo)
+            return None
+
+        _, world = run_spmd_world(fn, 2, clock=clock)
+        rep = derive_overlap(world, "dp_sync", "backward")
+        assert rep.overlap == 0.0 and rep.comm_seconds == 0.0
+
+    def test_requires_clock(self):
+        _, world = run_spmd_world(
+            lambda comm: comm.all_reduce(np.ones(4, dtype=np.float32)), 2
+        )
+        with pytest.raises(ValueError):
+            derive_overlap(world, "dp_sync", "backward")
+
+    def test_estimate_step_comm_accepts_derived_overlaps(self):
+        model = ModelConfig("t", dim=64, depth=4, heads=4)
+        plan = ParallelPlan("tp", tp=2, fsdp=2, dp=2)
+        w = Workload(16, 2)
+        mk = lambda dp, fsdp: DerivedOverlaps(
+            dp=OverlapReport("dp_sync", "backward", 1.0, dp, dp),
+            fsdp=OverlapReport("fsdp_gather", "forward", 1.0, fsdp, fsdp),
+        )
+        none_hidden = estimate_step_comm(model, w, plan, MACHINE, overlaps=mk(0.0, 0.0))
+        all_hidden = estimate_step_comm(model, w, plan, MACHINE, overlaps=mk(1.0, 1.0))
+        assumed = estimate_step_comm(model, w, plan, MACHINE)
+        assert all_hidden.dp_time == 0.0 and all_hidden.fsdp_time == 0.0
+        assert none_hidden.dp_time > assumed.dp_time > all_hidden.dp_time
+        assert none_hidden.fsdp_time > assumed.fsdp_time > all_hidden.fsdp_time
+        # overlap hides time, never bytes
+        assert none_hidden.total_wire == all_hidden.total_wire == assumed.total_wire
+
+
+class TestParallelWrapperHooks:
+    def test_data_parallel_charges_and_tags(self):
+        from repro.nn import MLP
+        from repro.tensor import Tensor
+
+        clock = VirtualClock(MACHINE)
+        x = np.random.default_rng(0).standard_normal((4, 4)).astype(np.float32)
+
+        def fn(comm):
+            model = DataParallel(
+                comm, None, MLP(4, 8, np.random.default_rng(0)),
+                forward_seconds=1e-5, backward_seconds=2e-5,
+            )
+            (model(Tensor(shard_batch(x, comm))) ** 2).mean().backward()
+            model.sync_gradients()
+            return None
+
+        _, world = run_spmd_world(fn, 2, clock=clock)
+        assert world.traffic.count(op="all_reduce", phase="dp_sync") == 2
+        assert math.isclose(clock.compute_seconds(rank=0, phase="forward"), 1e-5, rel_tol=1e-9)
+        assert math.isclose(clock.compute_seconds(rank=0, phase="backward"), 2e-5, rel_tol=1e-9)
+        ov = derive_overlaps(world)
+        assert 0.0 <= ov.dp_overlap <= 1.0
+
+    def test_fsdp_charges_and_tags(self):
+        from repro.nn import ViTEncoder
+        from repro.tensor import Tensor
+
+        clock = VirtualClock(MACHINE)
+        x = np.random.default_rng(1).standard_normal((2, 5, 16)).astype(np.float32)
+
+        def fn(comm):
+            enc = ViTEncoder(16, 2, 4, np.random.default_rng(0))
+            model = FSDPModel(
+                comm, None, enc, units=[b for b in enc.blocks], unit_seconds=5e-6
+            )
+            (model(Tensor(x)) ** 2).mean().backward()
+            return None
+
+        _, world = run_spmd_world(fn, 2, clock=clock)
+        # 3 units (2 blocks + residual): forward gathers carry the phase tag.
+        assert world.traffic.count(op="all_gather", phase="fsdp_gather") == 3 * 2
+        # backward collectives keep their "backward" stamp
+        assert world.traffic.count(op="reduce_scatter", phase="backward") == 3 * 2
+        assert math.isclose(
+            clock.compute_seconds(rank=0, phase="forward"), 3 * 5e-6, rel_tol=1e-12
+        )
+        ov = derive_overlaps(world)
+        assert 0.0 <= ov.fsdp_overlap <= 1.0
+
+    def test_mesh_training_derives_both_fractions(self):
+        """FSDP × DP hybrid world: both overlap fractions derivable and the
+        derived pair feeds estimate_step_comm."""
+        from repro.dist import average_gradients
+        from repro.nn import ViTEncoder
+        from repro.tensor import Tensor
+
+        clock = VirtualClock(MACHINE)
+        x = np.random.default_rng(2).standard_normal((4, 5, 16)).astype(np.float32)
+
+        def fn(comm):
+            mesh = DeviceMesh(comm, tp=1, fsdp=2, dp=2)
+            enc = ViTEncoder(16, 2, 4, np.random.default_rng(0))
+            model = FSDPModel(
+                comm, mesh.fsdp_group, enc, units=[b for b in enc.blocks],
+                unit_seconds=1e-5,
+            )
+            local = shard_batch(x, comm, mesh.dp_group)
+            (model(Tensor(local)) ** 2).mean().backward()
+            comm.charge_compute(4e-5, phase="backward")
+            with comm.phase_scope("dp_sync"):
+                average_gradients(comm, model.shard_parameters(), group=mesh.dp_group)
+            return comm.now()
+
+        times = run_spmd(fn, 4, clock=clock)
+        assert all(t == times[0] for t in times)
+        _, world2 = run_spmd_world(fn, 4, clock=VirtualClock(MACHINE))
+        ov = derive_overlaps(world2)
+        model = ModelConfig("t", dim=64, depth=4, heads=4)
+        comm_est = estimate_step_comm(
+            model, Workload(16, 2), ParallelPlan("tp", tp=1, fsdp=2, dp=2),
+            MACHINE, overlaps=ov,
+        )
+        assert comm_est.total >= 0.0
+
+    def test_tp_context_charges_compute(self):
+        from repro.nn import ViTEncoder
+        from repro.parallel import TPContext, TPViTEncoder
+        from repro.tensor import Tensor
+
+        clock = VirtualClock(MACHINE)
+        serial = ViTEncoder(16, 2, 4, np.random.default_rng(0))
+        state = {k: v.copy() for k, v in serial.state_dict().items()}
+        x = np.random.default_rng(3).standard_normal((1, 4, 16)).astype(np.float32)
+
+        def fn(comm):
+            ctx = TPContext(comm, block_seconds=1e-5, phase="tp")
+            enc = TPViTEncoder(ctx, 16, 2, 4, state)
+            enc(Tensor(x))
+            return None
+
+        _, world = run_spmd_world(fn, 2, clock=clock)
+        # 2 ranks × 2 blocks × 2 regions (one record per participating rank)
+        assert world.traffic.count(op="all_reduce", phase="tp") == 2 * 2 * 2
+        assert math.isclose(
+            clock.compute_seconds(rank=0, phase="forward"), 2 * 1e-5, rel_tol=1e-12
+        )
