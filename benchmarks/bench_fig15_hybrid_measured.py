@@ -107,6 +107,24 @@ def test_fig15_measured_overlaps_are_fractions():
         assert 0.0 <= ov.fsdp_overlap <= 1.0
 
 
+def test_fig15_measured_eager_replay_is_schedule_accurate():
+    """Re-running the hybrid combos on the issue-queue clock keeps exact
+    wire parity, never exceeds the blocking makespan, and upgrades the
+    overlap derivation from the min(comm, compute) bound to per-bucket
+    measured exposure."""
+    for plan in (COMBOS[2], COMBOS[5], COMBOS[6]):  # the fsdp/dp hybrids
+        blocking = measure_plan(MODEL, WORKLOAD, plan, MACHINE, compute_scale=50.0)
+        eager = measure_plan(
+            MODEL, WORKLOAD, plan, MACHINE, eager=True, compute_scale=50.0
+        )
+        assert eager.wire_matches_predicted(), plan.label
+        assert eager.step_seconds <= blocking.step_seconds + 1e-15, plan.label
+        assert eager.overlaps.fsdp.source == "measured"
+        assert eager.overlaps.buckets, plan.label
+        for b in eager.overlaps.buckets:
+            assert 0.0 <= b.hidden_fraction <= 1.0
+
+
 def test_fig15_measured_print_and_benchmark(benchmark):
     rows = benchmark(compute_fig15_measured)
     table = [

@@ -126,6 +126,7 @@ class _Slot:
         "consumed",
         "arrivals",
         "payload_max",
+        "start",
         "finish",
     )
 
@@ -138,10 +139,11 @@ class _Slot:
         self.error: BaseException | None = None
         self.consumed = 0
         # Virtual-clock bookkeeping (unused without a clock): per-group-rank
-        # arrival times, the largest payload bid (the padded-collective
-        # convention), and the shared completion time.
+        # arrival bids, the largest payload bid (the padded-collective
+        # convention), and the shared channel start / completion times.
         self.arrivals: dict[int, float] = {}
         self.payload_max = 0
+        self.start = -1.0
         self.finish = -1.0
 
 
@@ -386,17 +388,33 @@ class Communicator:
         handoff re-acquires it).  Callers must copy out anything they plan
         to mutate.
 
-        Returns ``(result, vstart, vend)``: this rank's virtual arrival time
-        and the group-wide virtual completion (slowest arrival + collective
-        cost priced by the world's clock), both ``-1.0`` without a clock.
-        With a clock, op name ``signature[0]`` is priced over the largest
-        per-rank payload bid (the padded-collective convention) and every
-        member's clock is advanced to the shared completion time.
+        Returns ``(result, vstart, vend)``: this rank's virtual issue time
+        and the group-wide virtual completion (slowest arrival bid +
+        collective cost priced by the world's clock), both ``-1.0`` without
+        a clock.  With a clock, op name ``signature[0]`` is priced over the
+        largest per-rank payload bid (the padded-collective convention); a
+        *blocking* collective advances every member's clock to the shared
+        completion, while one issued inside an eager clock phase (see
+        :class:`repro.perf.clock.VirtualClock` ``eager_phases``) only joins
+        the rank's outstanding issue queue — its exposure is settled at the
+        next drain point, and the rank's compute clock keeps running.
         """
         state = group._state
         me = group.rank_index(self.rank)
         clock = self.world.clock
-        vstart = clock.now(self.rank) if clock is not None else -1.0
+        op = signature[0]
+        if clock is not None:
+            # The arrival bid feeds the group-wide start maximum.  Issue-
+            # queue clocks distinguish it from the rank's compute clock
+            # (channel-free time for eager dispatch; blocking ops drain the
+            # queue first); legacy duck clocks fall back to `now`.
+            if hasattr(clock, "collective_arrival"):
+                bid = clock.collective_arrival(self.rank, op, self.phase)
+            else:
+                bid = clock.now(self.rank)
+            vstart = clock.now(self.rank)
+        else:
+            bid = vstart = -1.0
         with state.cond:
             seq = state.next_seq.get(self.rank, 0)
             state.next_seq[self.rank] = seq + 1
@@ -411,7 +429,7 @@ class Communicator:
                 )
             slot.data[me] = contribution
             if clock is not None:
-                slot.arrivals[me] = vstart
+                slot.arrivals[me] = bid
                 if payload_bytes > slot.payload_max:
                     slot.payload_max = int(payload_bytes)
             slot.arrived += 1
@@ -425,25 +443,33 @@ class Communicator:
                 result = compute(slot.data)
             except BaseException as exc:  # surfaces on every member rank
                 error = exc
-            finish = -1.0
+            start = finish = -1.0
             if clock is not None:
-                finish = max(slot.arrivals.values()) + clock.collective_seconds(
-                    signature[0], slot.payload_max, group.ranks
+                start = max(slot.arrivals.values())
+                finish = start + clock.collective_seconds(
+                    op, slot.payload_max, group.ranks
                 )
             with state.cond:
-                slot.result, slot.error, slot.finish = result, error, finish
+                slot.result, slot.error = result, error
+                slot.start, slot.finish = start, finish
                 slot.done = True
                 state.cond.notify_all()
         with state.cond:
             while not slot.done:
                 self.world._check_abort()
                 state.cond.wait(_POLL_S)
-            error, result, finish = slot.error, slot.result, slot.finish
+            error, result = slot.error, slot.result
+            start, finish = slot.start, slot.finish
             slot.consumed += 1
             if slot.consumed == group.size:
                 del state.slots[seq]
         if clock is not None and finish >= 0.0:
-            clock.sync(self.rank, finish)
+            if hasattr(clock, "collective_complete"):
+                clock.collective_complete(
+                    self.rank, op, self.phase, vstart, start, finish
+                )
+            else:
+                clock.sync(self.rank, finish)
         if error is not None:
             raise SpmdError(f"collective failed: {error}") from error
         return result, vstart, finish
@@ -496,6 +522,25 @@ class Communicator:
         if clock is None or seconds <= 0.0:
             return None
         return clock.charge(self.rank, float(seconds), phase=phase, label=label)
+
+    def drain_comm(self) -> float:
+        """Settle this rank's outstanding eager collectives (a sync point).
+
+        With an issue-queue clock (``VirtualClock(..., eager_phases=...)``)
+        this advances the rank past every in-flight collective, charging
+        each its exposed seconds — the virtual analogue of
+        ``stream.synchronize()``.  Returns the rank's (possibly advanced)
+        virtual time; a no-op without a clock or with a fully blocking one.
+        The runtime drains automatically at rank exit and before every
+        blocking collective, so explicit calls only matter at mid-step sync
+        points (e.g. before reading an optimizer step's wall time).
+        """
+        clock = self.world.clock
+        if clock is None:
+            return -1.0
+        if hasattr(clock, "drain"):
+            return clock.drain(self.rank)
+        return clock.now(self.rank)
 
     @contextlib.contextmanager
     def phase_scope(self, phase: str) -> Iterator[None]:
@@ -807,6 +852,10 @@ def run_spmd_world(
         comm = Communicator(world, rank)
         try:
             results[rank] = fn(comm, *args)
+            if clock is not None and hasattr(clock, "finalize_rank"):
+                # Settle any in-flight eager collectives so the clock's
+                # times() report the true per-rank makespan.
+                clock.finalize_rank(rank)
             world.rank_status[rank] = "ok"
         except _Aborted:
             world.rank_status[rank] = "aborted"

@@ -39,6 +39,16 @@ class DataParallel(Module):
     the DP overlap fraction (how much of the gradient AllReduce a bucketed
     implementation hides under backward).  Both hooks are no-ops without a
     clock.
+
+    ``grad_buckets > 1`` runs the **bucketed-DDP** schedule: parameters are
+    split into that many contiguous buckets and each bucket's AllReduce is
+    issued right after the slice of backward compute that produced its
+    gradients.  Under an issue-queue clock (``VirtualClock(...,
+    eager_phases={"dp_sync"})``) every bucket but the last then overlaps
+    the remaining backward compute, which is exactly how real DDP hides its
+    gradient traffic; the derived exposure is per bucket
+    (:func:`repro.perf.overlap.derive_bucket_exposures`).  Wire accounting
+    is unchanged — bucketing reorders time, not bytes.
     """
 
     def __init__(
@@ -49,14 +59,18 @@ class DataParallel(Module):
         sync_init: bool = True,
         forward_seconds: float = 0.0,
         backward_seconds: float = 0.0,
+        grad_buckets: int = 1,
     ) -> None:
         super().__init__()
         group = group if group is not None else comm.world.default_group
+        if grad_buckets < 1:
+            raise ValueError(f"grad_buckets must be >= 1, got {grad_buckets}")
         self.comm = comm
         self.group = group
         self.module = module
         self.forward_seconds = float(forward_seconds)
         self.backward_seconds = float(backward_seconds)
+        self.grad_buckets = int(grad_buckets)
         if sync_init and group.size > 1:
             broadcast_parameters(comm, module.parameters(), root=group.ranks[0], group=group)
 
@@ -68,11 +82,26 @@ class DataParallel(Module):
 
     def sync_gradients(self) -> None:
         """AllReduce (mean) every parameter gradient across the DP group."""
-        if self.backward_seconds:
-            self.comm.charge_compute(self.backward_seconds, phase="backward")
-        if self.group.size > 1:
+        params = self.module.parameters()
+        buckets = min(self.grad_buckets, max(1, len(params)))
+        if buckets <= 1 or self.group.size <= 1:
+            if self.backward_seconds:
+                self.comm.charge_compute(self.backward_seconds, phase="backward")
+            if self.group.size > 1:
+                with self.comm.phase_scope("dp_sync"):
+                    average_gradients(self.comm, params, group=self.group)
+            return
+        step = -(-len(params) // buckets)
+        chunks = [params[lo : lo + step] for lo in range(0, len(params), step)]
+        per = self.backward_seconds / len(chunks)
+        for chunk in chunks:
+            # The bucket's gradients exist only after its share of backward
+            # compute — charge first, then issue (eagerly, under an
+            # issue-queue clock) so later slices can hide earlier buckets.
+            if per:
+                self.comm.charge_compute(per, phase="backward")
             with self.comm.phase_scope("dp_sync"):
-                average_gradients(self.comm, self.module.parameters(), group=self.group)
+                average_gradients(self.comm, chunk, group=self.group)
 
     def parameters(self) -> list[Tensor]:  # type: ignore[override]
         return self.module.parameters()

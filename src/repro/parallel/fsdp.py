@@ -129,10 +129,16 @@ class FSDPModel(Module):
         optimizer = AdamW(model.shard_parameters())
 
     ``unit_seconds`` is the virtual-clock compute-cost hook: each unit's
-    forward compute (charged ``phase="forward"`` right after its gather) so
-    rank timelines interleave gather/compute per unit the way real FSDP
-    prefetching does — the input :mod:`repro.perf.overlap` derives the FSDP
-    overlap fraction from.  A no-op without a clock.
+    forward compute (charged ``phase="forward"`` right after its gather,
+    labelled ``unit{i}``) so rank timelines interleave gather/compute per
+    unit the way real FSDP prefetching does — the input
+    :mod:`repro.perf.overlap` derives the FSDP overlap fraction from.  A
+    no-op without a clock.  Under an **issue-queue** clock
+    (``VirtualClock(..., eager_phases={"fsdp_gather"})``) the per-unit
+    gathers dispatch without stalling the rank, so unit *i*'s charged
+    compute hides unit *i+1*'s in-flight gather — the perfect-prefetch
+    schedule — and each gather's exposure is derived per unit
+    (:func:`repro.perf.overlap.derive_bucket_exposures`).
     """
 
     def __init__(
@@ -192,10 +198,12 @@ class FSDPModel(Module):
             u.flat.shard.data[...] = arr
 
     def _materialize_all(self) -> None:
-        for u in self.units:
+        for i, u in enumerate(self.units):
             u.materialize()
             if self.unit_seconds:
-                self.comm.charge_compute(self.unit_seconds, phase="forward")
+                self.comm.charge_compute(
+                    self.unit_seconds, phase="forward", label=f"unit{i}"
+                )
 
     def forward(self, *args, **kwargs):
         self._materialize_all()

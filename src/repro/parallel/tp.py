@@ -46,6 +46,11 @@ class TPContext:
     treatment of TP); ``phase`` optionally stamps every forward collective a
     block issues (e.g. ``"tp"``) so measured traffic can be split by axis.
     Both are no-ops by default / without a clock.
+
+    Issue-queue note: keep this context's ``phase`` out of a clock's
+    ``eager_phases`` — every TP collective produces activations the next
+    operation consumes immediately, so the region AllReduces must block
+    (which is also why the overlap engine never discounts the TP axis).
     """
 
     def __init__(
@@ -62,10 +67,10 @@ class TPContext:
         self.block_seconds = float(block_seconds)
         self.phase = phase
 
-    def charge(self, seconds: float) -> None:
-        """Charge forward compute onto this rank's virtual timeline."""
+    def charge(self, seconds: float, phase: str = "forward") -> None:
+        """Charge compute onto this rank's virtual timeline."""
         if seconds:
-            self.comm.charge_compute(seconds, phase="forward")
+            self.comm.charge_compute(seconds, phase=phase)
 
     def scope(self):
         """Phase scope for this context's forward collectives (or a no-op)."""

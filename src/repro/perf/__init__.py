@@ -5,8 +5,13 @@ paper; small-scale real runs (memory tracker + FLOP counter) validate them
 in ``tests/test_perf_validation.py``.
 """
 
-from .autotune import TunedPlan, best_configuration, search_configurations
-from .clock import ComputeInterval, VirtualClock
+from .autotune import (
+    TunedPlan,
+    best_configuration,
+    search_configurations,
+    simulated_overlaps,
+)
+from .clock import CommInterval, ComputeInterval, VirtualClock
 from .cost import CostModel
 from .figures import FIGURE_BATCH
 from .comm_model import (
@@ -18,7 +23,15 @@ from .comm_model import (
 )
 from .flops import TRAIN_MULT, FlopsBreakdown, estimate_flops, useful_flops_per_step
 from .machine import GiB, MachineSpec, frontier
-from .overlap import DerivedOverlaps, OverlapReport, derive_overlap, derive_overlaps
+from .overlap import (
+    OVERLAP_PHASES,
+    BucketExposure,
+    DerivedOverlaps,
+    OverlapReport,
+    derive_bucket_exposures,
+    derive_overlap,
+    derive_overlaps,
+)
 from .memory_model import MemoryBreakdown, estimate_memory
 from .modelcfg import MODEL_ZOO, ModelConfig, named_model, transformer_param_count
 from .plan import ParallelPlan, Precision, Workload
@@ -61,10 +74,15 @@ __all__ = [
     "CostModel",
     "VirtualClock",
     "ComputeInterval",
+    "CommInterval",
+    "OVERLAP_PHASES",
+    "BucketExposure",
     "DerivedOverlaps",
     "OverlapReport",
+    "derive_bucket_exposures",
     "derive_overlap",
     "derive_overlaps",
+    "simulated_overlaps",
     "StepEstimate",
     "estimate_step",
     "throughput_gain",

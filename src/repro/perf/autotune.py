@@ -7,18 +7,62 @@ enumerates every ``(strategy, tp, fsdp, dp)`` factorization of a GPU budget
 (TP capped at the node size so it stays on Infinity Fabric, the §6.3
 placement rule), filters to plans that fit in HBM, and ranks them by
 projected sustained throughput at the requested global batch.
+
+Overlap-aware ranking
+---------------------
+
+By default the throughput model discounts DP/FSDP communication by the
+paper-era constants (0.8 / 0.5).  Pass ``overlaps=`` to rank with derived
+fractions instead:
+
+* a :class:`~repro.perf.overlap.DerivedOverlaps` applies one measured pair
+  to every candidate;
+* a callable ``(plan, micro_batch) -> DerivedOverlaps | None`` is consulted
+  **per candidate** — :func:`simulated_overlaps` builds one that replays a
+  scaled-down stand-in of each plan through a real issue-queue world
+  (:func:`~repro.perf.calibrate.measure_plan` with ``eager=True``) so every
+  plan is ranked with fractions derived from *its own* simulated timeline.
+
+Combined with a host-calibrated machine
+(:func:`~repro.perf.calibrate.load_or_fit_machine`), the search ranks on
+measured inputs end to end instead of paper constants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Union
 
+from .comm_model import axis_intra_node, estimate_step_comm
+from .flops import TRAIN_MULT, estimate_flops
 from .machine import MachineSpec
 from .modelcfg import ModelConfig
-from .plan import ParallelPlan, Precision
-from .throughput import global_batch_throughput, max_batch_per_replica
+from .plan import ParallelPlan, Precision, Workload
+from .throughput import (
+    batch_efficiency,
+    global_batch_throughput,
+    max_batch_per_replica,
+)
 
-__all__ = ["TunedPlan", "search_configurations", "best_configuration"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .overlap import DerivedOverlaps
+
+__all__ = [
+    "TunedPlan",
+    "OverlapSource",
+    "search_configurations",
+    "best_configuration",
+    "simulated_overlaps",
+]
+
+#: What ``search_configurations(overlaps=...)`` accepts: one fixed derived
+#: pair, a per-plan oracle, or None for the paper constants.
+OverlapSource = Union[
+    "DerivedOverlaps",
+    Callable[[ParallelPlan, int], "DerivedOverlaps | None"],
+    None,
+]
 
 
 @dataclass(frozen=True)
@@ -26,6 +70,7 @@ class TunedPlan:
     plan: ParallelPlan
     micro_batch: int
     total_tflops: float
+    overlaps: "DerivedOverlaps | None" = None  # what the ranking used (None ⇒ constants)
 
     @property
     def summary(self) -> str:
@@ -54,8 +99,14 @@ def search_configurations(
     strategies: tuple[str, ...] = ("tp", "dchag"),
     precision: Precision = Precision(),
     intra_node_tp: bool = True,
+    overlaps: OverlapSource = None,
 ) -> list[TunedPlan]:
-    """All feasible plans for the budget, best throughput first."""
+    """All feasible plans for the budget, best throughput first.
+
+    ``overlaps`` selects the dp/fsdp hidden fractions the ranking uses
+    (module docstring); each returned :class:`TunedPlan` records the pair
+    applied to it.
+    """
     tp_cap = machine.gpus_per_node if intra_node_tp else total_gpus
     results: list[TunedPlan] = []
     seen: set[str] = set()
@@ -82,10 +133,12 @@ def search_configurations(
                 micro = max_batch_per_replica(model, channels, plan, machine, precision)
                 if micro == 0:
                     continue
+                ov = overlaps(plan, micro) if callable(overlaps) else overlaps
                 tflops = global_batch_throughput(
-                    model, channels, plan, machine, global_batch, precision
+                    model, channels, plan, machine, global_batch, precision,
+                    overlaps=ov,
                 )
-                results.append(TunedPlan(plan, micro, tflops))
+                results.append(TunedPlan(plan, micro, tflops, ov))
     results.sort(key=lambda t: t.total_tflops, reverse=True)
     return results
 
@@ -107,3 +160,169 @@ def best_configuration(
             f"no feasible configuration for {model.name} / {channels}ch on {total_gpus} GPUs"
         )
     return results[0]
+
+
+# -- per-plan simulated overlap oracle ------------------------------------
+
+#: Stand-in model for the oracle's scaled-down worlds: small enough that
+#: every schedule payload is an honest in-memory buffer, structured enough
+#: to exercise every axis.  16 channels divide every shrunk tp.
+_SIM_MODEL = ModelConfig("overlap-sim", dim=32, depth=2, heads=4, patch=4, image_hw=(16, 16))
+_SIM_CHANNELS = 16
+_SIM_BATCH = 2
+
+
+def _shrink_plan(plan: ParallelPlan) -> ParallelPlan:
+    """Structure-preserving stand-in: every active axis capped at 2.
+
+    Overlap fractions depend on which axes exist and where they sit, not on
+    their width — the width's effect on the compute/comm balance is
+    restored separately via ``compute_scale``.
+    """
+    return ParallelPlan(
+        plan.strategy,
+        tp=min(plan.tp, 2),
+        fsdp=min(plan.fsdp, 2),
+        dp=min(plan.dp, 2),
+        dchag_kind=plan.dchag_kind,
+        dchag_fanout=0,
+    )
+
+
+def _sim_machine(plan: ParallelPlan, machine: MachineSpec, sim: ParallelPlan) -> MachineSpec:
+    """A machine whose node size reproduces the real plan's axis placement.
+
+    The real plan's intra/inter-node flags per axis (TP innermost) decide
+    how many of the stand-in world's ranks share a node, so every simulated
+    collective rides the same link class as its real counterpart.
+    """
+    intra = axis_intra_node(plan, machine)
+    if intra["dp"]:
+        gpn = sim.tp * sim.fsdp * sim.dp
+    elif intra["fsdp"]:
+        gpn = sim.tp * sim.fsdp
+    elif intra["tp"]:
+        gpn = sim.tp
+    else:
+        gpn = max(1, sim.tp // 2)
+    return replace(machine, gpus_per_node=max(1, gpn))
+
+
+def _compute_scale(
+    model: ModelConfig,
+    channels: int,
+    plan: ParallelPlan,
+    micro: int,
+    machine: MachineSpec,
+    precision: Precision,
+    sim_plan: ParallelPlan,
+    sim_machine: MachineSpec,
+) -> float:
+    """Scale factor that gives the stand-in the real compute/comm ratio.
+
+    Hidden fractions are a function of how much compute is available per
+    second of communication; matching that ratio is what makes a 4–8-rank
+    simulation's fractions transfer to the 1,024-GPU plan.
+    """
+
+    def ratio(m, ch, p, b, mach):
+        comm = estimate_step_comm(
+            m, Workload(ch, b), p, mach, precision, dp_overlap=0.0, fsdp_overlap=0.0
+        ).total
+        flops = TRAIN_MULT * estimate_flops(m, Workload(ch, b), p).total
+        compute = flops / (mach.peak_flops * batch_efficiency(mach, b))
+        return compute, comm
+
+    real_compute, real_comm = ratio(model, channels, plan, micro, machine)
+    sim_compute, sim_comm = ratio(
+        _SIM_MODEL, _SIM_CHANNELS, sim_plan, _SIM_BATCH, sim_machine
+    )
+    if real_comm <= 0.0 or sim_comm <= 0.0 or sim_compute <= 0.0:
+        return 1.0
+    return (real_compute / real_comm) / (sim_compute / sim_comm)
+
+
+def _dp_buckets_for(
+    model: ModelConfig,
+    channels: int,
+    plan: ParallelPlan,
+    micro: int,
+    machine: MachineSpec,
+    precision: Precision,
+    max_buckets: int,
+) -> int:
+    """Bucket count the *real* plan's DP volume/latency ratio justifies.
+
+    The stand-in's payloads are tiny (latency-dominated), so the in-replay
+    cap would always pick 1; the real gradient AllReduce is volume-dominated
+    and buckets profitably.  Computed once here — via the shared
+    :meth:`CostModel.bucket_cap` rule — and passed with the cap disabled.
+    """
+    from .comm_model import step_comm_schedule  # local: avoid import cycle noise
+    from .cost import CostModel
+
+    if plan.dp <= 1:
+        return 1
+    cost = CostModel(machine)
+    intra = axis_intra_node(plan, machine)["dp"]
+    for ev in step_comm_schedule(model, Workload(channels, micro), plan, precision):
+        if ev.axis == "dp" and ev.op == "all_reduce":
+            return cost.bucket_cap(ev.op, ev.payload_bytes, plan.dp, intra, max_buckets)
+    return 1
+
+
+def simulated_overlaps(
+    machine: MachineSpec,
+    model: ModelConfig,
+    channels: int,
+    precision: Precision = Precision(),
+    dp_buckets: int = 4,
+) -> Callable[[ParallelPlan, int], "DerivedOverlaps | None"]:
+    """Build a per-plan overlap oracle for ``search_configurations``.
+
+    For each candidate the oracle replays a structure-preserving stand-in
+    (axes capped at 2, placement and compute/comm ratio matched to the real
+    plan) through a real :func:`~repro.dist.run_spmd` world on an
+    issue-queue clock, and returns the measured
+    :class:`~repro.perf.overlap.DerivedOverlaps`.  Results are cached by
+    stand-in shape, so a 1,024-GPU sweep costs a handful of ≤8-rank
+    simulations.  Plans with neither a DP nor an FSDP axis return ``None``
+    (nothing to overlap — the constants are irrelevant there anyway).
+    """
+    from .calibrate import measure_plan  # runtime import: calibrate pulls dist
+
+    cache: dict[tuple, "DerivedOverlaps"] = {}
+
+    def oracle(plan: ParallelPlan, micro: int) -> "DerivedOverlaps | None":
+        if plan.dp <= 1 and plan.fsdp <= 1:
+            return None
+        sim = _shrink_plan(plan)
+        sim_mach = _sim_machine(plan, machine, sim)
+        scale = _compute_scale(
+            model, channels, plan, micro, machine, precision, sim, sim_mach
+        )
+        buckets = _dp_buckets_for(
+            model, channels, plan, micro, machine, precision, dp_buckets
+        )
+        # Quantize the scale onto a log grid (~26% steps) and simulate at
+        # the quantized value: candidates with nearly the same compute/comm
+        # balance then share one cache slot honestly — scales range over
+        # orders of magnitude, so rounding the raw value would never hit.
+        if scale > 0.0:
+            scale = 10.0 ** round(math.log10(scale), 1)
+        key = (sim.label, sim_mach.gpus_per_node, buckets, scale)
+        if key not in cache:
+            m = measure_plan(
+                _SIM_MODEL,
+                Workload(_SIM_CHANNELS, _SIM_BATCH),
+                sim,
+                sim_mach,
+                eager=True,
+                dp_buckets=buckets,
+                compute_scale=scale,
+                cap_dp_buckets=False,
+            )
+            cache[key] = m.overlaps
+        return cache[key]
+
+    return oracle

@@ -7,27 +7,61 @@ traffic record is stamped with virtual start/end times.  Ranks charge local
 compute with :meth:`Communicator.charge_compute`, which appends a
 :class:`ComputeInterval` to the rank's timeline.
 
+Eager issue queues
+------------------
+
+By default every collective is **blocking** in virtual time: the issuing
+rank's clock advances to the group-wide completion before its program
+continues.  Passing ``eager_phases={"dp_sync", "fsdp_gather"}`` turns the
+clock into an **issue-queue simulation** for those phases: a collective
+issued inside an eager phase is *dispatched* at record time onto the rank's
+outstanding communication channel (one serial channel per rank, the NCCL
+stream analogue) and completes concurrently with subsequently charged
+compute.  The issuing rank's compute clock does **not** advance at dispatch;
+instead the in-flight interval sits in the rank's pending queue until a
+synchronization point *drains* it:
+
+* a blocking collective (any op whose phase is not eager, and every
+  ``barrier``) drains the queue first — channels are serial, so it could not
+  start before the queue cleared anyway;
+* an explicit :meth:`drain` (``Communicator.drain_comm``);
+* rank exit (:func:`repro.dist.run_spmd` finalizes each rank's clock).
+
+At drain time each pending interval is charged its **exposed** seconds — the
+part of its completion the rank actually stalls on, ``max(0, end − clock)``
+processed in channel order — and archived as a :class:`CommInterval`.  The
+sum of exposures is exactly the communication a perfectly-eager schedule
+fails to hide, which is what :func:`repro.perf.overlap.derive_overlap` turns
+into per-bucket overlap fractions (replacing the aggregate
+``min(comm, compute)`` bound).
+
+Scheduling model: a collective *starts* at ``max over members of
+max(issue time, channel-free time)`` and *ends* ``CostModel seconds`` later;
+every member's channel is busy until then.  Causality invariants (pinned by
+``tests/test_dist_properties.py``): ``issue ≤ start``, ``end = start +
+cost``, ``0 ≤ exposed ≤ end − issue``.
+
 Determinism: virtual times are pure functions of each rank's *program
 order* — compute charges plus the maxima taken at collective rendezvous —
 never of wall-clock time or thread scheduling, so repeated runs of the same
-world produce bitwise-identical timelines.
+world produce bitwise-identical timelines (eager or not).
 
 Thread-safety contract (by construction, no locks needed): ``bind`` runs
-before the rank threads start; ``now``/``charge``/``sync`` touch only the
-calling rank's own slot; the cross-rank ``max`` over arrivals happens inside
-the runtime's rendezvous, whose condition variable already orders the reads
-after every write.
+before the rank threads start; ``now``/``charge``/``sync``/``drain`` touch
+only the calling rank's own slot; the cross-rank ``max`` over arrival bids
+happens inside the runtime's rendezvous, whose condition variable already
+orders the reads after every write.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Collection, Sequence
 
 from .cost import CostModel
 from .machine import MachineSpec, frontier
 
-__all__ = ["ComputeInterval", "VirtualClock"]
+__all__ = ["ComputeInterval", "CommInterval", "VirtualClock"]
 
 
 @dataclass(frozen=True)
@@ -45,16 +79,55 @@ class ComputeInterval:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class CommInterval:
+    """One priced collective on a rank's virtual timeline.
+
+    ``issue`` is the rank's clock when it dispatched the collective,
+    ``start``/``end`` the group-wide channel occupancy (``end − start`` is
+    exactly the α–β cost), and ``exposed`` the stall this rank paid for it:
+    the full wait for a blocking collective, the drained remainder
+    ``max(0, end − clock at drain)`` for an eager one (0 when compute fully
+    hid it).
+    """
+
+    rank: int
+    op: str
+    phase: str
+    issue: float
+    start: float
+    end: float
+    exposed: float
+
+    @property
+    def seconds(self) -> float:
+        """Channel occupancy — the collective's priced cost."""
+        return self.end - self.start
+
+    @property
+    def hidden(self) -> float:
+        """Seconds of this collective the rank did *not* stall on."""
+        return max(0.0, (self.end - self.issue) - self.exposed)
+
+
 class VirtualClock:
     """Per-rank simulated time driven by one shared :class:`CostModel`.
 
     A clock belongs to **one world at a time**: :class:`~repro.dist.World`
     calls :meth:`bind` at construction, which resets the timelines.  Read
-    ``times()`` / ``compute_intervals()`` between runs, not across them.
+    ``times()`` / ``compute_intervals()`` / ``comm_intervals()`` between
+    runs, not across them.
+
+    ``eager_phases`` selects the traffic phases whose collectives are
+    dispatched onto the per-rank issue queues instead of blocking (see the
+    module docstring); ``barrier`` is always blocking regardless.
     """
 
     def __init__(
-        self, machine: MachineSpec | None = None, cost: CostModel | None = None
+        self,
+        machine: MachineSpec | None = None,
+        cost: CostModel | None = None,
+        eager_phases: Collection[str] | None = None,
     ) -> None:
         if cost is None:
             cost = CostModel(machine if machine is not None else frontier())
@@ -62,14 +135,24 @@ class VirtualClock:
             raise ValueError("pass either machine or cost, not conflicting both")
         self.cost = cost
         self.machine = cost.machine
+        self.eager_phases = frozenset(eager_phases) if eager_phases else frozenset()
         self._times: list[float] = []
         self._compute: list[list[ComputeInterval]] = []
+        # Issue-queue state: per-rank serial-channel free time, in-flight
+        # (pending) collectives, and the archive of drained/blocking ones.
+        self._chan_free: list[float] = []
+        self._pending: list[list[tuple[str, str, float, float, float]]] = []
+        self._comm: list[list[CommInterval]] = []
 
     # -- world plumbing (called by repro.dist.runtime) ---------------------
     def bind(self, world_size: int) -> None:
         """Attach to a fresh world: zero all per-rank timelines."""
-        self._times = [0.0] * int(world_size)
-        self._compute = [[] for _ in range(int(world_size))]
+        n = int(world_size)
+        self._times = [0.0] * n
+        self._compute = [[] for _ in range(n)]
+        self._chan_free = [0.0] * n
+        self._pending = [[] for _ in range(n)]
+        self._comm = [[] for _ in range(n)]
 
     @property
     def world_size(self) -> int:
@@ -86,7 +169,13 @@ class VirtualClock:
     def charge(
         self, rank: int, seconds: float, phase: str = "compute", label: str = ""
     ) -> tuple[float, float]:
-        """Append a compute interval to *rank*'s timeline; returns (start, end)."""
+        """Append a compute interval to *rank*'s timeline; returns (start, end).
+
+        Charged compute runs concurrently with any in-flight eager
+        collectives — that concurrency is the whole point of the issue
+        queue — so pending entries are left untouched; they settle at the
+        next drain point.
+        """
         if seconds < 0.0:
             raise ValueError(f"compute seconds must be >= 0, got {seconds}")
         start = self._times[rank]
@@ -105,6 +194,74 @@ class VirtualClock:
 
     def p2p_seconds(self, nbytes: int, src: int, dst: int) -> float:
         return self.cost.p2p_seconds(nbytes, src, dst)
+
+    # -- issue-queue engine (called by the runtime's rendezvous) -----------
+    def is_eager(self, op: str, phase: str) -> bool:
+        """Whether a collective of this (op, phase) dispatches eagerly."""
+        return op != "barrier" and phase in self.eager_phases
+
+    def collective_arrival(self, rank: int, op: str, phase: str) -> float:
+        """This rank's arrival bid for the group-wide start maximum.
+
+        Blocking collectives drain the rank's pending queue first (the
+        serial channel could not start them earlier anyway), so their bid is
+        the post-drain clock; eager ones bid ``max(clock, channel free)``
+        without advancing anything.
+        """
+        if self.is_eager(op, phase):
+            return max(self._times[rank], self._chan_free[rank])
+        self.drain(rank)
+        return self._times[rank]
+
+    def collective_complete(
+        self, rank: int, op: str, phase: str, issue: float, start: float, end: float
+    ) -> None:
+        """Record one priced collective for *rank*.
+
+        ``start``/``end`` are the group-wide channel occupancy computed at
+        rendezvous (``start = max(bids)``, ``end = start + cost``).  A
+        blocking collective stalls the rank to ``end`` and archives its full
+        wait as exposed; an eager one only occupies the channel and joins
+        the pending queue (exposure settled at drain).
+        """
+        self._chan_free[rank] = max(self._chan_free[rank], end)
+        if self.is_eager(op, phase):
+            self._pending[rank].append((op, phase, issue, start, end))
+            return
+        exposed = max(0.0, end - issue)
+        self._comm[rank].append(
+            CommInterval(
+                rank=rank, op=op, phase=phase, issue=issue, start=start, end=end,
+                exposed=exposed,
+            )
+        )
+        self.sync(rank, end)
+
+    def drain(self, rank: int) -> float:
+        """Settle *rank*'s pending queue; returns the post-drain clock.
+
+        Pendings are processed in channel (issue) order — their ends are
+        monotone because the channel is serial — each charged
+        ``max(0, end − running clock)`` exposed seconds.
+        """
+        if self._pending[rank]:
+            w = self._times[rank]
+            for op, phase, issue, start, end in self._pending[rank]:
+                exposed = max(0.0, end - w)
+                w = max(w, end)
+                self._comm[rank].append(
+                    CommInterval(
+                        rank=rank, op=op, phase=phase, issue=issue, start=start,
+                        end=end, exposed=exposed,
+                    )
+                )
+            self._pending[rank].clear()
+            self._times[rank] = w
+        return self._times[rank]
+
+    def finalize_rank(self, rank: int) -> None:
+        """Rank exit hook: drain so ``times()`` is the true makespan."""
+        self.drain(rank)
 
     # -- read-out ----------------------------------------------------------
     def times(self) -> list[float]:
@@ -131,8 +288,31 @@ class VirtualClock:
     ) -> float:
         return sum(iv.seconds for iv in self.compute_intervals(rank, phase))
 
+    def comm_intervals(
+        self, rank: int | None = None, phase: str | None = None
+    ) -> list[CommInterval]:
+        """Settled collectives in issue order (pendings only after drain)."""
+        ranks = range(len(self._comm)) if rank is None else (rank,)
+        out: list[CommInterval] = []
+        for r in ranks:
+            out.extend(iv for iv in self._comm[r] if phase is None or iv.phase == phase)
+        return out
+
+    def exposed_seconds(
+        self, rank: int | None = None, phase: str | None = None
+    ) -> float:
+        """Total communication stall (see :class:`CommInterval.exposed`)."""
+        return sum(iv.exposed for iv in self.comm_intervals(rank, phase))
+
+    def comm_busy_seconds(
+        self, rank: int | None = None, phase: str | None = None
+    ) -> float:
+        """Total channel occupancy, Σ(end − start) — the pure α–β cost."""
+        return sum(iv.seconds for iv in self.comm_intervals(rank, phase))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"VirtualClock(machine={self.machine.name!r}, "
-            f"world={self.world_size}, elapsed={self.elapsed():.3e}s)"
+            f"world={self.world_size}, elapsed={self.elapsed():.3e}s, "
+            f"eager={sorted(self.eager_phases)})"
         )

@@ -125,6 +125,31 @@ class CostModel:
         bw, lat = self.link(self.node_of(src) == self.node_of(dst))
         return lat + int(nbytes) / bw
 
+    def bucket_cap(
+        self,
+        op: str,
+        payload_bytes: int,
+        group_size: int,
+        intra_node: bool,
+        max_buckets: int,
+    ) -> int:
+        """Largest useful bucket count for splitting one collective.
+
+        Every bucket re-pays the op's full latency rounds, so splitting
+        only helps while each bucket's volume time stays above its latency
+        time — the α–β form of real DDP's ~25 MB bucket-size heuristic.
+        Latency-dominated payloads stay whole.  The single source of this
+        decision for the eager replay and the autotuner's overlap oracle.
+        """
+        if max_buckets <= 1 or group_size <= 1:
+            return 1
+        bw, lat = self.link(intra_node)
+        vol_t = self.wire_bytes(op, int(payload_bytes), group_size) / bw
+        lat_t = lat * self.latency_steps(op, group_size)
+        if lat_t <= 0.0:
+            return max_buckets
+        return min(max_buckets, max(1, int(vol_t / lat_t)))
+
     def compute_seconds(self, flops: float) -> float:
         """GEMM time at the machine's sustained throughput."""
         return float(flops) / self.machine.sustained_flops

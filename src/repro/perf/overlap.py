@@ -8,12 +8,20 @@ current unit's forward).  Those fractions used to be assumed constants
 (0.8 / 0.5); this module derives them from the per-rank timelines a
 virtual-clock run records.
 
-Model: the blocking simulation serializes communication after compute, so a
-rank's timeline exposes, per axis, the total collective wall-time ``C``
-(phase-tagged traffic records, ``vend − vstart``) and the compute it could
-hide under ``K`` (phase-tagged :class:`~repro.perf.clock.ComputeInterval`).
-An eager overlapped schedule hides ``min(C, K)`` of the communication, so
-the derived hidden fraction is ``min(C, K) / C``.
+Two derivation sources, picked per axis by what the run simulated:
+
+* ``"measured"`` — the run used an **issue-queue clock**
+  (:class:`~repro.perf.clock.VirtualClock` with the axis' phase in
+  ``eager_phases``): collectives were dispatched at record time and
+  completed concurrently with charged compute, so each one carries its own
+  *exposed* seconds.  The hidden fraction is then read off the schedule
+  directly, ``1 − exposed / busy`` (``busy`` = channel occupancy, the pure
+  α–β cost), and :func:`derive_bucket_exposures` reports it **per bucket**
+  (per dp gradient bucket / per fsdp unit gather).
+* ``"bound"`` — the run was blocking (the legacy simulation serializes
+  communication after compute): the best available estimate is the eager
+  upper bound ``min(C, K) / C`` from the axis' total collective wall-time
+  ``C`` and the compute ``K`` that could hide it.
 
 Phase conventions (stamped by the parallel wrappers):
 
@@ -37,9 +45,12 @@ __all__ = [
     "FSDP_GATHER_PHASE",
     "FORWARD_PHASE",
     "BACKWARD_PHASE",
+    "OVERLAP_PHASES",
+    "BucketExposure",
     "OverlapReport",
     "DerivedOverlaps",
     "phase_comm_seconds",
+    "derive_bucket_exposures",
     "derive_overlap",
     "derive_overlaps",
 ]
@@ -48,6 +59,36 @@ DP_SYNC_PHASE = "dp_sync"
 FSDP_GATHER_PHASE = "fsdp_gather"
 FORWARD_PHASE = "forward"
 BACKWARD_PHASE = "backward"
+
+#: The phases an eager issue-queue simulation overlaps with compute — pass
+#: ``VirtualClock(machine, eager_phases=OVERLAP_PHASES)`` to simulate
+#: bucketed-DDP / FSDP-prefetch scheduling.  TP collectives stay blocking
+#: (critical path), matching the analytic model's overlap-0 treatment.
+OVERLAP_PHASES = frozenset({DP_SYNC_PHASE, FSDP_GATHER_PHASE})
+
+
+@dataclass(frozen=True)
+class BucketExposure:
+    """One communication bucket's schedule-accurate exposure.
+
+    A *bucket* is the *i*-th collective a rank issues in the phase (dp
+    gradient bucket *i*, fsdp unit *i*'s gather); values are means over the
+    ranks that issued it.  ``comm_seconds`` is channel occupancy (the pure
+    α–β cost), ``exposed_seconds`` the stall the drain actually charged.
+    """
+
+    phase: str
+    op: str
+    index: int
+    comm_seconds: float
+    exposed_seconds: float
+
+    @property
+    def hidden_fraction(self) -> float:
+        """Share of this bucket's cost hidden under compute, in [0, 1]."""
+        if self.comm_seconds <= 0.0:
+            return 0.0
+        return min(1.0, max(0.0, 1.0 - self.exposed_seconds / self.comm_seconds))
 
 
 @dataclass(frozen=True)
@@ -58,15 +99,24 @@ class OverlapReport:
     compute_phase: str
     comm_seconds: float      # mean per-rank collective wall-time on the axis
     compute_seconds: float   # mean per-rank compute available to hide it
-    overlap: float           # derived hidden fraction, min(C, K)/C in [0, 1]
+    overlap: float           # derived hidden fraction in [0, 1]
+    exposed_seconds: float = -1.0  # mean per-rank exposed comm (measured only)
+    source: str = "bound"    # "measured" (issue queue) or "bound" (min(C,K)/C)
 
 
 @dataclass(frozen=True)
 class DerivedOverlaps:
-    """The pair :func:`~repro.perf.comm_model.estimate_step_comm` consumes."""
+    """The pair :func:`~repro.perf.comm_model.estimate_step_comm` consumes.
+
+    ``buckets`` carries the per-bucket exposure detail when the run used an
+    issue-queue clock (empty for blocking runs) — the aggregate ``dp`` /
+    ``fsdp`` fractions are what the analytic model consumes, the buckets
+    are the evidence.
+    """
 
     dp: OverlapReport
     fsdp: OverlapReport
+    buckets: tuple[BucketExposure, ...] = ()
 
     @property
     def dp_overlap(self) -> float:
@@ -75,6 +125,9 @@ class DerivedOverlaps:
     @property
     def fsdp_overlap(self) -> float:
         return self.fsdp.overlap
+
+    def buckets_for(self, phase: str) -> tuple[BucketExposure, ...]:
+        return tuple(b for b in self.buckets if b.phase == phase)
 
 
 def phase_comm_seconds(world: Any, phase: str, rank: int) -> float:
@@ -90,17 +143,90 @@ def phase_comm_seconds(world: Any, phase: str, rank: int) -> float:
     )
 
 
+def _require_clock(world: Any):
+    clock = getattr(world, "clock", None)
+    if clock is None:
+        raise ValueError("overlap derivation needs a world run with a virtual clock")
+    return clock
+
+
+def _eager_phase(clock: Any, phase: str) -> bool:
+    return phase in getattr(clock, "eager_phases", ())
+
+
+def derive_bucket_exposures(world: Any, phase: str) -> list[BucketExposure]:
+    """Per-bucket exposure of one eagerly-simulated phase.
+
+    Bucket *i* aggregates the *i*-th :class:`~repro.perf.clock.CommInterval`
+    each rank issued in *phase* (SPMD programs issue the same schedule on
+    every rank), averaging cost and exposure over the ranks that reached
+    it.  Empty for phases the clock did not simulate eagerly.
+    """
+    clock = _require_clock(world)
+    if not _eager_phase(clock, phase) or not hasattr(clock, "comm_intervals"):
+        return []
+    per_rank = [
+        clock.comm_intervals(rank=r, phase=phase)
+        for r in range(clock.world_size)
+    ]
+    per_rank = [ivs for ivs in per_rank if ivs]
+    if not per_rank:
+        return []
+    buckets: list[BucketExposure] = []
+    depth = max(len(ivs) for ivs in per_rank)
+    for i in range(depth):
+        stack = [ivs[i] for ivs in per_rank if len(ivs) > i]
+        buckets.append(
+            BucketExposure(
+                phase=phase,
+                op=stack[0].op,
+                index=i,
+                comm_seconds=sum(iv.seconds for iv in stack) / len(stack),
+                exposed_seconds=sum(iv.exposed for iv in stack) / len(stack),
+            )
+        )
+    return buckets
+
+
 def derive_overlap(world: Any, comm_phase: str, compute_phase: str) -> OverlapReport:
     """Derive one axis' hidden fraction from a finished virtual-clock world.
 
     *world* is the :class:`~repro.dist.World` of a ``run_spmd(...,
     clock=VirtualClock(machine))`` run whose collectives were phase-tagged.
-    Per-rank comm/compute seconds are averaged over the ranks that issued
-    any communication in *comm_phase* (in a mesh world every rank does).
+    If the clock simulated *comm_phase* eagerly the fraction is **measured**
+    from per-bucket exposure (``1 − exposed/busy``); otherwise it falls back
+    to the ``min(C, K)/C`` **bound**.  Per-rank seconds are averaged over
+    the ranks that issued any communication in *comm_phase* (in a mesh world
+    every rank does).
     """
-    clock = getattr(world, "clock", None)
-    if clock is None:
-        raise ValueError("derive_overlap needs a world run with a virtual clock")
+    clock = _require_clock(world)
+    if _eager_phase(clock, comm_phase) and hasattr(clock, "comm_intervals"):
+        busy: dict[int, float] = {}
+        exposed: dict[int, float] = {}
+        for r in range(clock.world_size):
+            ivs = clock.comm_intervals(rank=r, phase=comm_phase)
+            if ivs:
+                busy[r] = sum(iv.seconds for iv in ivs)
+                exposed[r] = sum(iv.exposed for iv in ivs)
+        if busy:
+            comm = sum(busy.values()) / len(busy)
+            exp = sum(exposed.values()) / len(exposed)
+            compute = sum(
+                clock.compute_seconds(rank=r, phase=compute_phase) for r in busy
+            ) / len(busy)
+            overlap = 0.0
+            if comm > 0.0:
+                overlap = min(1.0, max(0.0, 1.0 - exp / comm))
+            return OverlapReport(
+                comm_phase=comm_phase,
+                compute_phase=compute_phase,
+                comm_seconds=comm,
+                compute_seconds=compute,
+                overlap=overlap,
+                exposed_seconds=exp,
+                source="measured",
+            )
+        return OverlapReport(comm_phase, compute_phase, 0.0, 0.0, 0.0, 0.0, "measured")
     per_rank: dict[int, float] = {}
     for r in world.traffic.records():
         if r.phase == comm_phase and r.vstart >= 0.0:
@@ -128,9 +254,14 @@ def derive_overlaps(world: Any) -> DerivedOverlaps:
     DP gradient AllReduce hides under backward compute; FSDP forward
     AllGathers hide under forward compute.  Axes with no traffic report
     overlap 0 — feeding that into :func:`estimate_step_comm` simply leaves
-    the (absent) axis priced at zero anyway.
+    the (absent) axis priced at zero anyway.  Eagerly-simulated runs also
+    attach the per-bucket exposure evidence.
     """
     return DerivedOverlaps(
         dp=derive_overlap(world, DP_SYNC_PHASE, BACKWARD_PHASE),
         fsdp=derive_overlap(world, FSDP_GATHER_PHASE, FORWARD_PHASE),
+        buckets=tuple(
+            derive_bucket_exposures(world, DP_SYNC_PHASE)
+            + derive_bucket_exposures(world, FSDP_GATHER_PHASE)
+        ),
     )

@@ -200,13 +200,16 @@ def global_batch_throughput(
     machine: MachineSpec,
     global_batch: int,
     precision: Precision = Precision(),
+    overlaps: "DerivedOverlaps | None" = None,
 ) -> float:
     """Total sustained useful TFLOP/s at a fixed global batch (Fig. 16).
 
     The global batch spreads over ``dp`` replicas; whatever exceeds a
     replica's largest fitting micro-batch is served by gradient
     accumulation (more micro-steps, same efficiency, one DP AllReduce per
-    optimizer step so its cost amortizes).
+    optimizer step so its cost amortizes).  ``overlaps`` replaces the
+    assumed dp/fsdp hidden fractions with derived ones — the autotuner
+    passes each candidate's own simulated fractions through here.
     """
     if global_batch % plan.dp != 0:
         raise ValueError(f"global batch {global_batch} not divisible by dp={plan.dp}")
@@ -216,7 +219,9 @@ def global_batch_throughput(
         return 0.0
     micro = min(per_replica, b_max)
     n_micro = -(-per_replica // micro)
-    est = estimate_step(model, Workload(channels, micro), plan, machine, precision)
+    est = estimate_step(
+        model, Workload(channels, micro), plan, machine, precision, overlaps=overlaps
+    )
     if not est.fits:
         return 0.0
     # DP sync happens once per optimizer step; non-DP comm per micro-step.

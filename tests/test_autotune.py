@@ -5,9 +5,13 @@ import pytest
 from repro.perf import (
     best_configuration,
     frontier,
+    global_batch_throughput,
     named_model,
     search_configurations,
+    simulated_overlaps,
 )
+from repro.perf.overlap import DerivedOverlaps, OverlapReport
+from repro.perf.plan import ParallelPlan
 
 M = frontier()
 
@@ -75,3 +79,117 @@ class TestBestConfiguration:
         best = best_configuration(named_model("1.7B"), 512, 8, M, 32)
         assert best.plan.total_gpus == 8
         assert best.total_tflops > 0
+
+
+def _const_overlaps(dp: float, fsdp: float) -> DerivedOverlaps:
+    return DerivedOverlaps(
+        dp=OverlapReport("dp_sync", "backward", 1.0, dp, dp),
+        fsdp=OverlapReport("fsdp_gather", "forward", 1.0, fsdp, fsdp),
+    )
+
+
+class TestOverlapThreading:
+    """overlaps= flows through global_batch_throughput into the ranking."""
+
+    PLAN = ParallelPlan("dchag", tp=4, dchag_kind="linear", fsdp=2, dp=128)
+
+    def test_more_overlap_means_more_throughput(self):
+        lo = global_batch_throughput(
+            named_model("7B"), 500, self.PLAN, M, 4096, overlaps=_const_overlaps(0.0, 0.0)
+        )
+        hi = global_batch_throughput(
+            named_model("7B"), 500, self.PLAN, M, 4096, overlaps=_const_overlaps(1.0, 1.0)
+        )
+        assumed = global_batch_throughput(named_model("7B"), 500, self.PLAN, M, 4096)
+        assert lo < assumed < hi
+
+    def test_fixed_overlaps_recorded_on_every_plan(self):
+        ov = _const_overlaps(0.9, 0.9)
+        results = search_configurations(named_model("7B"), 500, 64, M, 256, overlaps=ov)
+        assert results and all(t.overlaps is ov for t in results)
+
+    def test_callable_overlaps_consulted_per_plan(self):
+        seen: list[str] = []
+
+        def oracle(plan, micro):
+            seen.append(plan.label)
+            return None  # fall back to the constants for every plan
+
+        with_oracle = search_configurations(
+            named_model("7B"), 500, 64, M, 256, overlaps=oracle
+        )
+        plain = search_configurations(named_model("7B"), 500, 64, M, 256)
+        assert len(seen) == len(with_oracle)
+        assert [t.plan.label for t in with_oracle] == [t.plan.label for t in plain]
+
+    def test_simulated_oracle_skips_planless_axes(self):
+        oracle = simulated_overlaps(M, named_model("7B"), 500)
+        assert oracle(ParallelPlan("tp", tp=8), 4) is None
+
+
+class TestGoldenRanking:
+    """Pin the §6.2 search (7B / 500 ch / 1,024 GCDs / global batch 4,096)
+    under the paper constants *and* under per-plan derived overlaps.
+
+    The documented divergence: the paper's podium survives measurement —
+    D-CHAG with early DP still wins — but positions 5/6 swap: under derived
+    fractions TP4+DP256 overtakes D-CHAG-L-Tree0x1+FSDP2+DP512.  The
+    FSDP-carrying plan's *measured* DP overlap collapses to ~0.14 (its FSDP
+    gradient ReduceScatter occupies the same backward window and serial
+    comm channel, so the DP buckets drain almost fully exposed) while the
+    pure-DP plan's buckets hide 0.75 — close to the assumed 0.8.  The FSDP
+    prefetch being fully hidden (measured 1.0 vs the assumed 0.5) does not
+    make up the difference.  A cost-model edit that silently reorders
+    either ranking fails here loudly.
+    """
+
+    TOP3 = [
+        "D-CHAG-L-Tree0x4+DP256",
+        "D-CHAG-L-Tree0x2+DP512",
+        "D-CHAG-L-Tree0x4+FSDP2+DP128",
+    ]
+
+    @pytest.fixture(scope="class")
+    def constant_ranking(self):
+        return [
+            t.plan.label
+            for t in search_configurations(named_model("7B"), 500, 1024, M, 4096)
+        ]
+
+    @pytest.fixture(scope="class")
+    def derived_ranking(self):
+        oracle = simulated_overlaps(M, named_model("7B"), 500)
+        return [
+            t.plan.label
+            for t in search_configurations(
+                named_model("7B"), 500, 1024, M, 4096, overlaps=oracle
+            )
+        ]
+
+    def test_top3_under_paper_constants(self, constant_ranking):
+        assert constant_ranking[:3] == self.TOP3
+
+    def test_top3_under_derived_overlaps(self, derived_ranking):
+        """The paper's conclusion is robust to measured overlaps."""
+        assert derived_ranking[:3] == self.TOP3
+
+    def test_rankings_differ_where_documented(self, constant_ranking, derived_ranking):
+        assert constant_ranking != derived_ranking
+        assert constant_ranking[5:7] == [
+            "D-CHAG-L-Tree0x1+FSDP2+DP512",
+            "TP4+DP256",
+        ]
+        assert derived_ranking[5:7] == [
+            "TP4+DP256",
+            "D-CHAG-L-Tree0x1+FSDP2+DP512",
+        ]
+
+    def test_derived_ranking_is_deterministic(self, derived_ranking):
+        oracle = simulated_overlaps(M, named_model("7B"), 500)
+        again = [
+            t.plan.label
+            for t in search_configurations(
+                named_model("7B"), 500, 1024, M, 4096, overlaps=oracle
+            )
+        ]
+        assert again == derived_ranking

@@ -24,17 +24,31 @@ from repro.dist import ring_wire_bytes, run_spmd, run_spmd_world
 from repro.parallel import DataParallel, DeviceMesh, FSDPModel, shard_batch
 from repro.perf import (
     CostModel,
+    MachineSpec,
     ModelConfig,
     ParallelPlan,
     VirtualClock,
     Workload,
     collective_time,
+    derive_bucket_exposures,
     derive_overlaps,
     estimate_step_comm,
     frontier,
+    search_configurations,
     step_comm_schedule,
 )
-from repro.perf.calibrate import calibrate, fit_machine, measure_plan
+from repro.perf.calibrate import (
+    FitSample,
+    FittedLink,
+    calibrate,
+    fit_link,
+    fit_machine,
+    fit_machine_wallclock,
+    load_or_fit_machine,
+    measure_plan,
+    wallclock_fit_samples,
+)
+from repro.perf.calibrate import main as calibrate_main
 from repro.perf.overlap import DerivedOverlaps, OverlapReport, derive_overlap
 
 MACHINE = frontier()
@@ -375,6 +389,44 @@ class TestParallelWrapperHooks:
         ov = derive_overlaps(world)
         assert 0.0 <= ov.dp_overlap <= 1.0
 
+    def test_data_parallel_bucketed_sync_under_issue_queue(self):
+        """grad_buckets=k issues k dp_sync AllReduces interleaved with
+        backward slices; under an eager clock earlier buckets hide under
+        later slices (the bucketed-DDP schedule), and the reduced gradients
+        are identical to the unbucketed sync."""
+        from repro.nn import MLP
+        from repro.tensor import Tensor
+
+        x = np.random.default_rng(0).standard_normal((4, 4)).astype(np.float32)
+
+        def run(buckets):
+            clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+
+            def fn(comm):
+                model = DataParallel(
+                    comm, None, MLP(4, 8, np.random.default_rng(0)),
+                    backward_seconds=4e-5, grad_buckets=buckets,
+                )
+                (model(Tensor(shard_batch(x, comm))) ** 2).mean().backward()
+                model.sync_gradients()
+                comm.drain_comm()
+                return [p.grad.copy() for p in model.parameters()]
+
+            grads, world = run_spmd_world(fn, 2, clock=clock)
+            return grads[0], world
+
+        grads1, _ = run(buckets=1)
+        grads2, world = run(buckets=2)
+        assert world.traffic.count(op="all_reduce", phase="dp_sync") == 2 * 2
+        for a, b in zip(grads1, grads2):
+            np.testing.assert_array_equal(a, b)  # bucketing reorders time, not math
+        buckets = derive_bucket_exposures(world, "dp_sync")
+        assert len(buckets) == 2
+        # bucket 0 can hide under the second backward slice; the tail cannot
+        assert buckets[0].hidden_fraction >= buckets[1].hidden_fraction
+        ov = derive_overlaps(world)
+        assert ov.dp.source == "measured"
+
     def test_fsdp_charges_and_tags(self):
         from repro.nn import ViTEncoder
         from repro.tensor import Tensor
@@ -458,3 +510,364 @@ class TestParallelWrapperHooks:
         assert math.isclose(
             clock.compute_seconds(rank=0, phase="forward"), 2 * 1e-5, rel_tol=1e-12
         )
+
+
+def _ar_cost(payload: int, world: int = 4, machine: MachineSpec | None = None) -> float:
+    m = machine if machine is not None else MACHINE
+    return CostModel(m).collective_seconds("all_reduce", payload, world, True)
+
+
+class TestIssueQueue:
+    """The eager issue-queue engine: dispatch at record time, complete
+    concurrently with charged compute, settle exposure at drain points."""
+
+    def test_exposure_matches_closed_form(self):
+        """One eager collective of cost C followed by compute K exposes
+        exactly max(0, C − K) — the acceptance contract."""
+        payload = 1 << 20
+        cost = _ar_cost(payload)
+        for k_frac in (0.25, 0.5, 1.5):
+            clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+
+            def fn(comm, k=k_frac * cost):
+                with comm.phase_scope("dp_sync"):
+                    comm.all_reduce(np.ones(payload // 4, dtype=np.float32))
+                comm.charge_compute(k, phase="backward")
+                return comm.drain_comm()
+
+            times = run_spmd(fn, 4, clock=clock)
+            expected_exposed = max(0.0, cost - k_frac * cost)
+            assert math.isclose(
+                clock.exposed_seconds(rank=0, phase="dp_sync"),
+                expected_exposed,
+                rel_tol=1e-9,
+                abs_tol=1e-18,
+            )
+            # makespan = compute + whatever the schedule could not hide
+            assert math.isclose(
+                times[0], k_frac * cost + expected_exposed, rel_tol=1e-9
+            )
+
+    def test_per_bucket_exposure_matches_closed_form(self):
+        """Two eager buckets with interleaved compute: exposure per bucket
+        follows the serial-channel drain recurrence to 1e-6."""
+        p1, p2 = 1 << 20, 1 << 18
+        c1, c2 = _ar_cost(p1), _ar_cost(p2)
+        k1, k2 = c1 / 4.0, c1  # slice 1 hides a quarter of bucket 0; slice 2 is long
+        clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+
+        def fn(comm):
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(np.ones(p1 // 4, dtype=np.float32))
+            comm.charge_compute(k1, phase="backward")
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(np.ones(p2 // 4, dtype=np.float32))
+            comm.charge_compute(k2, phase="backward")
+            return comm.drain_comm()
+
+        _, world = run_spmd_world(fn, 4, clock=clock)
+        # channel: bucket0 [0, c1]; bucket1 issued at k1, starts at c1
+        # (channel busy), ends c1 + c2.  Drain at w0 = k1 + k2:
+        w0 = k1 + k2
+        e0 = max(0.0, c1 - w0)
+        e1 = max(0.0, (c1 + c2) - max(w0, c1))
+        buckets = derive_bucket_exposures(world, "dp_sync")
+        assert [b.index for b in buckets] == [0, 1]
+        assert math.isclose(buckets[0].exposed_seconds, e0, rel_tol=1e-6, abs_tol=1e-12)
+        assert math.isclose(buckets[1].exposed_seconds, e1, rel_tol=1e-6, abs_tol=1e-12)
+        assert math.isclose(buckets[0].comm_seconds, c1, rel_tol=1e-9)
+        assert math.isclose(buckets[1].comm_seconds, c2, rel_tol=1e-9)
+        # derived overlap aggregates the buckets: 1 − exposed / busy
+        ov = derive_overlaps(world)
+        assert ov.dp.source == "measured"
+        assert math.isclose(
+            ov.dp_overlap, 1.0 - (e0 + e1) / (c1 + c2), rel_tol=1e-9
+        )
+        assert ov.buckets_for("dp_sync") == tuple(buckets)
+
+    def test_eager_timelines_deterministic_across_thread_schedules(self):
+        def workload(comm):
+            rng_sleep = 0.0005 * ((comm.rank * 7) % 3)
+            for i in range(4):
+                with comm.phase_scope("dp_sync"):
+                    comm.all_reduce(np.ones(256 * (i + 1), dtype=np.float32))
+                comm.charge_compute(1e-6 * ((comm.rank + i) % 3), phase="backward")
+                time.sleep(rng_sleep)  # perturbs threads, must not perturb time
+            comm.drain_comm()
+            return comm.now()
+
+        def stamps():
+            clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+            times = run_spmd(workload, 4, clock=clock)
+            ivs = [
+                (iv.rank, iv.op, iv.issue, iv.start, iv.end, iv.exposed)
+                for iv in clock.comm_intervals()
+            ]
+            return times, sorted(ivs)
+
+        assert stamps() == stamps()  # bitwise, not approximate
+
+    def test_blocking_collective_drains_queue_first(self):
+        """Channel serialization: a blocking collective cannot start before
+        in-flight eager ones clear, and their wait is charged to them."""
+        p_eager, p_block = 1 << 20, 1 << 16
+        c_eager, c_block = _ar_cost(p_eager), _ar_cost(p_block)
+        clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+
+        def fn(comm):
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(np.ones(p_eager // 4, dtype=np.float32))
+            comm.all_reduce(np.ones(p_block // 4, dtype=np.float32))  # blocking
+            return comm.now()
+
+        times = run_spmd(fn, 4, clock=clock)
+        assert all(math.isclose(t, c_eager + c_block, rel_tol=1e-9) for t in times)
+        # the eager op's full cost was exposed (nothing could hide it)
+        assert math.isclose(
+            clock.exposed_seconds(rank=0, phase="dp_sync"), c_eager, rel_tol=1e-9
+        )
+
+    def test_barrier_is_blocking_even_inside_eager_phase(self):
+        clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+
+        def fn(comm):
+            with comm.phase_scope("dp_sync"):
+                comm.barrier()
+            return comm.now()
+
+        times = run_spmd(fn, 4, clock=clock)
+        assert all(math.isclose(t, 3 * MACHINE.intra_latency, rel_tol=1e-12) for t in times)
+
+    def test_finalize_drains_pending_on_rank_exit(self):
+        """A rank that never drains still reports the true makespan."""
+        payload = 1 << 20
+        cost = _ar_cost(payload, world=2)
+        clock = VirtualClock(MACHINE, eager_phases={"dp_sync"})
+
+        def fn(comm):
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(np.ones(payload // 4, dtype=np.float32))
+            return comm.now()  # still pending: clock not advanced here
+
+        times = run_spmd(fn, 2, clock=clock)
+        assert times == [0.0, 0.0]  # issue did not stall the ranks...
+        assert math.isclose(clock.elapsed(), cost, rel_tol=1e-9)  # ...drain did
+
+    def test_causality_and_exposure_invariants(self):
+        """issue ≤ start, end ≥ start, 0 ≤ exposed ≤ end − issue."""
+        clock = VirtualClock(MACHINE, eager_phases={"dp_sync", "fsdp_gather"})
+
+        def fn(comm):
+            comm.charge_compute(3e-6 * (comm.rank + 1), phase="forward")
+            for i, phase in enumerate(("dp_sync", "fsdp_gather", "dp_sync")):
+                with comm.phase_scope(phase):
+                    comm.all_reduce(np.ones(512 * (i + 1), dtype=np.float32))
+                comm.charge_compute(2e-6, phase="backward")
+            comm.all_reduce(np.ones(64, dtype=np.float32))  # blocking
+            return comm.now()
+
+        run_spmd(fn, 4, clock=clock)
+        ivs = clock.comm_intervals()
+        assert len(ivs) == 4 * 4  # 4 collectives per rank, all settled
+        for iv in ivs:
+            assert iv.issue <= iv.start + 1e-18
+            assert iv.end >= iv.start
+            assert 0.0 <= iv.exposed <= (iv.end - iv.issue) + 1e-18
+            assert math.isclose(iv.hidden + iv.exposed, iv.end - iv.issue, rel_tol=1e-12)
+
+    def test_non_eager_clock_has_blocking_intervals(self):
+        """Fully blocking clocks archive CommIntervals too (exposed = full
+        wait), so exposure read-out is uniform across modes."""
+        clock = VirtualClock(MACHINE)
+
+        def fn(comm):
+            comm.all_reduce(np.ones(256, dtype=np.float32))
+            return None
+
+        run_spmd(fn, 2, clock=clock)
+        (iv,) = clock.comm_intervals(rank=0)
+        assert iv.exposed == iv.end - iv.issue
+        assert math.isclose(iv.seconds, _ar_cost(1024, world=2), rel_tol=1e-12)
+
+
+class TestEagerMeasuredPlans:
+    TINY = ModelConfig("tiny", dim=32, depth=2, heads=4, patch=4, image_hw=(16, 16))
+    MACHINE4 = replace(MACHINE, gpus_per_node=4)
+
+    def test_eager_replay_keeps_wire_parity(self):
+        for plan in (
+            ParallelPlan("dchag", tp=2, dchag_kind="linear", fsdp=2, dp=2),
+            ParallelPlan("tp", tp=4, dp=2),
+        ):
+            m = measure_plan(
+                self.TINY, Workload(16, 2), plan, self.MACHINE4, eager=True
+            )
+            assert m.eager
+            assert m.wire_matches_predicted(), (m.wire, m.predicted.wire_by_axis())
+
+    def test_eager_never_slower_than_blocking(self):
+        """With the latency-aware bucket cap, overlap can only help."""
+        plan = ParallelPlan("dchag", tp=2, dchag_kind="linear", fsdp=2, dp=2)
+        for scale in (1.0, 100.0):
+            blocking = measure_plan(
+                self.TINY, Workload(16, 2), plan, self.MACHINE4, compute_scale=scale
+            )
+            eager = measure_plan(
+                self.TINY, Workload(16, 2), plan, self.MACHINE4,
+                eager=True, compute_scale=scale,
+            )
+            assert eager.step_seconds <= blocking.step_seconds + 1e-15
+
+    def test_eager_overlaps_are_measured_with_buckets(self):
+        plan = ParallelPlan("dchag", tp=2, dchag_kind="linear", fsdp=2, dp=2)
+        m = measure_plan(
+            self.TINY, Workload(16, 2), plan, self.MACHINE4,
+            eager=True, compute_scale=100.0,
+        )
+        ov = m.overlaps
+        assert ov.dp.source == "measured" and ov.fsdp.source == "measured"
+        assert ov.buckets, "eager replay must carry per-bucket evidence"
+        for b in ov.buckets:
+            assert 0.0 <= b.hidden_fraction <= 1.0
+            assert b.exposed_seconds >= 0.0
+        # generous forward compute fully hides the prefetched gathers
+        assert ov.fsdp_overlap == 1.0
+
+
+class TestMachineSpecPersistence:
+    def test_round_trip_identity(self, tmp_path):
+        spec = replace(frontier(), name="tuned", intra_latency=3.3e-6)
+        path = tmp_path / "specs" / "machine.json"
+        spec.save(path)
+        assert MachineSpec.load(path) == spec  # every field, exactly
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec.from_dict({"name": "x", "bogus": 1})
+
+    def test_loaded_spec_ranks_identically(self, tmp_path):
+        """save → load → the autotuner produces a byte-identical ranking."""
+        from repro.perf import named_model
+
+        spec = frontier()
+        path = tmp_path / "machine.json"
+        spec.save(path)
+        loaded = MachineSpec.load(path)
+        a = search_configurations(named_model("1.7B"), 512, 8, spec, 32)
+        b = search_configurations(named_model("1.7B"), 512, 8, loaded, 32)
+        assert [(t.plan.label, t.micro_batch, t.total_tflops) for t in a] == [
+            (t.plan.label, t.micro_batch, t.total_tflops) for t in b
+        ]
+
+
+class TestFitResiduals:
+    @staticmethod
+    def _synthetic(alpha, beta, noise, seed=0, n=24):
+        rng = np.random.default_rng(seed)
+        steps = rng.integers(1, 15, size=n)
+        wire = rng.integers(1 << 8, 1 << 20, size=n)
+        secs = alpha * steps + beta * wire
+        secs = secs + rng.normal(0.0, noise * np.abs(secs))
+        return [
+            FitSample(op="all_reduce", steps=int(s), wire_bytes=int(w), seconds=float(t))
+            for s, w, t in zip(steps, wire, secs)
+        ]
+
+    def test_clean_synthetic_recovers_exactly(self):
+        fit = fit_link(self._synthetic(2e-6, 2e-11, 0.0), 2e-6, 2e-11)
+        assert fit.alpha_error < 1e-9 and fit.beta_error < 1e-9
+        assert fit.relative_residual < 1e-9
+        assert fit.within(1e-6)
+
+    def test_noisy_synthetic_residual_tracks_noise(self):
+        """The relative residual is the noise gate: ~σ for σ-noisy samples,
+        so thresholds separate clean timelines from garbage."""
+        quiet = fit_link(self._synthetic(2e-6, 2e-11, 0.01, seed=1), 2e-6, 2e-11)
+        loud = fit_link(self._synthetic(2e-6, 2e-11, 0.60, seed=1), 2e-6, 2e-11)
+        assert quiet.within(0.05)
+        assert not loud.within(0.05)
+        assert loud.relative_residual > quiet.relative_residual
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_link(self._synthetic(1e-6, 1e-11, 0.0, n=1), 1e-6, 1e-11)
+
+    def test_to_machine_falls_back_on_degenerate_fit(self):
+        bad = FittedLink(
+            intra_node=True, alpha=-1.0, beta=-1.0,
+            spec_alpha=2e-6, spec_beta=2e-11, rms_residual=0.0,
+        )
+        spec = bad.to_machine(frontier(), name="host")
+        assert spec.intra_latency == 2e-6
+        assert math.isclose(spec.intra_node_bw, 1.0 / 2e-11, rel_tol=1e-12)
+
+
+class TestWallclockFit:
+    def test_samples_come_from_timeline_runs(self):
+        samples = wallclock_fit_samples(world_size=2, payload_sweep=(1 << 10,), repeats=2)
+        assert len(samples) == 5  # one per ring op
+        for s in samples:
+            assert s.seconds >= 0.0
+            assert s.steps >= 0 and s.wire_bytes >= 0
+
+    def test_fit_machine_wallclock_builds_host_spec(self):
+        spec, fit = fit_machine_wallclock(
+            world_size=2, payload_sweep=(1 << 10, 1 << 13), repeats=2
+        )
+        assert spec.name == "host-calibrated"
+        assert spec.intra_latency > 0.0 and spec.intra_node_bw > 0.0
+        # host has one fabric: both links carry the fitted constants
+        assert spec.inter_latency == spec.intra_latency
+        assert math.isclose(spec.inter_node_bw_per_gpu, spec.intra_node_bw, rel_tol=1e-12)
+        assert math.isfinite(fit.rms_residual)
+
+    def test_load_or_fit_persists_once(self, tmp_path):
+        path = tmp_path / "runs" / "machine.json"
+        spec1 = load_or_fit_machine(
+            path, world_size=2, payload_sweep=(1 << 10, 1 << 12), repeats=2
+        )
+        assert path.exists()
+        spec2 = load_or_fit_machine(path)  # pure load: no re-fit
+        assert spec1 == spec2
+
+
+class TestCalibrateCLI:
+    """`python -m repro.perf.calibrate` must gate, not just print."""
+
+    def test_smoke_pass_exits_zero(self, capsys):
+        assert calibrate_main(["--ranks", "2", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+        assert "fitted intra" in out  # the fit gate runs even under --smoke
+
+    def test_wire_divergence_exits_nonzero(self, monkeypatch, capsys):
+        import repro.perf.calibrate as cal
+
+        bad_row = cal.CalibrationRow(
+            op="all_reduce", ranks=2, intra_node=True, payload_bytes=8,
+            predicted_wire=8, measured_wire=9,
+            predicted_seconds=1e-6, measured_seconds=1e-6,
+        )
+        monkeypatch.setattr(
+            cal, "calibrate",
+            lambda **kw: cal.CalibrationReport(machine=frontier(), rows=[bad_row]),
+        )
+        good_fit = FittedLink(
+            intra_node=True, alpha=2e-6, beta=2e-11,
+            spec_alpha=2e-6, spec_beta=2e-11, rms_residual=0.0, mean_seconds=1e-6,
+        )
+        monkeypatch.setattr(cal, "fit_machine", lambda **kw: good_fit)
+        assert cal.main(["--smoke"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_fit_divergence_exits_nonzero(self, monkeypatch, capsys):
+        import repro.perf.calibrate as cal
+
+        diverged = FittedLink(
+            intra_node=True, alpha=1.0, beta=1.0,
+            spec_alpha=2e-6, spec_beta=2e-11,
+            rms_residual=float("nan"), mean_seconds=1e-6,
+        )
+        monkeypatch.setattr(cal, "fit_machine", lambda **kw: diverged)
+        assert cal.main(["--ranks", "2", "--smoke"]) == 1
+        assert "FAIL: fitted constants diverge" in capsys.readouterr().out
