@@ -1,0 +1,262 @@
+"""Tracked runtime-speed suite: the repo's perf trajectory, measured.
+
+Times the three hot layers every figure and autotuner sweep runs through —
+
+* ``step_replay_8`` / ``step_replay_32`` — one full training step's
+  collective schedule replayed through a real 8-/32-rank SPMD world on an
+  eager issue-queue clock (:func:`repro.perf.calibrate.measure_plan`): the
+  per-candidate cost of the overlap oracle and the measured fig-15/16
+  sweeps.  Payloads span 64 KiB TP AllReduces (rendezvous-bound) to
+  multi-MiB FSDP gathers (copy-bound), so both the lock-light rendezvous
+  and the zero-copy data path show up here.
+* ``collective_churn`` — 200 small world AllReduces on 8 ranks: pure
+  rendezvous overhead, no meaningful payload.
+* ``eager_drain`` — an eager-phase schedule (charge → dispatch → drain)
+  exercising the issue-queue clock engine and per-rank traffic buffers.
+* ``sec62_search`` — the full §6.2 overlap-aware configuration search
+  (7B / 500 channels / 1,024 GCDs, cold per-plan oracle) with bound-based
+  pruning (``prune_top_k=3``), the autotuner's end-to-end cost: the time
+  to produce the §6.2 podium with per-plan simulated overlaps.
+
+Results are written as JSON (default ``BENCH_runtime.json`` at the repo
+root).  The file keeps two snapshots: ``baseline`` (the pre-optimization
+numbers, preserved across runs) and ``current`` (this run), plus the
+per-benchmark speedups.  CI runs ``--smoke --check BENCH_runtime.json``:
+fresh numbers are gated against the committed ``current`` values and the
+job fails if ``step_replay_8`` regresses by more than ``--regression-tol``
+(default 1.5×).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist import run_spmd
+from repro.perf import frontier, named_model, search_configurations, simulated_overlaps
+from repro.perf.calibrate import measure_plan
+from repro.perf.clock import VirtualClock
+from repro.perf.modelcfg import ModelConfig
+from repro.perf.overlap import OVERLAP_PHASES
+from repro.perf.plan import ParallelPlan, Workload
+
+MACHINE = frontier()
+
+#: Model for the step replays: 28 × 64 KiB TP AllReduces (rendezvous-bound)
+#: plus 2.3–4.7 MiB FSDP/DP collectives (copy-bound) per step.
+REPLAY_MODEL = ModelConfig("perf-replay", dim=256, depth=6, heads=8, patch=4, image_hw=(32, 32))
+REPLAY_WORKLOAD = Workload(32, 2)
+PLAN_8 = ParallelPlan("dchag", tp=2, fsdp=2, dp=2, dchag_kind="linear")
+PLAN_32 = ParallelPlan("dchag", tp=2, fsdp=4, dp=4, dchag_kind="linear")
+
+SEARCH_MODEL_NAME = "7B"
+SEARCH_CHANNELS = 500
+SEARCH_GPUS = 1024
+SEARCH_BATCH = 4096
+SEARCH_TOP_K = 3
+
+#: Steady-state replay buffers, shared across benchmark repetitions.
+_WORKSPACES: dict = {}
+
+
+def bench_step_replay(plan: ParallelPlan) -> None:
+    ws = _WORKSPACES.setdefault(plan.label, {})
+    measure_plan(REPLAY_MODEL, REPLAY_WORKLOAD, plan, MACHINE, eager=True, workspace=ws)
+
+
+def bench_collective_churn() -> None:
+    def fn(comm):
+        buf = np.ones(64, dtype=np.float32)
+        for _ in range(200):
+            comm.all_reduce(buf)
+
+    run_spmd(fn, 8)
+
+
+def bench_eager_drain() -> None:
+    clock = VirtualClock(MACHINE, eager_phases=OVERLAP_PHASES)
+
+    def fn(comm):
+        grad = np.ones(1 << 16, dtype=np.float32)  # 256 KiB buckets
+        # Steady state: preallocated result buffers (the out= path).
+        gather_out = [np.empty_like(grad) for _ in range(comm.size)]
+        reduce_out = np.empty_like(grad)
+        for _ in range(4):
+            with comm.phase_scope("fsdp_gather"):
+                comm.all_gather(grad, out=gather_out)
+            comm.charge_compute(1e-3, phase="forward")
+        for _ in range(12):
+            comm.charge_compute(1e-3, phase="backward")
+            with comm.phase_scope("dp_sync"):
+                comm.all_reduce(grad, out=reduce_out)
+        comm.drain_comm()
+
+    run_spmd(fn, 8, clock=clock)
+
+
+def bench_sec62_search() -> None:
+    model = named_model(SEARCH_MODEL_NAME)
+    oracle = simulated_overlaps(MACHINE, model, SEARCH_CHANNELS)
+    results = search_configurations(
+        model, SEARCH_CHANNELS, SEARCH_GPUS, MACHINE, SEARCH_BATCH,
+        overlaps=oracle, prune_top_k=SEARCH_TOP_K,
+    )
+    assert results and results[0].plan.strategy == "dchag"
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> dict:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "seconds": statistics.median(samples),
+        "min_seconds": min(samples),
+        "repeats": repeats,
+    }
+
+
+def run_suite(smoke: bool) -> dict:
+    repeats = 3 if smoke else 7
+    suite = {
+        "step_replay_8": lambda: bench_step_replay(PLAN_8),
+        "step_replay_32": lambda: bench_step_replay(PLAN_32),
+        "collective_churn": bench_collective_churn,
+        "eager_drain": bench_eager_drain,
+        "sec62_search": bench_sec62_search,
+    }
+    results = {}
+    for name, fn in suite.items():
+        r = repeats if name != "sec62_search" else max(2, repeats - 1)
+        results[name] = _time(fn, r)
+        print(f"{name:<18} {results[name]['seconds'] * 1e3:9.2f} ms  "
+              f"(min {results[name]['min_seconds'] * 1e3:.2f} ms, {r} runs)")
+    return results
+
+
+def _host() -> dict:
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def host_probe_seconds() -> float:
+    """A hardware score for cross-host gate normalization.
+
+    The step replay's cost is a mix of bulk memory passes and thread
+    wake-ups, so the probe times both: a fixed numpy copy+add workload and
+    a two-thread event ping-pong.  Gating on (benchmark / probe) compares
+    hosts by what the runtime actually stresses, instead of failing CI
+    because its runner is simply slower than the machine that committed
+    the snapshot.
+    """
+    import threading
+
+    a = np.ones(4_739_072, dtype=np.uint8)
+    b = np.empty_like(a)
+    t0 = time.perf_counter()
+    for _ in range(10):
+        np.copyto(b, a)
+        np.add(a, b, out=b)
+    mem = time.perf_counter() - t0
+
+    ping, pong = threading.Event(), threading.Event()
+    rounds = 1000
+
+    def responder():
+        for _ in range(rounds):
+            ping.wait()
+            ping.clear()
+            pong.set()
+
+    t = threading.Thread(target=responder, daemon=True)
+    t.start()
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        ping.set()
+        pong.wait()
+        pong.clear()
+    switch = time.perf_counter() - t0
+    t.join()
+    return mem + switch
+
+
+def check_regression(current: dict, probe: float, committed_path: Path, tol: float) -> int:
+    """Gate fresh numbers against the committed ``current`` snapshot.
+
+    When both snapshots carry a host probe, the gate compares
+    probe-normalized times (benchmark seconds per probe second), so a
+    slower CI runner does not read as a code regression; legacy snapshots
+    without a probe fall back to raw seconds.
+    """
+    doc = json.loads(committed_path.read_text())
+    committed = doc["current"]
+    gate = "step_replay_8"
+    fresh = current[gate]["seconds"]
+    pinned = committed[gate]["seconds"]
+    pinned_probe = doc.get("host_probe_seconds", 0.0)
+    if probe > 0 and pinned_probe > 0:
+        ratio = (fresh / probe) / (pinned / pinned_probe)
+        basis = f"probe-normalized (host probe {probe * 1e3:.1f} ms vs committed {pinned_probe * 1e3:.1f} ms)"
+    else:
+        ratio = fresh / pinned if pinned > 0 else float("inf")
+        basis = "raw seconds (no probe in committed snapshot)"
+    status = "ok" if ratio <= tol else "REGRESSION"
+    print(f"regression gate [{basis}]: {gate} {fresh * 1e3:.2f} ms vs committed "
+          f"{pinned * 1e3:.2f} ms ({ratio:.2f}x, tol {tol:.2f}x) -> {status}")
+    return 0 if ratio <= tol else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fewer repeats (CI)")
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_runtime.json"),
+                        help="where to write the JSON trajectory")
+    parser.add_argument("--baseline", action="store_true",
+                        help="record this run as the baseline snapshot too")
+    parser.add_argument("--check", metavar="PATH", default=None,
+                        help="gate against the committed snapshot at PATH (CI)")
+    parser.add_argument("--regression-tol", type=float, default=1.5,
+                        help="max allowed step_replay_8 slowdown vs committed (default 1.5x)")
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.smoke)
+    probe = host_probe_seconds()
+
+    out = Path(args.out)
+    doc = {"suite": "bench_runtime_speed", "host": _host(), "host_probe_seconds": probe}
+    if out.exists() and not args.baseline:
+        prior = json.loads(out.read_text())
+        doc["baseline"] = prior.get("baseline", prior.get("current", results))
+    else:
+        doc["baseline"] = results
+    doc["current"] = results
+    doc["speedup"] = {
+        name: round(doc["baseline"][name]["seconds"] / results[name]["seconds"], 2)
+        for name in results
+        if name in doc["baseline"] and results[name]["seconds"] > 0
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
+    for name, s in doc["speedup"].items():
+        print(f"  {name:<18} {s:5.2f}x vs baseline")
+
+    if args.check:
+        return check_regression(results, probe, Path(args.check), args.regression_tol)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -181,7 +181,9 @@ def average_gradients(
                 for p in bucket
             ]
         )
-        avg = comm.all_reduce(flat, op="mean", group=group)
+        # Reduce back into the flat bucket buffer (out= may alias the
+        # input): no second full-size allocation per bucket.
+        avg = comm.all_reduce(flat, op="mean", group=group, out=flat)
         offset = 0
         for p in bucket:
             n = p.data.size
@@ -226,4 +228,7 @@ def broadcast_parameters(
     group = _resolve(comm, group)
     root = group.ranks[0] if root is None else root
     for p in params:
-        p.data[...] = comm.broadcast(p.data, root=root, group=group)
+        # out= writes the payload straight into the live parameter buffer
+        # (the root's broadcast is snapshotted before delivery, so aliasing
+        # the contribution is safe).
+        comm.broadcast(p.data, root=root, group=group, out=p.data)

@@ -113,50 +113,105 @@ class ProcessGroup:
         return f"ProcessGroup(ranks={list(self.ranks)})"
 
 
+#: Rendezvous slots per group, reused generationally.  Ranks on one group
+#: can only ever span two consecutive collective slots (a rank issues slot
+#: k+1 only after consuming slot k, and slot k completes only once every
+#: member consumed slot k−1), so a ring of 4 can never collide.
+_SLOT_RING = 4
+
+
 class _Slot:
-    """One collective rendezvous: the n-th collective issued on a group."""
+    """One collective rendezvous: the n-th collective issued on a group.
+
+    Slots live in a fixed per-group ring and are re-initialized in place
+    when their generation comes around again (``gen`` is the sequence
+    number currently occupying the slot).  Completion is signalled with a
+    per-slot :class:`threading.Event` instead of a group-wide condition
+    broadcast: only the ranks blocked on *this* collective wake, and they
+    resume without re-acquiring the group lock.
+    """
 
     __slots__ = (
+        "gen",
         "signature",
         "data",
         "arrived",
         "done",
+        "event",
+        "exit_event",
         "result",
         "error",
         "consumed",
+        "out_count",
+        "barrier_votes",
+        "use_barrier",
+        "scratch",
         "arrivals",
         "payload_max",
         "start",
         "finish",
     )
 
-    def __init__(self, signature: tuple) -> None:
-        self.signature = signature
-        self.data: dict[int, Any] = {}
+    def __init__(self, size: int) -> None:
+        self.gen = -1
+        self.event = threading.Event()
+        self.exit_event = threading.Event()
+        self.data: list[Any] = [None] * size
+        self.arrivals: list[float] = [0.0] * size
+        self.signature: tuple = ()
         self.arrived = 0
         self.done = False
         self.result: Any = None
         self.error: BaseException | None = None
         self.consumed = 0
-        # Virtual-clock bookkeeping (unused without a clock): per-group-rank
-        # arrival bids, the largest payload bid (the padded-collective
-        # convention), and the shared channel start / completion times.
-        self.arrivals: dict[int, float] = {}
+        self.out_count = 0
+        self.barrier_votes = 0
+        self.use_barrier = False
+        # Reusable reduction buffers keyed by (shape, dtype); kept across
+        # recycles so steady-state schedules reduce into warm, preallocated
+        # memory instead of faulting a fresh buffer per collective.  Only
+        # used when every member passed ``out=`` (the result then never
+        # escapes the slot).
+        self.scratch: dict[tuple, np.ndarray] = {}
+        self.payload_max = 0
+        self.start = -1.0
+        self.finish = -1.0
+
+    def recycle(self, gen: int, signature: tuple, size: int) -> None:
+        """Re-initialize for sequence number *gen* (under the group lock)."""
+        self.gen = gen
+        self.signature = signature
+        self.event.clear()
+        self.exit_event.clear()
+        self.data = [None] * size
+        self.arrived = 0
+        self.done = False
+        self.result = None
+        self.error = None
+        self.consumed = 0
+        self.out_count = 0
+        self.barrier_votes = 0
+        self.use_barrier = False
         self.payload_max = 0
         self.start = -1.0
         self.finish = -1.0
 
 
 class _GroupState:
-    """Shared rendezvous state for one ranks-tuple (lazily created)."""
+    """Shared rendezvous state for one ranks-tuple (lazily created).
 
-    __slots__ = ("cond", "slots", "next_seq")
+    ``lock`` guards only the brief arrival/consumption bookkeeping; waiting
+    happens lock-free on each slot's event, and reductions run on the last
+    arriver's thread with no lock held at all.
+    """
 
-    def __init__(self) -> None:
-        self.cond = threading.Condition()
-        self.slots: dict[int, _Slot] = {}
-        # Per-rank count of collectives issued on this group so far.
-        self.next_seq: dict[int, int] = {}
+    __slots__ = ("lock", "ring", "next_seq")
+
+    def __init__(self, size: int) -> None:
+        self.lock = threading.Lock()
+        self.ring = [_Slot(size) for _ in range(_SLOT_RING)]
+        # Per-group-rank count of collectives issued on this group so far.
+        self.next_seq = [0] * size
 
 
 class World:
@@ -205,7 +260,7 @@ class World:
         with self._lock:
             state = self._group_states.get(ranks)
             if state is None:
-                state = self._group_states[ranks] = _GroupState()
+                state = self._group_states[ranks] = _GroupState(len(ranks))
             return state
 
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -240,8 +295,11 @@ class World:
         with self._lock:
             states = list(self._group_states.values())
         for state in states:
-            with state.cond:
-                state.cond.notify_all()
+            # Wake every blocked waiter immediately: they observe the slot
+            # still not done, re-check the abort flag, and unwind.
+            for slot in state.ring:
+                slot.event.set()
+                slot.exit_event.set()
 
     def _check_abort(self) -> None:
         if self._abort_event.is_set():
@@ -267,6 +325,24 @@ def _copy_in(value) -> np.ndarray:
     return np.array(value, copy=True)
 
 
+#: AllGathers at or above this payload run with an exit barrier (parts are
+#: copied straight from the peers' live buffers, skipping the snapshot);
+#: below it the second synchronization point costs more than the copy.
+_GATHER_BARRIER_MIN = 1 << 18
+
+
+def _check_out(out: np.ndarray, shape: tuple, dtype, what: str) -> None:
+    """``out=`` buffers must match exactly: silent broadcasting or casting
+    would corrupt results that NCCL would have rejected."""
+    if not isinstance(out, np.ndarray) or out.shape != shape or out.dtype != dtype:
+        got = (
+            f"{out.shape}/{out.dtype}" if isinstance(out, np.ndarray) else type(out).__name__
+        )
+        raise SpmdError(
+            f"{what} out buffer mismatch: expected shape {shape} dtype {dtype}, got {got}"
+        )
+
+
 def _check_mean_dtype(op: str, arr: np.ndarray) -> None:
     """A mean of integer arrays would be cast back and silently truncate."""
     if op == "mean" and not np.issubdtype(arr.dtype, np.floating):
@@ -276,8 +352,20 @@ def _check_mean_dtype(op: str, arr: np.ndarray) -> None:
         )
 
 
-def _reduce(arrays: list[np.ndarray], op: str) -> np.ndarray:
-    """Reduce in list order — fixed group-rank order, hence deterministic."""
+def _reduce(
+    arrays: list[np.ndarray], op: str, scratch: dict | None = None
+) -> np.ndarray:
+    """Reduce in list order — fixed group-rank order, hence deterministic.
+
+    Zero-copy convention: contributions are **not** snapshotted (every
+    contributing rank is still blocked inside the rendezvous while this
+    runs), so the reduction must never mutate its inputs.  The first
+    pairwise op writes the output buffer — a warm preallocated one from
+    *scratch* when every rank passed ``out=``, a fresh allocation
+    otherwise — and every later op accumulates in place: the same
+    left-to-right pairwise sequence as reducing into a copy, hence bitwise
+    identical.
+    """
     shapes = {a.shape for a in arrays}
     if len(shapes) > 1:
         raise SpmdError(f"mismatched shapes in reduction: {sorted(shapes)}")
@@ -286,19 +374,27 @@ def _reduce(arrays: list[np.ndarray], op: str) -> np.ndarray:
         # The result is cast to group-rank-0's dtype; mixed inputs would be
         # silently truncated (e.g. float contributions into an int buffer).
         raise SpmdError(f"mismatched dtypes in reduction: {sorted(map(str, dtypes))}")
-    # In-place into a private copy: this runs under the group's rendezvous
-    # lock, so avoid n-1 full-size temporaries there.
-    out = arrays[0].copy()
+    if len(arrays) == 1:  # defensive: size-1 groups return before reducing
+        return arrays[0].copy()
+    out = None
+    if scratch is not None:
+        key = (arrays[0].shape, arrays[0].dtype.str)
+        out = scratch.get(key)
+        if out is None:
+            out = scratch[key] = np.empty_like(arrays[0])
     if op in ("sum", "mean"):
-        for a in arrays[1:]:
+        out = np.add(arrays[0], arrays[1], out=out)
+        for a in arrays[2:]:
             out += a
         if op == "mean":
             out /= len(arrays)  # float-only; int mean is rejected at the call site
     elif op == "max":
-        for a in arrays[1:]:
+        out = np.maximum(arrays[0], arrays[1], out=out)
+        for a in arrays[2:]:
             np.maximum(out, a, out=out)
     elif op == "min":
-        for a in arrays[1:]:
+        out = np.minimum(arrays[0], arrays[1], out=out)
+        for a in arrays[2:]:
             np.minimum(out, a, out=out)
     else:  # validated at the call site; defensive here
         raise SpmdError(f"unknown reduce op {op!r}")
@@ -318,6 +414,12 @@ class Communicator:
         self.rank = rank
         self.size = world.size
         self.phase = ""
+        # Per-rank traffic buffer: records append under an uncontended
+        # per-rank lock and merge into the world log in batches (and at
+        # rank exit).  Aggregate queries on TrafficLog read the pending
+        # buffers too, so counts are exact whenever the world quiesces;
+        # mid-run polling may transiently miss a batch in flight.
+        self._traffic = world.traffic.writer()
 
     # -- plumbing ----------------------------------------------------------
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -353,7 +455,7 @@ class Communicator:
         vend: float = -1.0,
     ) -> None:
         wire = ring_wire_bytes(op, payload_bytes, group_size)
-        self.world.traffic.add(
+        self._traffic.add(
             TrafficRecord(
                 rank=self.rank,
                 op=op,
@@ -376,19 +478,50 @@ class Communicator:
         group: ProcessGroup,
         signature: tuple,
         contribution,
-        compute: Callable[[dict[int, Any]], Any],
+        compute: Callable[[list, dict | None], Any],
         payload_bytes: int = 0,
+        consume: Callable[[Any, bool], Any] | None = None,
+        out_provided: bool = False,
+        barrier_vote: bool | None = None,
+        compute_live: Callable[[list, dict | None], Any] | None = None,
     ) -> tuple[Any, float, float]:
         """Join the group's next collective slot; return its shared result.
 
-        The last arriver runs *compute* over contributions keyed by group
-        rank — **outside** the group's critical section, so a large
-        reduction never serializes unrelated groups' rendezvous on this
-        state (contributions buffer under the lock; only the done/notify
-        handoff re-acquires it).  Callers must copy out anything they plan
-        to mutate.
+        The last arriver runs *compute* over the group-rank-ordered
+        contribution list — with **no lock held**, so a large reduction
+        never serializes unrelated rendezvous — then publishes the result
+        and sets the slot's event, waking exactly the ranks blocked on this
+        collective (no group-wide broadcast, no lock re-acquisition on the
+        wake path).
 
-        Returns ``(result, vstart, vend)``: this rank's virtual issue time
+        Zero-copy contract: contributions are *not* snapshotted — every
+        contributing rank stays blocked in this rendezvous until the result
+        is published, so *compute* sees stable inputs but must not mutate
+        them, and any part of its output that aliases a contribution must
+        be copied before it escapes (the contributor may mutate its buffer
+        as soon as it returns) **unless** the slot runs with an exit
+        barrier.  The barrier is a **group decision**: each rank casts
+        ``barrier_vote`` (``None`` ⇒ the op never uses one) and the
+        collective runs barrier-mode only if *every* member voted for it —
+        a per-rank decision could split the group across two wake
+        protocols and deadlock.  In barrier mode the last arriver runs
+        *compute_live* (outputs may reference the live contributions), and
+        no member returns until every member finished consuming, so
+        *consume* may read peers' buffers directly; a rank whose consume
+        raises still joins the barrier before re-raising, so peers never
+        hang on it.  *compute* is called as ``compute(data, scratch)``:
+        *scratch* is the slot's reusable (shape, dtype)-keyed buffer map
+        when **every** member passed a preallocated ``out=`` (the result
+        then never escapes the slot and reductions may write warm scratch
+        memory), ``None`` otherwise.  *consume* turns the shared result
+        into this rank's private return value: it is called as
+        ``consume(result, last_reader)`` where ``last_reader`` is True for
+        exactly one rank — the one that observes every other member
+        already finished consuming — which may therefore take shared
+        buffers by reference instead of copying (always False in barrier
+        mode).  ``consume=None`` shares the result verbatim (barrier).
+
+        Returns ``(value, vstart, vend)``: this rank's virtual issue time
         and the group-wide virtual completion (slowest arrival bid +
         collective cost priced by the world's clock), both ``-1.0`` without
         a clock.  With a clock, op name ``signature[0]`` is priced over the
@@ -401,6 +534,7 @@ class Communicator:
         """
         state = group._state
         me = group.rank_index(self.rank)
+        size = group.size
         clock = self.world.clock
         op = signature[0]
         if clock is not None:
@@ -415,12 +549,15 @@ class Communicator:
             vstart = clock.now(self.rank)
         else:
             bid = vstart = -1.0
-        with state.cond:
-            seq = state.next_seq.get(self.rank, 0)
-            state.next_seq[self.rank] = seq + 1
-            slot = state.slots.get(seq)
-            if slot is None:
-                slot = state.slots[seq] = _Slot(signature)
+        with state.lock:
+            seq = state.next_seq[me]
+            state.next_seq[me] = seq + 1
+            slot = state.ring[seq % _SLOT_RING]
+            if slot.gen != seq:
+                # First arrival of this generation; the previous occupant
+                # (seq − _SLOT_RING) was fully consumed long ago (ranks can
+                # span at most two consecutive slots, see _SLOT_RING).
+                slot.recycle(seq, signature, size)
             elif slot.signature != signature:
                 raise SpmdError(
                     f"collective mismatch on group {list(group.ranks)} slot {seq}: "
@@ -428,41 +565,123 @@ class Communicator:
                     f"{slot.signature[0]!r}"
                 )
             slot.data[me] = contribution
+            if out_provided:
+                slot.out_count += 1
+            if barrier_vote:
+                slot.barrier_votes += 1
             if clock is not None:
                 slot.arrivals[me] = bid
                 if payload_bytes > slot.payload_max:
                     slot.payload_max = int(payload_bytes)
             slot.arrived += 1
-            last = slot.arrived == group.size
+            last = slot.arrived == size
         if last:
-            # Reduction compute runs outside the per-group critical section:
-            # no other rank mutates slot.data once everyone has arrived.
+            # Reduction compute runs with no lock held: every member is
+            # blocked in this rendezvous, so slot.data is stable.  The
+            # barrier decision is unanimous (published with the result):
+            # mixed votes — uneven shards straddling the size gate, or
+            # out= on only some ranks — fall back to snapshot mode.
+            use_barrier = compute_live is not None and slot.barrier_votes == size
+            slot.use_barrier = use_barrier
             result: Any = None
             error: BaseException | None = None
             try:
-                result = compute(slot.data)
+                fn = compute_live if use_barrier else compute
+                result = fn(
+                    slot.data, slot.scratch if slot.out_count == size else None
+                )
             except BaseException as exc:  # surfaces on every member rank
                 error = exc
             start = finish = -1.0
             if clock is not None:
-                start = max(slot.arrivals.values())
+                start = max(slot.arrivals)
                 finish = start + clock.collective_seconds(
                     op, slot.payload_max, group.ranks
                 )
-            with state.cond:
-                slot.result, slot.error = result, error
-                slot.start, slot.finish = start, finish
-                slot.done = True
-                state.cond.notify_all()
-        with state.cond:
+            slot.result, slot.error = result, error
+            slot.start, slot.finish = start, finish
+            slot.done = True  # published before the wake (GIL write order)
+            slot.event.set()
+        else:
+            event = slot.event
             while not slot.done:
                 self.world._check_abort()
-                state.cond.wait(_POLL_S)
-            error, result = slot.error, slot.result
-            start, finish = slot.start, slot.finish
-            slot.consumed += 1
-            if slot.consumed == group.size:
-                del state.slots[seq]
+                event.wait(_POLL_S)
+        error = slot.error
+        start, finish = slot.start, slot.finish
+        value = None
+        if error is None:
+            result = slot.result
+            if consume is None:
+                value = result
+            elif slot.use_barrier:
+                # Consume straight off the live contributions, then hold
+                # every member until all of them finished: nobody's buffer
+                # can be mutated while a peer is still copying from it.
+                # The barrier is joined even if this rank's consume raises
+                # (e.g. an out= validation error): peers still count it and
+                # this rank still waits, so neither side hangs or returns
+                # while a peer is mid-copy.
+                consume_error: BaseException | None = None
+                try:
+                    value = consume(result, False)
+                except BaseException as exc:
+                    consume_error = exc
+                with state.lock:
+                    slot.consumed += 1
+                    all_done = slot.consumed == size
+                if all_done:
+                    # Everyone is done reading: drop the contribution and
+                    # result references before releasing the group, so the
+                    # slot never pins large buffers while the group idles.
+                    slot.data = []
+                    slot.result = None
+                    slot.exit_event.set()
+                else:
+                    exit_event = slot.exit_event
+                    while True:
+                        # The event alone is not proof of completion — a
+                        # world abort sets every slot event to wake
+                        # sleepers — so recheck the consumed count and let
+                        # an abort surface instead of returning a result a
+                        # peer may still be copying from.
+                        with state.lock:
+                            if slot.consumed == size:
+                                break
+                        self.world._check_abort()
+                        exit_event.wait(_POLL_S)
+                if consume_error is not None:
+                    raise consume_error
+            else:
+                # Last-reader handoff: the rank that observes every peer
+                # already done consuming may take shared buffers without a
+                # copy — nobody else will ever read them again.
+                with state.lock:
+                    last_reader = slot.consumed == size - 1
+                    if last_reader:
+                        slot.consumed = size
+                if last_reader:
+                    value = consume(result, True)
+                    # Final reader: release the slot's payload references
+                    # (an idle group would otherwise pin them until this
+                    # ring slot's generation comes around again).
+                    slot.data = []
+                    slot.result = None
+                else:
+                    value = consume(result, False)
+                    with state.lock:
+                        slot.consumed += 1
+                        released = slot.consumed == size
+                    if released:  # nobody claimed last-reader (racy peeks)
+                        slot.data = []
+                        slot.result = None
+        else:
+            with state.lock:
+                slot.consumed += 1
+                released = slot.consumed == size
+            if released:
+                slot.data = []
+                slot.result = None
         if clock is not None and finish >= 0.0:
             if hasattr(clock, "collective_complete"):
                 clock.collective_complete(
@@ -472,15 +691,19 @@ class Communicator:
                 clock.sync(self.rank, finish)
         if error is not None:
             raise SpmdError(f"collective failed: {error}") from error
-        return result, vstart, finish
+        return value, vstart, finish
 
     def _run_collective(
         self,
         group: ProcessGroup,
         signature: tuple,
         contribution,
-        compute: Callable[[dict[int, Any]], Any],
+        compute: Callable[[list, dict | None], Any],
         payload_bytes: int,
+        consume: Callable[[Any, bool], Any] | None = None,
+        out_provided: bool = False,
+        barrier_vote: bool | None = None,
+        compute_live: Callable[[list, dict | None], Any] | None = None,
     ):
         """Rendezvous + traffic accounting for one logged collective.
 
@@ -493,7 +716,9 @@ class Communicator:
         op = signature[0]
         try:
             result, vs, ve = self._rendezvous(
-                group, signature, contribution, compute, payload_bytes
+                group, signature, contribution, compute, payload_bytes,
+                consume=consume, out_provided=out_provided,
+                barrier_vote=barrier_vote, compute_live=compute_live,
             )
         except BaseException:
             self._log(op, payload_bytes, group.size, self._vnow(), -1.0)
@@ -563,46 +788,148 @@ class Communicator:
         group = self._resolve(group)
         if group.size == 1:
             return
-        self._rendezvous(group, ("barrier",), None, lambda data: None)
+        self._rendezvous(group, ("barrier",), None, lambda data, scratch: None)
 
     def all_reduce(
-        self, array, op: str = "sum", group: ProcessGroup | None = None
+        self,
+        array,
+        op: str = "sum",
+        group: ProcessGroup | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Reduce *array* over the group; every rank gets the full result."""
+        """Reduce *array* over the group; every rank gets the full result.
+
+        ``out`` receives the result in place (shape and dtype must match
+        exactly) and is returned — steady-state callers that reduce into
+        preallocated buffers (gradient accumulators, replay scratch) skip
+        one full-size allocation per collective, and when **every** rank
+        passes ``out=`` the reduction itself reuses warm per-slot scratch.
+        ``out`` may alias *array*: the reduction never writes contributions.
+        """
         group = self._resolve(group)
         if op not in _REDUCE_OPS:
             raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
-        arr = _copy_in(array)
+        arr = np.asarray(array)  # no snapshot: peers stay blocked while we reduce
         _check_mean_dtype(op, arr)
+        if out is not None:
+            _check_out(out, arr.shape, arr.dtype, "all_reduce")
         if group.size == 1:
             t = self._vnow()
             self._log("all_reduce", arr.nbytes, 1, t, t)
-            return arr
-        result = self._run_collective(
+            if out is None:
+                return arr.copy()
+            np.copyto(out, arr)
+            return out
+
+        def consume(result: np.ndarray, last: bool) -> np.ndarray:
+            if out is not None:
+                np.copyto(out, result)
+                return out
+            # The reduction output is a fresh buffer; the last reader takes
+            # it by reference, everyone else copies out a private result.
+            return result if last else result.copy()
+
+        return self._run_collective(
             group,
             ("all_reduce", op),
             arr,
-            lambda data: _reduce([data[i] for i in range(group.size)], op),
+            lambda data, scratch: _reduce(data, op, scratch),
             payload_bytes=arr.nbytes,
+            consume=consume,
+            out_provided=out is not None,
         )
-        return result.copy()
 
-    def all_gather(self, array, group: ProcessGroup | None = None) -> list[np.ndarray]:
-        """Gather every rank's array; returns private copies in group order."""
+    def all_gather(
+        self,
+        array,
+        group: ProcessGroup | None = None,
+        out: Sequence[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Gather every rank's array; returns private copies in group order.
+
+        ``out`` — one preallocated buffer per group rank, exact shape and
+        dtype match — receives the parts in place (the list is returned).
+        When **every** rank's payload is big (≥ ``_GATHER_BARRIER_MIN``) or
+        passes ``out=``, the gather runs with an **exit barrier**: every
+        rank copies its parts straight out of the peers' live buffers and
+        nobody returns until all have, which removes the intermediate
+        snapshot a copy-out-after-release scheme needs.  The choice is a
+        unanimous group vote (uneven shards straddling the gate fall back
+        to snapshot mode — the two wake protocols must never mix on one
+        collective).  ``out`` buffers must not overlap the *array* of any
+        other rank — aliasing your own contribution is allowed.
+        """
         group = self._resolve(group)
-        arr = _copy_in(array)
+        arr = np.asarray(array)
+        if out is not None:
+            if len(out) != group.size:
+                raise SpmdError(
+                    f"all_gather out must supply exactly {group.size} buffers, "
+                    f"got {len(out)}"
+                )
+            me = group.rank_index(self.rank)
+            for i, o in enumerate(out):
+                if not isinstance(o, np.ndarray) or not np.may_share_memory(o, arr):
+                    continue
+                # Only the rank's own slot may alias its input, and only
+                # *exactly* (same memory, shape and strides — the copy is
+                # then a no-op): a partial overlap would mutate the live
+                # contribution while peers are still copying from it under
+                # the exit barrier.
+                exact = o is arr or (
+                    o.shape == arr.shape
+                    and o.strides == arr.strides
+                    and o.__array_interface__["data"] == arr.__array_interface__["data"]
+                )
+                if i != me or not exact:
+                    raise SpmdError(
+                        "all_gather out buffers must not overlap this rank's "
+                        "input (peers read it live under the exit barrier); "
+                        "only out[me] exactly aliasing the input is allowed"
+                    )
         if group.size == 1:
             t = self._vnow()
             self._log("all_gather", arr.nbytes, 1, t, t)
-            return [arr]
-        parts = self._run_collective(
+            if out is None:
+                return [arr.copy()]
+            _check_out(out[0], arr.shape, arr.dtype, "all_gather")
+            np.copyto(out[0], arr)
+            return list(out)
+        vote = arr.nbytes >= _GATHER_BARRIER_MIN or out is not None
+
+        # Barrier mode (unanimous vote): parts are copied straight from the
+        # contributions while every member is still held inside the
+        # collective — no snapshot.  Snapshot mode (any dissent, or small
+        # payloads where the second synchronization point costs more than
+        # the copy): snapshot once in compute.
+        def compute_live(data: list, scratch) -> list:
+            return data
+
+        def compute(data: list, scratch) -> list:
+            return [np.array(p, copy=True) for p in data]
+
+        def consume(parts: list, last: bool) -> list[np.ndarray]:
+            if out is None:
+                return list(parts) if last else [np.array(p, copy=True) for p in parts]
+            # All-or-nothing: validate every buffer before writing any, so
+            # a mismatch never leaves the caller's buffers half-clobbered.
+            for o, p in zip(out, parts):
+                _check_out(o, p.shape, p.dtype, "all_gather")
+            for o, p in zip(out, parts):
+                np.copyto(o, p)
+            return list(out)
+
+        return self._run_collective(
             group,
             ("all_gather",),
             arr,
-            lambda data: [data[i] for i in range(group.size)],
+            compute,
             payload_bytes=arr.nbytes,
+            consume=consume,
+            out_provided=out is not None,
+            barrier_vote=vote,
+            compute_live=compute_live,
         )
-        return [p.copy() for p in parts]
 
     def all_gather_concat(
         self, array, group: ProcessGroup | None = None, axis: int = 0
@@ -617,6 +944,7 @@ class Communicator:
         group: ProcessGroup | None = None,
         axis: int = 0,
         sizes: Sequence[int] | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Reduce over the group, return this rank's slice of *axis*.
 
@@ -626,12 +954,15 @@ class Communicator:
         get one extra element).  Uneven splits are executed as *padded*
         collectives — every chunk is padded to the largest, the ring moves
         the padded volume (which is what the traffic log charges), and the
-        pad is stripped before the result is returned.
+        pad is stripped before the result is returned.  ``out`` receives
+        this rank's slice in place (exact shape/dtype match) and is
+        returned; when every rank passes ``out=`` the reduction reuses warm
+        per-slot scratch instead of allocating.
         """
         group = self._resolve(group)
         if op not in _REDUCE_OPS:
             raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
-        arr = _copy_in(array)
+        arr = np.asarray(array)  # no snapshot: the reduction never aliases inputs
         _check_mean_dtype(op, arr)
         n = group.size
         dim = arr.shape[axis]
@@ -653,43 +984,89 @@ class Communicator:
         # max(chunk) per rank per step, i.e. n·max(chunk) total elements.
         padded_dim = max(chunk_sizes) * n if chunk_sizes else 0
         payload = arr.nbytes if dim == 0 else (arr.nbytes // dim) * padded_dim
+        me = group.rank_index(self.rank)
+        lo = int(sum(chunk_sizes[:me]))
+        idx = [slice(None)] * arr.ndim
+        idx[axis] = slice(lo, lo + chunk_sizes[me])
+        idx = tuple(idx)
+        if out is not None:
+            shape = list(arr.shape)
+            shape[axis] = chunk_sizes[me]
+            _check_out(out, tuple(shape), arr.dtype, "reduce_scatter")
         if n == 1:
             t = self._vnow()
             self._log("reduce_scatter", payload, 1, t, t)
-            return arr
-        full = self._run_collective(
+            if out is None:
+                return arr.copy()
+            np.copyto(out, arr)
+            return out
+
+        def consume(full: np.ndarray, last: bool) -> np.ndarray:
+            if out is not None:
+                np.copyto(out, full[idx])
+                return out
+            # Every rank copies its slice: a view handoff would let one
+            # (scheduling-chosen) rank pin the n-times-larger reduce buffer
+            # and receive a non-contiguous array where peers get compact
+            # copies.
+            return full[idx].copy()
+
+        return self._run_collective(
             group,
             ("reduce_scatter", op, axis, chunk_sizes),
             arr,
-            lambda data: _reduce([data[i] for i in range(n)], op),
+            lambda data, scratch: _reduce(data, op, scratch),
             payload_bytes=payload,
+            consume=consume,
+            out_provided=out is not None,
         )
-        me = group.rank_index(self.rank)
-        lo = int(sum(chunk_sizes[:me]))
-        idx = [slice(None)] * full.ndim
-        idx[axis] = slice(lo, lo + chunk_sizes[me])
-        return full[tuple(idx)].copy()
 
-    def broadcast(self, value, root: int, group: ProcessGroup | None = None) -> np.ndarray:
-        """Every rank receives a copy of the *root* world-rank's payload."""
+    def broadcast(
+        self,
+        value,
+        root: int,
+        group: ProcessGroup | None = None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Every rank receives a copy of the *root* world-rank's payload.
+
+        ``out`` receives the payload in place (exact shape/dtype match,
+        validated against the root's payload at completion) and is
+        returned — parameter broadcasts write straight into the live
+        parameter buffers instead of allocating a copy to assign from.
+        """
         group = self._resolve(group)
         root_index = group.rank_index(root)
-        payload = _copy_in(value) if self.rank == root else None
+        payload = np.asarray(value) if self.rank == root else None
         if group.size == 1:
             t = self._vnow()
             self._log("broadcast", payload.nbytes, 1, t, t)
-            return payload
+            if out is None:
+                return payload.copy()
+            _check_out(out, payload.shape, payload.dtype, "broadcast")
+            np.copyto(out, payload)
+            return out
 
-        def compute(data: dict[int, Any]) -> np.ndarray:
+        def compute(data: list, scratch) -> np.ndarray:
             contributed = data[root_index]
             if contributed is None:
                 raise SpmdError(f"broadcast root rank {root} supplied no payload")
-            return contributed
+            # One shared snapshot, detached from the root's live buffer
+            # before anyone (including the root) returns.
+            return np.array(contributed, copy=True)
+
+        def consume(r: np.ndarray, last: bool) -> np.ndarray:
+            if out is not None:
+                _check_out(out, r.shape, r.dtype, "broadcast")
+                np.copyto(out, r)
+                return out
+            return r if last else r.copy()
 
         bid = payload.nbytes if payload is not None else 0
         try:
             result, vs, ve = self._rendezvous(
-                group, ("broadcast", root), payload, compute, payload_bytes=bid
+                group, ("broadcast", root), payload, compute, payload_bytes=bid,
+                consume=consume, out_provided=out is not None,
             )
         except BaseException:
             # Failed/aborted broadcasts still log (vend=-1), like every
@@ -697,7 +1074,7 @@ class Communicator:
             self._log("broadcast", bid, group.size, self._vnow(), -1.0)
             raise
         self._log("broadcast", result.nbytes, group.size, vs, ve)
-        return result.copy()
+        return result
 
     def scatter(self, chunks, root: int, group: ProcessGroup | None = None) -> np.ndarray:
         """Root supplies one chunk per group rank; each rank gets its own."""
@@ -711,67 +1088,101 @@ class Communicator:
                     f"scatter root must supply exactly {group.size} chunks, "
                     f"got {0 if chunks is None else len(chunks)}"
                 )
-            contribution = [_copy_in(c) for c in chunks]
+            contribution = [np.asarray(c) for c in chunks]
             payload = sum(c.nbytes for c in contribution)
         if group.size == 1:
             t = self._vnow()
             self._log("scatter", payload, 1, t, t)
-            return contribution[0]
+            return contribution[0].copy()
 
-        def compute(data: dict[int, Any]) -> list[np.ndarray]:
+        def compute(data: list, scratch) -> list[np.ndarray]:
             sent = data[root_index]
             if sent is None:
                 raise SpmdError(f"scatter root rank {root} supplied no chunks")
-            return sent
+            # Snapshot once: each chunk is consumed by exactly one rank, so
+            # these copies are handed over without another copy-out.
+            return [np.array(c, copy=True) for c in sent]
 
-        parts = self._run_collective(
-            group, ("scatter", root), contribution, compute, payload_bytes=payload
+        me = group.rank_index(self.rank)
+        return self._run_collective(
+            group, ("scatter", root), contribution, compute, payload_bytes=payload,
+            consume=lambda parts, last: parts[me],
         )
-        return parts[group.rank_index(self.rank)].copy()
 
     def gather(self, array, root: int, group: ProcessGroup | None = None) -> list[np.ndarray] | None:
         """Inverse of scatter: the root receives every rank's array in group
         order; other ranks receive ``None``."""
         group = self._resolve(group)
         group.rank_index(root)  # validate membership
-        arr = _copy_in(array)
+        arr = np.asarray(array)
         if group.size == 1:
             t = self._vnow()
             self._log("gather", arr.nbytes, 1, t, t)
-            return [arr]
+            return [arr.copy()]
+        is_root = self.rank == root
         parts = self._run_collective(
             group,
             ("gather", root),
             arr,
-            lambda data: [data[i] for i in range(group.size)],
+            # Snapshot once in compute: only the root reads the result, so
+            # it takes these copies without copying again.
+            lambda data, scratch: [np.array(p, copy=True) for p in data],
             payload_bytes=arr.nbytes,
+            consume=lambda parts, last: list(parts) if is_root else None,
         )
-        if self.rank != root:
-            return None
-        return [p.copy() for p in parts]
+        return parts if is_root else None
 
-    def all_to_all(self, sends, group: ProcessGroup | None = None) -> list[np.ndarray]:
+    def all_to_all(
+        self,
+        sends,
+        group: ProcessGroup | None = None,
+        out: Sequence[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
         """Transpose: element *i* of the result is what group-rank *i* sent
-        to this rank (their ``sends[my_group_index]``)."""
+        to this rank (their ``sends[my_group_index]``).
+
+        ``out`` — one preallocated buffer per group rank, exact shape and
+        dtype match — receives the incoming chunks in place.
+        """
         group = self._resolve(group)
         n = group.size
         if len(sends) != n:
             raise SpmdError(f"all_to_all needs exactly {n} send buffers, got {len(sends)}")
-        contribution = [_copy_in(s) for s in sends]
+        if out is not None and len(out) != n:
+            raise SpmdError(f"all_to_all out must supply exactly {n} buffers, got {len(out)}")
+        contribution = [np.asarray(s) for s in sends]
         payload = sum(c.nbytes for c in contribution)
         if n == 1:
             t = self._vnow()
             self._log("all_to_all", payload, 1, t, t)
-            return [contribution[0]]
-        matrix = self._run_collective(
+            if out is None:
+                return [contribution[0].copy()]
+            _check_out(out[0], contribution[0].shape, contribution[0].dtype, "all_to_all")
+            np.copyto(out[0], contribution[0])
+            return list(out)
+        me = group.rank_index(self.rank)
+
+        def consume(matrix: list, last: bool) -> list[np.ndarray]:
+            if out is None:
+                return [matrix[i][me] for i in range(n)]
+            # All-or-nothing: validate every buffer before writing any.
+            for i in range(n):
+                cell = matrix[i][me]
+                _check_out(out[i], cell.shape, cell.dtype, "all_to_all")
+            for i in range(n):
+                np.copyto(out[i], matrix[i][me])
+            return list(out)
+
+        return self._run_collective(
             group,
             ("all_to_all",),
             contribution,
-            lambda data: {i: data[i] for i in range(n)},
+            # Snapshot the matrix once: cell (i, j) is consumed only by
+            # group-rank j, so receivers take their column without a copy.
+            lambda data, scratch: [[np.array(a, copy=True) for a in row] for row in data],
             payload_bytes=payload,
+            consume=consume,
         )
-        me = group.rank_index(self.rank)
-        return [matrix[i][me].copy() for i in range(n)]
 
     # -- point-to-point ----------------------------------------------------
     def send(self, array, dst: int, tag: int = 0) -> None:
@@ -862,6 +1273,10 @@ def run_spmd_world(
         except BaseException as exc:
             world.rank_status[rank] = "failed"
             world.abort(rank, exc)
+        finally:
+            # Merge this rank's buffered traffic into the world log so
+            # post-mortem accounting never depends on the buffers.
+            comm._traffic.flush()
 
     threads = [
         threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)

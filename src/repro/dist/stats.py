@@ -37,7 +37,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
-__all__ = ["ring_wire_bytes", "TrafficRecord", "TrafficTotals", "TrafficLog"]
+__all__ = ["ring_wire_bytes", "TrafficRecord", "TrafficTotals", "TrafficLog", "TrafficWriter"]
 
 _COLLECTIVE_OPS = frozenset(
     {"all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all", "scatter", "gather"}
@@ -106,6 +106,68 @@ class TrafficTotals:
     wire_bytes: int = 0
 
 
+class TrafficWriter:
+    """One rank's contention-free traffic buffer (:meth:`TrafficLog.writer`).
+
+    :meth:`add` appends to a per-rank list under a **per-writer** lock —
+    uncontended on the hot path, since only the owning rank writes and the
+    lock is shared with nothing but the rare explicit :meth:`flush` from
+    the driver side — and merges into the owning log in batches (every
+    ``_FLUSH_EVERY`` records, and at rank exit).  The per-writer lock is
+    what makes concurrent flushes (owner auto-flush vs a driver-side
+    ``TrafficLog.flush``) safe: the batch swap and merge are atomic, so a
+    record can neither be merged twice nor lost to a torn swap.  Aggregate
+    queries on the log read pending buffers directly, so buffered records
+    are never invisible; flushing only moves them into the shared record
+    list.  In timeline mode every record needs a global arrival sequence
+    number, so the writer degrades to the locked direct path.
+    """
+
+    _FLUSH_EVERY = 256
+
+    __slots__ = ("_log", "_lock", "pending")
+
+    def __init__(self, log: "TrafficLog") -> None:
+        self._log = log
+        self._lock = threading.Lock()
+        self.pending: list[TrafficRecord] = []
+
+    def add(self, record: TrafficRecord) -> None:
+        if self._log.timeline:
+            self._log.add(record)
+            return
+        with self._lock:
+            self.pending.append(record)
+            if len(self.pending) < self._FLUSH_EVERY:
+                return
+            batch = self.pending
+            self.pending = []
+            # Merge while still holding the writer lock (lock order is
+            # always writer → log, so this cannot deadlock): concurrent
+            # flushers then can neither double-merge a batch nor land an
+            # older batch after a newer one, preserving per-rank record
+            # order in the shared list.
+            self._log._merge(batch)
+
+    def flush(self) -> None:
+        """Merge buffered records into the shared log.
+
+        Safe from any thread: swap **and** merge happen under the writer
+        lock, so a concurrent owner-side auto-flush and a driver-side
+        flush serialize — no batch merges twice and per-rank issue order
+        survives in the shared record list.  A concurrent aggregate reader
+        either sees a record in the buffer here or (after the merge) in
+        the global buckets — transiently missing is possible,
+        double-counting is not.
+        """
+        with self._lock:
+            batch = self.pending
+            if not batch:
+                return
+            self.pending = []
+            self._log._merge(batch)
+
+
 class TrafficLog:
     """Thread-safe log of every collective a world's ranks issue.
 
@@ -116,51 +178,95 @@ class TrafficLog:
 
     Aggregates (``count`` / ``payload_bytes`` / ``wire_bytes`` /
     ``ops_histogram`` / ``totals``) are maintained as **running per-bucket
-    totals** keyed by ``(op, phase, rank)`` and updated on :meth:`add`, so a
-    query scans the handful of distinct buckets rather than snapshotting and
-    filtering the full record list — the benchmark loops over 32–64-rank
-    worlds used to be quadratic in the record count.  :meth:`records` still
-    returns the full per-record list for timeline consumers.
+    totals** keyed by ``(op, phase, rank)``.  Bucket values are immutable
+    tuples replaced wholesale under the write lock, so aggregate queries
+    read a GIL-atomic snapshot of the bucket table **without taking the
+    lock** — a monitoring thread polling :meth:`totals` never blocks the
+    rank threads, and every bucket it sees is internally consistent.
+
+    Hot-path writes go through per-rank :class:`TrafficWriter` buffers
+    (:meth:`writer`): ranks append under an uncontended per-rank lock and
+    merge in batches, instead of contending on one global lock per
+    collective per rank.  Aggregate
+    queries include the writers' pending records, so results are exact once
+    the world quiesces (rank exit flushes) and at worst transiently missing
+    in-flight records while it runs.
     """
 
     def __init__(self, timeline: bool = False) -> None:
         self._lock = threading.Lock()
         self._records: list[TrafficRecord] = []
-        # (op, phase, rank) -> [count, payload_bytes, wire_bytes]
-        self._buckets: dict[tuple[str, str, int], list[int]] = {}
+        # (op, phase, rank) -> (count, payload_bytes, wire_bytes), tuples
+        # replaced atomically so readers need no lock.
+        self._buckets: dict[tuple[str, str, int], tuple[int, int, int]] = {}
+        self._writers: list[TrafficWriter] = []
         self.timeline = bool(timeline)
+
+    def writer(self) -> TrafficWriter:
+        """Register and return a buffered per-rank writer."""
+        w = TrafficWriter(self)
+        with self._lock:
+            self._writers.append(w)
+        return w
+
+    def _add_locked(self, record: TrafficRecord) -> None:
+        if self.timeline:
+            record = replace(
+                record, seq=len(self._records), timestamp=time.monotonic()
+            )
+        self._records.append(record)
+        key = (record.op, record.phase, record.rank)
+        c, p, w = self._buckets.get(key, (0, 0, 0))
+        self._buckets[key] = (c + 1, p + record.payload_bytes, w + record.wire_bytes)
 
     def add(self, record: TrafficRecord) -> None:
         with self._lock:
-            if self.timeline:
-                record = replace(
-                    record, seq=len(self._records), timestamp=time.monotonic()
-                )
-            self._records.append(record)
-            bucket = self._buckets.get((record.op, record.phase, record.rank))
-            if bucket is None:
-                bucket = self._buckets[(record.op, record.phase, record.rank)] = [0, 0, 0]
-            bucket[0] += 1
-            bucket[1] += record.payload_bytes
-            bucket[2] += record.wire_bytes
+            self._add_locked(record)
+
+    def _merge(self, records: list[TrafficRecord]) -> None:
+        with self._lock:
+            for record in records:
+                self._add_locked(record)
+
+    def flush(self) -> None:
+        """Merge every registered writer's pending records (driver-side)."""
+        for w in tuple(self._writers):
+            w.flush()
 
     def reset(self) -> None:
         with self._lock:
             self._records.clear()
             self._buckets.clear()
+            writers = list(self._writers)
+        # Writer locks are taken only after the log lock is released: the
+        # add/flush path acquires them in the opposite order (writer first,
+        # log second via _merge), so nesting would invert and deadlock.
+        for w in writers:
+            with w._lock:
+                w.pending = []
+
+    def _pending_records(self) -> list[TrafficRecord]:
+        """Snapshot of every writer's unflushed records (no lock)."""
+        out: list[TrafficRecord] = []
+        for w in tuple(self._writers):
+            out.extend(tuple(w.pending))
+        return out
 
     # -- filtered views ---------------------------------------------------
     def records(
         self, op: str | None = None, phase: str | None = None, rank: int | None = None
     ) -> list[TrafficRecord]:
-        """Matching records in arrival order.
+        """Matching records, flushed first then per-writer pending ones.
 
-        Unlike the aggregate queries this walks the full record list
-        (O(records)); use it for per-record data — timeline stamps,
-        virtual intervals — not for counting.
+        Each rank's own records appear in issue order; the cross-rank
+        interleaving is unspecified unless the log runs in timeline mode
+        (sort by ``seq`` there).  Unlike the aggregate queries this walks
+        the full record list (O(records)); use it for per-record data —
+        timeline stamps, virtual intervals — not for counting.
         """
         with self._lock:
             records = list(self._records)
+        records.extend(self._pending_records())
         if op is None and phase is None and rank is None:
             return records
         return [
@@ -174,19 +280,35 @@ class TrafficLog:
     def totals(
         self, op: str | None = None, phase: str | None = None, rank: int | None = None
     ) -> TrafficTotals:
-        """Aggregate over every bucket matching the given filters, in one
-        pass over the (small) bucket table."""
+        """Aggregate over every bucket matching the given filters.
+
+        Lock-free: reads a GIL-atomic snapshot of the bucket table plus the
+        writers' pending buffers, so a polling reader never blocks the rank
+        threads mid-collective.  Because the bucket snapshot is taken
+        before the pending buffers are walked, a batch being merged at
+        that instant can be transiently missing (never double-counted):
+        counts are exact once writers flush (rank exit), but a live poller
+        may briefly observe up to one flush batch fewer per rank.
+        """
         count = payload = wire = 0
-        with self._lock:
-            for (b_op, b_phase, b_rank), (c, p, w) in self._buckets.items():
-                if (
-                    (op is None or b_op == op)
-                    and (phase is None or b_phase == phase)
-                    and (rank is None or b_rank == rank)
-                ):
-                    count += c
-                    payload += p
-                    wire += w
+        for (b_op, b_phase, b_rank), (c, p, w) in self._buckets.copy().items():
+            if (
+                (op is None or b_op == op)
+                and (phase is None or b_phase == phase)
+                and (rank is None or b_rank == rank)
+            ):
+                count += c
+                payload += p
+                wire += w
+        for r in self._pending_records():
+            if (
+                (op is None or r.op == op)
+                and (phase is None or r.phase == phase)
+                and (rank is None or r.rank == rank)
+            ):
+                count += 1
+                payload += r.payload_bytes
+                wire += r.wire_bytes
         return TrafficTotals(count=count, payload_bytes=payload, wire_bytes=wire)
 
     def count(self, op: str | None = None, phase: str | None = None, rank: int | None = None) -> int:
@@ -204,15 +326,16 @@ class TrafficLog:
 
     def ops_histogram(self, rank: int | None = None) -> dict[str, int]:
         hist: dict[str, int] = {}
-        with self._lock:
-            for (b_op, _b_phase, b_rank), (c, _p, _w) in self._buckets.items():
-                if rank is None or b_rank == rank:
-                    hist[b_op] = hist.get(b_op, 0) + c
+        for (b_op, _b_phase, b_rank), (c, _p, _w) in self._buckets.copy().items():
+            if rank is None or b_rank == rank:
+                hist[b_op] = hist.get(b_op, 0) + c
+        for r in self._pending_records():
+            if rank is None or r.rank == rank:
+                hist[r.op] = hist.get(r.op, 0) + 1
         return hist
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._records)
+        return len(self._records) + sum(len(w.pending) for w in tuple(self._writers))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TrafficLog({self.ops_histogram()})"

@@ -90,25 +90,35 @@ def _divisors_pow2(n: int, cap: int) -> list[int]:
     return out
 
 
-def search_configurations(
+def _full_overlaps() -> "DerivedOverlaps":
+    """The optimistic bound: every dp/fsdp byte hidden under compute.
+
+    Throughput is monotone in the overlap fractions, so ranking with this
+    pair upper-bounds any score a simulated (or constant) pair can produce
+    — the pruning certificate ``search_configurations(prune_top_k=...)``
+    relies on.
+    """
+    from .overlap import DerivedOverlaps, OverlapReport
+
+    return DerivedOverlaps(
+        dp=OverlapReport("dp_sync", "backward", 0.0, 0.0, 1.0),
+        fsdp=OverlapReport("fsdp_gather", "forward", 0.0, 0.0, 1.0),
+    )
+
+
+def _enumerate_candidates(
     model: ModelConfig,
     channels: int,
     total_gpus: int,
     machine: MachineSpec,
     global_batch: int,
-    strategies: tuple[str, ...] = ("tp", "dchag"),
-    precision: Precision = Precision(),
-    intra_node_tp: bool = True,
-    overlaps: OverlapSource = None,
-) -> list[TunedPlan]:
-    """All feasible plans for the budget, best throughput first.
-
-    ``overlaps`` selects the dp/fsdp hidden fractions the ranking uses
-    (module docstring); each returned :class:`TunedPlan` records the pair
-    applied to it.
-    """
+    strategies: tuple[str, ...],
+    precision: Precision,
+    intra_node_tp: bool,
+) -> list[tuple[ParallelPlan, int]]:
+    """Every feasible (plan, micro-batch) for the budget, unscored."""
     tp_cap = machine.gpus_per_node if intra_node_tp else total_gpus
-    results: list[TunedPlan] = []
+    out: list[tuple[ParallelPlan, int]] = []
     seen: set[str] = set()
     for strategy in strategies:
         for tp in _divisors_pow2(total_gpus, tp_cap if strategy != "serial" else 1):
@@ -133,12 +143,79 @@ def search_configurations(
                 micro = max_batch_per_replica(model, channels, plan, machine, precision)
                 if micro == 0:
                     continue
-                ov = overlaps(plan, micro) if callable(overlaps) else overlaps
-                tflops = global_batch_throughput(
-                    model, channels, plan, machine, global_batch, precision,
-                    overlaps=ov,
-                )
+                out.append((plan, micro))
+    return out
+
+
+def search_configurations(
+    model: ModelConfig,
+    channels: int,
+    total_gpus: int,
+    machine: MachineSpec,
+    global_batch: int,
+    strategies: tuple[str, ...] = ("tp", "dchag"),
+    precision: Precision = Precision(),
+    intra_node_tp: bool = True,
+    overlaps: OverlapSource = None,
+    prune_top_k: int | None = None,
+) -> list[TunedPlan]:
+    """All feasible plans for the budget, best throughput first.
+
+    ``overlaps`` selects the dp/fsdp hidden fractions the ranking uses
+    (module docstring); each returned :class:`TunedPlan` records the pair
+    applied to it.
+
+    ``prune_top_k`` (with a *callable* ``overlaps``) turns on bound-based
+    pruning: candidates are visited in descending order of their analytic
+    **upper bound** (throughput at full overlap), and the per-plan oracle —
+    each consultation may cost a real issue-queue simulation — is only
+    invoked while a candidate's bound can still beat the ``k``-th best
+    simulated score.  Because the bound dominates every achievable score,
+    the top ``k`` plans and their ordering are **exactly** those of the
+    exhaustive search (pinned by the golden-ranking tests); pruned
+    candidates rank below them by their paper-constant score with
+    ``overlaps=None`` recorded.  ``None`` (default) keeps the exhaustive
+    behavior, consulting the oracle for every candidate.
+    """
+    candidates = _enumerate_candidates(
+        model, channels, total_gpus, machine, global_batch,
+        strategies, precision, intra_node_tp,
+    )
+
+    def score(plan: ParallelPlan, ov: "DerivedOverlaps | None") -> float:
+        return global_batch_throughput(
+            model, channels, plan, machine, global_batch, precision, overlaps=ov,
+        )
+
+    results: list[TunedPlan] = []
+    if prune_top_k is not None and prune_top_k >= 1 and callable(overlaps):
+        bound_pair = _full_overlaps()
+        # Deterministic visit order: best bound first, label breaks ties.
+        bounded = sorted(
+            ((score(plan, bound_pair), plan, micro) for plan, micro in candidates),
+            key=lambda t: (-t[0], t[1].label),
+        )
+        incumbents: list[float] = []  # top-k simulated scores, descending
+        for bound, plan, micro in bounded:
+            kth = incumbents[prune_top_k - 1] if len(incumbents) >= prune_top_k else float("-inf")
+            # >= : a candidate whose bound ties the k-th incumbent could
+            # still tie into the top k, so it is simulated, keeping the
+            # exactness guarantee through score ties.
+            if bound >= kth:
+                ov = overlaps(plan, micro)
+                tflops = score(plan, ov)
                 results.append(TunedPlan(plan, micro, tflops, ov))
+                incumbents.append(tflops)
+                incumbents.sort(reverse=True)
+                del incumbents[prune_top_k:]
+            else:
+                # bound ≤ kth ⇒ no achievable score reaches the top k;
+                # rank the tail by the paper-constant estimate.
+                results.append(TunedPlan(plan, micro, score(plan, None), None))
+    else:
+        for plan, micro in candidates:
+            ov = overlaps(plan, micro) if callable(overlaps) else overlaps
+            results.append(TunedPlan(plan, micro, score(plan, ov), ov))
     results.sort(key=lambda t: t.total_tflops, reverse=True)
     return results
 
@@ -292,6 +369,7 @@ def simulated_overlaps(
     from .calibrate import measure_plan  # runtime import: calibrate pulls dist
 
     cache: dict[tuple, "DerivedOverlaps"] = {}
+    workspace: dict = {}  # warm replay buffers shared by every simulation
 
     def oracle(plan: ParallelPlan, micro: int) -> "DerivedOverlaps | None":
         if plan.dp <= 1 and plan.fsdp <= 1:
@@ -321,6 +399,7 @@ def simulated_overlaps(
                 dp_buckets=buckets,
                 compute_scale=scale,
                 cap_dp_buckets=False,
+                workspace=workspace,
             )
             cache[key] = m.overlaps
         return cache[key]

@@ -71,6 +71,7 @@ __all__ = [
     "fit_machine",
     "wallclock_fit_samples",
     "fit_machine_wallclock",
+    "host_fingerprint",
     "load_or_fit_machine",
     "MeasuredComm",
     "measure_plan",
@@ -84,9 +85,16 @@ RING_OPS = ("all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_a
 AXIS_PHASES = {"tp": "tp", "gather": "gather", "fsdp": "fsdp_gather", "dp": "dp_sync"}
 
 
-def _issue(comm, op: str, payload_bytes: int, group) -> None:
+def _issue(comm, op: str, payload_bytes: int, group, scratch: dict | None = None) -> None:
     """Issue one collective with exactly *payload_bytes* of per-rank payload
-    (uint8 buffers, so any integer byte count is representable)."""
+    (uint8 buffers, so any integer byte count is representable).
+
+    *scratch* is an optional per-rank buffer cache: input and ``out=``
+    buffers are allocated once per (kind, size) and reused across the
+    schedule, so a replay measures the runtime's steady-state data path
+    (warm preallocated buffers, zero allocations per collective) instead of
+    the allocator.  Pass ``None`` to allocate fresh buffers per collective.
+    """
     n = group.size
     if op in ("reduce_scatter", "all_to_all") and payload_bytes % n != 0:
         raise ValueError(
@@ -94,18 +102,43 @@ def _issue(comm, op: str, payload_bytes: int, group) -> None:
             "pick shapes whose payloads split evenly or the padded-collective "
             "convention breaks exact wire parity"
         )
-    buf = np.zeros(payload_bytes, dtype=np.uint8)
+
+    def buffer(kind: str, nbytes: int) -> np.ndarray:
+        if scratch is None:
+            return np.zeros(nbytes, dtype=np.uint8)
+        key = (kind, nbytes)
+        buf = scratch.get(key)
+        if buf is None:
+            buf = scratch[key] = np.zeros(nbytes, dtype=np.uint8)
+        return buf
+
+    buf = buffer("in", payload_bytes)
+    reuse = scratch is not None
     if op == "all_reduce":
-        comm.all_reduce(buf, group=group)
+        comm.all_reduce(
+            buf, group=group, out=buffer("out", payload_bytes) if reuse else None
+        )
     elif op == "all_gather":
-        comm.all_gather(buf, group=group)
+        outs = (
+            [buffer(f"ag{i}", payload_bytes) for i in range(n)] if reuse else None
+        )
+        comm.all_gather(buf, group=group, out=outs)
     elif op == "reduce_scatter":
-        comm.reduce_scatter(buf, group=group)
+        comm.reduce_scatter(
+            buf, group=group,
+            out=buffer("rs", payload_bytes // n) if reuse else None,
+        )
     elif op == "broadcast":
         root = group.ranks[0]
-        comm.broadcast(buf if comm.rank == root else None, root=root, group=group)
+        comm.broadcast(
+            buf if comm.rank == root else None, root=root, group=group,
+            out=buffer("bc", payload_bytes) if reuse else None,
+        )
     elif op == "all_to_all":
-        comm.all_to_all(np.split(buf, n), group=group)
+        outs = (
+            [buffer(f"aa{i}", payload_bytes // n) for i in range(n)] if reuse else None
+        )
+        comm.all_to_all(np.split(buf, n), group=group, out=outs)
     else:
         raise ValueError(f"unknown ring collective {op!r}")
 
@@ -414,25 +447,90 @@ def fit_machine_wallclock(
     return fit.to_machine(base, name=name if name is not None else "host-calibrated"), fit
 
 
+def host_fingerprint() -> dict:
+    """Identity of the machine a wall-clock fit measured.
+
+    A stored spec is only as good as the host it was fitted on; these are
+    the fields whose drift invalidates it (interpreter and CPU changes move
+    the thread-rendezvous constants the fit absorbed into α/β).
+    """
+    import os
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def _meta_path(path: Path) -> Path:
+    return path.with_name(path.name + ".meta.json")
+
+
 def load_or_fit_machine(
     path,
     base: MachineSpec | None = None,
+    max_residual: float | None = None,
+    check_host: bool = True,
     **fit_kwargs,
 ) -> MachineSpec:
-    """Load a persisted host-calibrated spec, fitting and saving on a miss.
+    """Load a persisted host-calibrated spec, fitting and saving on a miss
+    — or when the stored calibration has gone **stale**.
 
     The autotuner entry point: ``search_configurations(...,
     machine=load_or_fit_machine("runs/machine.json"))`` ranks every plan
-    with this host's measured α/β instead of the paper constants, and the
-    fit only ever runs once per path.  Loading is a bitwise field
-    round-trip, so rankings computed from a loaded spec are identical to
-    rankings computed from the spec that was saved.
+    with this host's measured α/β instead of the paper constants.  Loading
+    is a bitwise field round-trip, so rankings computed from a loaded spec
+    are identical to rankings computed from the spec that was saved.
+
+    Freshness: every fit writes a ``<path>.meta.json`` sidecar carrying the
+    :func:`host_fingerprint` and the fit's relative residual.  A stored
+    spec is re-fitted (and re-saved) when ``check_host`` is on and the
+    fingerprint no longer matches this host, or when ``max_residual`` is
+    given and the **stored** residual exceeds it (the fit never explained
+    its own samples well enough to trust).  A spec with no sidecar — e.g.
+    hand-written or produced by :meth:`MachineSpec.save` directly — is
+    treated as deliberately pinned and loaded as-is.
     """
+    import json
+
     p = Path(path)
+    meta_p = _meta_path(p)
     if p.exists():
-        return MachineSpec.load(p)
-    spec, _ = fit_machine_wallclock(base=base, **fit_kwargs)
+        stale = None
+        if meta_p.exists():
+            try:
+                meta = json.loads(meta_p.read_text())
+            except (OSError, ValueError):
+                meta = {}
+            if check_host and meta.get("fingerprint") != host_fingerprint():
+                stale = "host fingerprint drifted"
+            elif (
+                max_residual is not None
+                and float(meta.get("relative_residual", 0.0)) > max_residual
+            ):
+                stale = (
+                    f"stored fit residual {meta.get('relative_residual')} "
+                    f"exceeds {max_residual}"
+                )
+        if stale is None:
+            return MachineSpec.load(p)
+    spec, fit = fit_machine_wallclock(base=base, **fit_kwargs)
     spec.save(p)
+    meta_p.write_text(
+        json.dumps(
+            {
+                "fingerprint": host_fingerprint(),
+                "relative_residual": fit.relative_residual,
+                "rms_residual": fit.rms_residual,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
     return spec
 
 
@@ -491,6 +589,7 @@ def measure_plan(
     dp_buckets: int = 4,
     compute_scale: float = 1.0,
     cap_dp_buckets: bool = True,
+    workspace: dict | None = None,
 ) -> MeasuredComm:
     """Replay one step's collective schedule through a real SPMD world.
 
@@ -526,6 +625,12 @@ def measure_plan(
     knob :func:`repro.perf.autotune.simulated_overlaps` uses to make a
     scaled-down stand-in world reproduce the *real* plan's compute/comm
     balance (overlap fractions depend on exactly that ratio).
+
+    ``workspace`` is an optional caller-held dict that carries each rank's
+    replay buffers across calls: a sweep (or a benchmark loop) that replays
+    many plans reuses warm preallocated buffers instead of first-touching
+    a fresh working set per world.  Results are unaffected — only the
+    allocator traffic changes.
     """
     from ..parallel.mesh import DeviceMesh  # runtime import: parallel pulls nn
 
@@ -545,6 +650,11 @@ def measure_plan(
             "fsdp": mesh.fsdp_group,
             "dp": mesh.dp_group,
         }
+        # Per-rank buffer cache: the replay reuses warm input/out buffers
+        # across the schedule, measuring the runtime's steady-state data
+        # path rather than the host allocator.  A caller-held *workspace*
+        # extends the reuse across worlds (sweeps, benchmark repetitions).
+        scratch: dict = {} if workspace is None else workspace.setdefault(comm.rank, {})
         if not eager:
             comm.charge_compute(fwd_seconds, phase="forward")
             for ev in events:
@@ -552,14 +662,14 @@ def measure_plan(
                     continue
                 with comm.phase_scope(AXIS_PHASES[ev.axis]):
                     for _ in range(ev.count):
-                        _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis])
+                        _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis], scratch)
             comm.charge_compute(bwd_seconds, phase="backward")
             for ev in events:
                 if ev.axis != "dp":
                     continue
                 with comm.phase_scope(AXIS_PHASES["dp"]):
                     for _ in range(ev.count):
-                        _issue(comm, ev.op, ev.payload_bytes, groups["dp"])
+                        _issue(comm, ev.op, ev.payload_bytes, groups["dp"], scratch)
             return comm.now()
 
         # --- eager (issue-queue) replay ---------------------------------
@@ -569,7 +679,7 @@ def measure_plan(
             if ev.axis in ("tp", "gather"):
                 with comm.phase_scope(AXIS_PHASES[ev.axis]):
                     for _ in range(ev.count):
-                        _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis])
+                        _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis], scratch)
         # Forward: dispatch each FSDP gather, then hide it under the next
         # slice of forward compute (the prefetch schedule).
         gathers = [
@@ -582,7 +692,7 @@ def measure_plan(
             per = fwd_seconds / len(gathers)
             for ev in gathers:
                 with comm.phase_scope(AXIS_PHASES["fsdp"]):
-                    _issue(comm, ev.op, ev.payload_bytes, groups["fsdp"])
+                    _issue(comm, ev.op, ev.payload_bytes, groups["fsdp"], scratch)
                 comm.charge_compute(per, phase="forward")
         else:
             comm.charge_compute(fwd_seconds, phase="forward")
@@ -623,7 +733,7 @@ def measure_plan(
         for axis, op, payload in issues:
             comm.charge_compute(per, phase="backward")
             with comm.phase_scope(AXIS_PHASES[axis]):
-                _issue(comm, op, payload, groups[axis])
+                _issue(comm, op, payload, groups[axis], scratch)
         # The end-of-step drain (run_spmd finalizes each rank) charges
         # whatever exposure the schedule failed to hide.
         return comm.drain_comm()

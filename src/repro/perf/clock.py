@@ -55,6 +55,7 @@ orders the reads after every write.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Collection, Sequence
 
@@ -138,11 +139,22 @@ class VirtualClock:
         self.eager_phases = frozenset(eager_phases) if eager_phases else frozenset()
         self._times: list[float] = []
         self._compute: list[list[ComputeInterval]] = []
-        # Issue-queue state: per-rank serial-channel free time, in-flight
-        # (pending) collectives, and the archive of drained/blocking ones.
+        # Issue-queue state: per-rank serial-channel free time, the in-flight
+        # (pending) collectives as a completion-ordered event heap, and the
+        # archive of drained/blocking ones.  The heap keeps drains O(log n)
+        # per event and stays correct if a future channel model (multiple
+        # NCCL-style channels, p2p sharing) makes completions non-monotone
+        # in issue order; ``_pseq`` breaks ties deterministically.
         self._chan_free: list[float] = []
-        self._pending: list[list[tuple[str, str, float, float, float]]] = []
+        self._pending: list[list[tuple[float, int, str, str, float, float]]] = []
+        self._pseq: list[int] = []
         self._comm: list[list[CommInterval]] = []
+        # Running per-(rank, phase) totals so overlap derivation reads
+        # aggregates in O(1) instead of rescanning interval lists.
+        self._compute_tot: list[dict[str, float]] = []
+        self._busy_tot: list[dict[str, float]] = []
+        self._exposed_tot: list[dict[str, float]] = []
+        self._count_tot: list[dict[str, int]] = []
 
     # -- world plumbing (called by repro.dist.runtime) ---------------------
     def bind(self, world_size: int) -> None:
@@ -152,7 +164,12 @@ class VirtualClock:
         self._compute = [[] for _ in range(n)]
         self._chan_free = [0.0] * n
         self._pending = [[] for _ in range(n)]
+        self._pseq = [0] * n
         self._comm = [[] for _ in range(n)]
+        self._compute_tot = [{} for _ in range(n)]
+        self._busy_tot = [{} for _ in range(n)]
+        self._exposed_tot = [{} for _ in range(n)]
+        self._count_tot = [{} for _ in range(n)]
 
     @property
     def world_size(self) -> int:
@@ -184,6 +201,8 @@ class VirtualClock:
         self._compute[rank].append(
             ComputeInterval(rank=rank, phase=phase, label=label, start=start, end=end)
         )
+        tot = self._compute_tot[rank]
+        tot[phase] = tot.get(phase, 0.0) + seconds
         return start, end
 
     def collective_seconds(
@@ -226,36 +245,49 @@ class VirtualClock:
         """
         self._chan_free[rank] = max(self._chan_free[rank], end)
         if self.is_eager(op, phase):
-            self._pending[rank].append((op, phase, issue, start, end))
+            # Heap-ordered channel event: settled at the next drain point in
+            # completion order, O(log n) per dispatch.
+            seq = self._pseq[rank]
+            self._pseq[rank] = seq + 1
+            heapq.heappush(self._pending[rank], (end, seq, op, phase, issue, start))
             return
-        exposed = max(0.0, end - issue)
+        self._archive(rank, op, phase, issue, start, end, max(0.0, end - issue))
+        self.sync(rank, end)
+
+    def _archive(
+        self, rank: int, op: str, phase: str, issue: float, start: float,
+        end: float, exposed: float,
+    ) -> None:
+        """Record one settled collective and fold it into the totals."""
         self._comm[rank].append(
             CommInterval(
                 rank=rank, op=op, phase=phase, issue=issue, start=start, end=end,
                 exposed=exposed,
             )
         )
-        self.sync(rank, end)
+        busy = self._busy_tot[rank]
+        busy[phase] = busy.get(phase, 0.0) + (end - start)
+        exp = self._exposed_tot[rank]
+        exp[phase] = exp.get(phase, 0.0) + exposed
+        cnt = self._count_tot[rank]
+        cnt[phase] = cnt.get(phase, 0) + 1
 
     def drain(self, rank: int) -> float:
         """Settle *rank*'s pending queue; returns the post-drain clock.
 
-        Pendings are processed in channel (issue) order — their ends are
-        monotone because the channel is serial — each charged
+        Pending events pop off the completion-ordered heap — equivalent to
+        issue order for today's single serial channel, and still correct
+        for channel models whose completions interleave — each charged
         ``max(0, end − running clock)`` exposed seconds.
         """
-        if self._pending[rank]:
+        heap = self._pending[rank]
+        if heap:
             w = self._times[rank]
-            for op, phase, issue, start, end in self._pending[rank]:
+            while heap:
+                end, _seq, op, phase, issue, start = heapq.heappop(heap)
                 exposed = max(0.0, end - w)
                 w = max(w, end)
-                self._comm[rank].append(
-                    CommInterval(
-                        rank=rank, op=op, phase=phase, issue=issue, start=start,
-                        end=end, exposed=exposed,
-                    )
-                )
-            self._pending[rank].clear()
+                self._archive(rank, op, phase, issue, start, end, exposed)
             self._times[rank] = w
         return self._times[rank]
 
@@ -286,7 +318,16 @@ class VirtualClock:
     def compute_seconds(
         self, rank: int | None = None, phase: str | None = None
     ) -> float:
-        return sum(iv.seconds for iv in self.compute_intervals(rank, phase))
+        """Total charged compute, from the running totals (O(ranks))."""
+        return self._total(self._compute_tot, rank, phase)
+
+    def _total(
+        self, tables: list[dict[str, float]], rank: int | None, phase: str | None
+    ) -> float:
+        ranks = range(len(tables)) if rank is None else (rank,)
+        if phase is None:
+            return sum(sum(tables[r].values()) for r in ranks)
+        return sum(tables[r].get(phase, 0.0) for r in ranks)
 
     def comm_intervals(
         self, rank: int | None = None, phase: str | None = None
@@ -301,14 +342,22 @@ class VirtualClock:
     def exposed_seconds(
         self, rank: int | None = None, phase: str | None = None
     ) -> float:
-        """Total communication stall (see :class:`CommInterval.exposed`)."""
-        return sum(iv.exposed for iv in self.comm_intervals(rank, phase))
+        """Total communication stall (see :class:`CommInterval.exposed`),
+        from the running totals (O(ranks))."""
+        return self._total(self._exposed_tot, rank, phase)
 
     def comm_busy_seconds(
         self, rank: int | None = None, phase: str | None = None
     ) -> float:
-        """Total channel occupancy, Σ(end − start) — the pure α–β cost."""
-        return sum(iv.seconds for iv in self.comm_intervals(rank, phase))
+        """Total channel occupancy, Σ(end − start) — the pure α–β cost —
+        from the running totals (O(ranks))."""
+        return self._total(self._busy_tot, rank, phase)
+
+    def comm_count(self, rank: int, phase: str | None = None) -> int:
+        """Number of settled collectives on *rank*'s timeline (O(1))."""
+        if phase is None:
+            return sum(self._count_tot[rank].values())
+        return self._count_tot[rank].get(phase, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -203,7 +203,15 @@ def derive_overlap(world: Any, comm_phase: str, compute_phase: str) -> OverlapRe
     if _eager_phase(clock, comm_phase) and hasattr(clock, "comm_intervals"):
         busy: dict[int, float] = {}
         exposed: dict[int, float] = {}
+        fast = hasattr(clock, "comm_count") and hasattr(clock, "comm_busy_seconds")
         for r in range(clock.world_size):
+            # Running totals when the clock maintains them (O(1) per rank);
+            # interval rescan only for duck-typed stand-ins.
+            if fast:
+                if clock.comm_count(r, comm_phase):
+                    busy[r] = clock.comm_busy_seconds(rank=r, phase=comm_phase)
+                    exposed[r] = clock.exposed_seconds(rank=r, phase=comm_phase)
+                continue
             ivs = clock.comm_intervals(rank=r, phase=comm_phase)
             if ivs:
                 busy[r] = sum(iv.seconds for iv in ivs)

@@ -17,6 +17,7 @@ Mechanism (this is what the paper's gains actually come from, §6.2):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from typing import TYPE_CHECKING
@@ -50,6 +51,7 @@ def batch_efficiency(machine: MachineSpec, micro_batch: int) -> float:
     return machine.compute_efficiency * micro_batch / (micro_batch + BATCH_EFF_HALF)
 
 
+@functools.lru_cache(maxsize=4096)
 def max_batch_per_replica(
     model: ModelConfig,
     channels: int,
@@ -59,7 +61,14 @@ def max_batch_per_replica(
     limit: int = MICRO_BATCH_CAP,
 ) -> int:
     """Largest micro-batch that still fits per GPU (0 ⇒ plan infeasible) —
-    the lever Hybrid D-CHAG uses to raise TFLOPs/sec in §6.2."""
+    the lever Hybrid D-CHAG uses to raise TFLOPs/sec in §6.2.
+
+    Memoized (every argument is a frozen dataclass): the configuration
+    search asks for the same (model, plan, machine) fit both when
+    enumerating candidates and inside every throughput evaluation, and the
+    memory-model binary search is the search's single hottest analytic
+    call.
+    """
     lo = 0
     hi = 1
     while hi <= limit and estimate_memory(

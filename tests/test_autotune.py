@@ -193,3 +193,66 @@ class TestGoldenRanking:
             )
         ]
         assert again == derived_ranking
+
+
+class TestPrunedSearch:
+    """Bound-based pruning (`prune_top_k`) must return the exhaustive
+    search's top-k exactly while consulting the per-plan oracle for only a
+    handful of candidates (the §6.2 sweep stops paying a full eager world
+    per mid-table plan)."""
+
+    ARGS = (named_model("7B"), 500, 1024, M, 4096)
+
+    @pytest.fixture(scope="class")
+    def exhaustive(self):
+        oracle = simulated_overlaps(M, named_model("7B"), 500)
+        return search_configurations(*self.ARGS, overlaps=oracle)
+
+    @pytest.fixture(scope="class")
+    def pruned(self):
+        oracle = simulated_overlaps(M, named_model("7B"), 500)
+        return search_configurations(*self.ARGS, overlaps=oracle, prune_top_k=3)
+
+    def test_top_k_identical_to_exhaustive(self, exhaustive, pruned):
+        assert [(t.plan.label, t.micro_batch, t.total_tflops) for t in pruned[:3]] == [
+            (t.plan.label, t.micro_batch, t.total_tflops) for t in exhaustive[:3]
+        ]
+
+    def test_same_candidate_set(self, exhaustive, pruned):
+        assert sorted(t.plan.label for t in pruned) == sorted(
+            t.plan.label for t in exhaustive
+        )
+
+    def test_only_a_handful_of_candidates_simulated(self, pruned):
+        simulated = [t for t in pruned if t.overlaps is not None]
+        assert simulated, "the contenders must still carry derived overlaps"
+        assert len(simulated) < len(pruned) // 4, (
+            "pruning must skip the oracle for the mid-table bulk "
+            f"(simulated {len(simulated)} of {len(pruned)})"
+        )
+
+    def test_oracle_consulted_only_for_contenders(self):
+        calls: list[str] = []
+        real = simulated_overlaps(M, named_model("7B"), 500)
+
+        def counting_oracle(plan, micro):
+            calls.append(plan.label)
+            return real(plan, micro)
+
+        results = search_configurations(
+            *self.ARGS, overlaps=counting_oracle, prune_top_k=3
+        )
+        assert len(calls) < len(results) // 2, "mid-table plans must skip the oracle"
+        top3 = {t.plan.label for t in results[:3]}
+        assert top3 <= set(calls), "every podium plan must have been simulated"
+
+    def test_prune_ignored_for_non_callable_overlaps(self):
+        plain = search_configurations(*self.ARGS)
+        pruned = search_configurations(*self.ARGS, prune_top_k=3)
+        assert [(t.plan.label, t.total_tflops) for t in plain] == [
+            (t.plan.label, t.total_tflops) for t in pruned
+        ]
+
+    def test_winner_matches_best_configuration(self, pruned):
+        best = best_configuration(*self.ARGS)
+        assert pruned[0].plan == best.plan

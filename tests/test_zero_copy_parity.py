@@ -1,0 +1,297 @@
+"""Property tests: the zero-copy collective fast paths are bitwise-faithful.
+
+PR 5 reworked the runtime's data path — contributions are no longer
+snapshotted (peers stay blocked while the reduction runs), reductions write
+``np.add(..., out=)`` into per-slot scratch, big AllGathers copy parts
+straight from live peer buffers under an exit barrier, and ``out=``
+parameters reuse preallocated result buffers.  None of that may change a
+single bit: every collective must equal the reference rank-ordered
+computation (the same left-to-right pairwise order the reference copy path
+used), private results must stay private (mutating one rank's output never
+leaks to another rank or a later collective), and the charged wire bytes
+must stay exactly :func:`repro.dist.ring_wire_bytes`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist import ring_wire_bytes, run_spmd_world
+from repro.dist.runtime import _GATHER_BARRIER_MIN, split_sizes
+
+WORLD_SIZES = (2, 4, 8)
+REDUCE_OPS = ("sum", "mean", "max", "min")
+
+
+def _contribs(n: int, length: int, dtype, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.floating):
+        # Full-precision noise: float associativity differences would show.
+        return [rng.standard_normal(length).astype(dtype) * 3.7 for _ in range(n)]
+    return [rng.integers(-1000, 1000, size=length).astype(dtype) for _ in range(n)]
+
+
+def _reference_reduce(contribs: list[np.ndarray], op: str) -> np.ndarray:
+    """Group-rank-ordered pairwise reduction — the determinism contract."""
+    out = contribs[0].copy()
+    for a in contribs[1:]:
+        if op in ("sum", "mean"):
+            out += a
+        elif op == "max":
+            np.maximum(out, a, out=out)
+        elif op == "min":
+            np.minimum(out, a, out=out)
+    if op == "mean":
+        out /= len(contribs)
+    return out
+
+
+def _wire_ok(world, op: str, payload: int, n: int, issues: int = 1) -> bool:
+    return world.traffic.wire_bytes(op=op, rank=0) == issues * ring_wire_bytes(
+        op, payload, n
+    )
+
+
+common = settings(max_examples=12, deadline=None)
+
+
+class TestReduceParity:
+    @common
+    @given(
+        n=st.sampled_from(WORLD_SIZES),
+        length=st.integers(1, 97),
+        dtype=st.sampled_from([np.float32, np.float64, np.int64]),
+        op=st.sampled_from(REDUCE_OPS),
+        use_out=st.booleans(),
+        seed=st.integers(0, 2**31),
+    )
+    def test_all_reduce_bitwise(self, n, length, dtype, op, use_out, seed):
+        if op == "mean" and not np.issubdtype(np.dtype(dtype), np.floating):
+            return
+        contribs = _contribs(n, length, dtype, seed)
+        expect = _reference_reduce(contribs, op)
+
+        def fn(comm):
+            mine = contribs[comm.rank]
+            out = np.empty_like(mine) if use_out else None
+            res = comm.all_reduce(mine, op=op, out=out)
+            if use_out:
+                assert res is out
+            got = res.copy()
+            res[...] = 0  # mutating my private result must not leak
+            again = comm.all_reduce(mine, op=op)
+            return got, again
+
+        results, world = run_spmd_world(fn, n)
+        for got, again in results:
+            assert got.dtype == expect.dtype
+            assert np.array_equal(got, expect), "fast path diverged from reference"
+            assert np.array_equal(again, expect), "result mutation leaked"
+        assert _wire_ok(world, "all_reduce", expect.nbytes, n, issues=2)
+
+    @common
+    @given(
+        n=st.sampled_from(WORLD_SIZES),
+        length=st.integers(1, 61),
+        op=st.sampled_from(REDUCE_OPS),
+        uneven=st.booleans(),
+        use_out=st.booleans(),
+        seed=st.integers(0, 2**31),
+    )
+    def test_reduce_scatter_bitwise(self, n, length, op, uneven, use_out, seed):
+        # uneven=True keeps the raw length (remainder convention / padded
+        # collective); uneven=False rounds up to an even split.
+        if not uneven:
+            length += (-length) % n
+        contribs = _contribs(n, length, np.float64, seed)
+        full = _reference_reduce(contribs, op)
+        sizes = split_sizes(length, n)
+
+        def fn(comm):
+            mine = contribs[comm.rank]
+            out = (
+                np.empty(sizes[comm.rank], dtype=mine.dtype) if use_out else None
+            )
+            res = comm.reduce_scatter(mine, op=op, out=out)
+            if use_out:
+                assert res is out
+            return res.copy()
+
+        results, world = run_spmd_world(fn, n)
+        lo = 0
+        for r, shard in enumerate(results):
+            assert np.array_equal(shard, full[lo : lo + sizes[r]])
+            lo += sizes[r]
+        # Padded-collective accounting: the ring moves max(chunk)·n elements.
+        padded = max(sizes) * n * full.itemsize
+        assert _wire_ok(world, "reduce_scatter", padded, n)
+
+
+class TestGatherParity:
+    @common
+    @given(
+        n=st.sampled_from(WORLD_SIZES),
+        length=st.integers(1, 73),
+        dtype=st.sampled_from([np.float32, np.int64]),
+        use_out=st.booleans(),
+        seed=st.integers(0, 2**31),
+    )
+    def test_all_gather_small_bitwise(self, n, length, dtype, use_out, seed):
+        contribs = _contribs(n, length, dtype, seed)
+
+        def fn(comm):
+            outs = (
+                [np.empty_like(contribs[i]) for i in range(n)] if use_out else None
+            )
+            parts = comm.all_gather(contribs[comm.rank], out=outs)
+            got = [p.copy() for p in parts]
+            for p in parts:  # mutate every private part
+                p[...] = 0
+            again = comm.all_gather(contribs[comm.rank])
+            return got, again
+
+        results, world = run_spmd_world(fn, n)
+        for got, again in results:
+            for i in range(n):
+                assert np.array_equal(got[i], contribs[i])
+                assert np.array_equal(again[i], contribs[i]), "mutation leaked"
+        assert _wire_ok(world, "all_gather", contribs[0].nbytes, n, issues=2)
+
+    @pytest.mark.parametrize("n", WORLD_SIZES)
+    @pytest.mark.parametrize("use_out", [False, True])
+    def test_all_gather_exit_barrier_path(self, n, use_out):
+        """Payloads ≥ _GATHER_BARRIER_MIN take the live-copy exit-barrier
+        path; results must be identical to the snapshot path's."""
+        length = _GATHER_BARRIER_MIN // 4 + 3  # float32 ⇒ just above the gate
+        contribs = _contribs(n, length, np.float32, seed=1234)
+        orig = [c.copy() for c in contribs]
+
+        def fn(comm):
+            mine = contribs[comm.rank]
+            assert mine.nbytes >= _GATHER_BARRIER_MIN
+            outs = [np.empty_like(contribs[i]) for i in range(n)] if use_out else None
+            parts = comm.all_gather(mine, out=outs)
+            got = [p.copy() for p in parts]
+            # Mutate the INPUT right after return: the exit barrier must
+            # have sequenced every peer's copy before we got here.
+            mine[...] = -1.0
+            return got
+
+        results, world = run_spmd_world(fn, n)
+        for got in results:
+            for i in range(n):
+                assert np.array_equal(got[i], orig[i])
+        assert _wire_ok(world, "all_gather", orig[0].nbytes, n)
+
+    @pytest.mark.parametrize("use_out", [False, True])
+    def test_all_gather_mixed_votes_straddling_the_gate(self, use_out):
+        """Uneven shards straddling ``_GATHER_BARRIER_MIN`` (or out= on only
+        some ranks) split the barrier vote; the group must unanimously fall
+        back to snapshot mode — never mix the two wake protocols (the
+        pre-fix behavior deadlocked or aliased live buffers here)."""
+        big = _GATHER_BARRIER_MIN // 4 + 7   # float32: above the gate
+        small = 64                            # far below it
+        lengths = [big, small, big, small]
+        contribs = [
+            np.full(lengths[r], float(r + 1), dtype=np.float32) for r in range(4)
+        ]
+        orig = [c.copy() for c in contribs]
+
+        def fn(comm):
+            mine = contribs[comm.rank]
+            outs = None
+            if use_out and comm.rank % 2 == 0:  # out= on only some ranks
+                outs = [np.empty(lengths[i], dtype=np.float32) for i in range(4)]
+            parts = comm.all_gather(mine, out=outs)
+            got = [p.copy() for p in parts]
+            mine[...] = -7.0  # mutation after return must not leak to peers
+            return got
+
+        results, _ = run_spmd_world(fn, 4, timeout=30.0)
+        for got in results:
+            for i in range(4):
+                assert np.array_equal(got[i], orig[i])
+
+    @common
+    @given(
+        n=st.sampled_from(WORLD_SIZES),
+        length=st.integers(1, 40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_broadcast_and_all_to_all_bitwise(self, n, length, seed):
+        contribs = _contribs(n, length * n, np.float64, seed)
+
+        def fn(comm):
+            got_b = comm.broadcast(
+                contribs[0] if comm.rank == 0 else None, root=0
+            ).copy()
+            sends = np.split(contribs[comm.rank], n)
+            got_a = [c.copy() for c in comm.all_to_all(sends)]
+            return got_b, got_a
+
+        results, world = run_spmd_world(fn, n)
+        for rank, (got_b, got_a) in enumerate(results):
+            assert np.array_equal(got_b, contribs[0])
+            for i in range(n):
+                expect = np.split(contribs[i], n)[rank]
+                assert np.array_equal(got_a[i], expect)
+        assert _wire_ok(world, "broadcast", contribs[0].nbytes, n)
+        assert _wire_ok(world, "all_to_all", contribs[0].nbytes, n)
+
+    @common
+    @given(
+        n=st.sampled_from(WORLD_SIZES),
+        length=st.integers(1, 40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_gather_scatter_bitwise(self, n, length, seed):
+        contribs = _contribs(n, length * n, np.float32, seed)
+
+        def fn(comm):
+            chunks = np.split(contribs[0], n) if comm.rank == 0 else None
+            got_s = comm.scatter(chunks, root=0).copy()
+            gathered = comm.gather(contribs[comm.rank], root=0)
+            return got_s, None if gathered is None else [p.copy() for p in gathered]
+
+        results, _ = run_spmd_world(fn, n)
+        for rank, (got_s, gathered) in enumerate(results):
+            assert np.array_equal(got_s, np.split(contribs[0], n)[rank])
+            if rank == 0:
+                for i in range(n):
+                    assert np.array_equal(gathered[i], contribs[i])
+            else:
+                assert gathered is None
+
+
+class TestOutBufferValidation:
+    def test_mismatched_out_rejected(self):
+        from repro.dist import SpmdError
+
+        def fn(comm):
+            comm.all_reduce(np.ones(4), out=np.empty(5))
+
+        with pytest.raises(SpmdError):
+            run_spmd_world(fn, 2)
+
+    def test_all_gather_out_aliasing_input_rejected(self):
+        from repro.dist import SpmdError
+
+        def fn(comm):
+            mine = np.ones(8, dtype=np.float32)
+            outs = [mine, np.empty_like(mine)]  # peer slot aliases my input
+            comm.all_gather(mine, out=outs if comm.rank == 1 else None)
+
+        with pytest.raises(SpmdError):
+            run_spmd_world(fn, 2)
+
+    def test_all_reduce_out_may_alias_input(self):
+        def fn(comm):
+            mine = np.full(16, float(comm.rank + 1))
+            res = comm.all_reduce(mine, out=mine)
+            return res.copy()
+
+        results, _ = run_spmd_world(fn, 2)
+        for got in results:
+            assert np.array_equal(got, np.full(16, 3.0))
