@@ -17,6 +17,12 @@ Times the three hot layers every figure and autotuner sweep runs through —
   (7B / 500 channels / 1,024 GCDs, cold per-plan oracle) with bound-based
   pruning (``prune_top_k=3``), the autotuner's end-to-end cost: the time
   to produce the §6.2 podium with per-plan simulated overlaps.
+* ``captured_replay`` — 100 training steps advanced through a captured
+  8-rank schedule as pure event arithmetic
+  (:func:`repro.perf.schedule.replay`): no threads, no numpy payloads, no
+  rendezvous.  The result also records ``live_seconds`` (one threaded
+  100-step world) and ``speedup_vs_live`` — the replay engine's raison
+  d'être, expected well above 10×.
 
 Results are written as JSON (default ``BENCH_runtime.json`` at the repo
 root).  The file keeps two snapshots: ``baseline`` (the pre-optimization
@@ -46,6 +52,7 @@ from repro.perf.clock import VirtualClock
 from repro.perf.modelcfg import ModelConfig
 from repro.perf.overlap import OVERLAP_PHASES
 from repro.perf.plan import ParallelPlan, Workload
+from repro.perf.schedule import replay
 
 MACHINE = frontier()
 
@@ -64,6 +71,10 @@ SEARCH_TOP_K = 3
 
 #: Steady-state replay buffers, shared across benchmark repetitions.
 _WORKSPACES: dict = {}
+
+#: Steps the captured-replay benchmark advances per run (and the live
+#: threaded run it is compared against).
+REPLAY_STEPS = 100
 
 
 def bench_step_replay(plan: ParallelPlan) -> None:
@@ -128,12 +139,19 @@ def _time(fn, repeats: int, warmup: int = 1) -> dict:
 
 def run_suite(smoke: bool) -> dict:
     repeats = 3 if smoke else 7
+    # Capture the 8-rank schedule once (untimed): the benchmark measures the
+    # replay engine, not the one-off threaded recording.
+    captured = measure_plan(
+        REPLAY_MODEL, REPLAY_WORKLOAD, PLAN_8, MACHINE, eager=True,
+        workspace=_WORKSPACES.setdefault(PLAN_8.label, {}), capture=True,
+    ).schedule
     suite = {
         "step_replay_8": lambda: bench_step_replay(PLAN_8),
         "step_replay_32": lambda: bench_step_replay(PLAN_32),
         "collective_churn": bench_collective_churn,
         "eager_drain": bench_eager_drain,
         "sec62_search": bench_sec62_search,
+        "captured_replay": lambda: replay(captured, MACHINE, n_steps=REPLAY_STEPS),
     }
     results = {}
     for name, fn in suite.items():
@@ -141,6 +159,22 @@ def run_suite(smoke: bool) -> dict:
         results[name] = _time(fn, r)
         print(f"{name:<18} {results[name]['seconds'] * 1e3:9.2f} ms  "
               f"(min {results[name]['min_seconds'] * 1e3:.2f} ms, {r} runs)")
+    # One live threaded run of the same step count, timed once: the
+    # yardstick for the replay engine's speedup (not a tracked benchmark —
+    # it is exactly REPLAY_STEPS x step_replay_8's inner loop).
+    t0 = time.perf_counter()
+    measure_plan(
+        REPLAY_MODEL, REPLAY_WORKLOAD, PLAN_8, MACHINE, eager=True,
+        workspace=_WORKSPACES.setdefault(PLAN_8.label, {}),
+        n_steps=REPLAY_STEPS,
+    )
+    live = time.perf_counter() - t0
+    cr = results["captured_replay"]
+    cr["replay_steps"] = REPLAY_STEPS
+    cr["live_seconds"] = live
+    cr["speedup_vs_live"] = round(live / cr["seconds"], 2)
+    print(f"{'captured_replay':<18} {cr['speedup_vs_live']:9.2f}x vs live "
+          f"({live * 1e3:.2f} ms threaded for {REPLAY_STEPS} steps)")
     return results
 
 

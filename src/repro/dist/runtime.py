@@ -538,6 +538,13 @@ class Communicator:
         clock = self.world.clock
         op = signature[0]
         if clock is not None:
+            # Schedule capture: record the issue at this rank's program
+            # position (before any clock state moves) so a replay can
+            # re-drive the very same arrival/complete protocol.
+            if getattr(clock, "capturing", False):
+                clock.capture_collective(
+                    self.rank, op, self.phase, payload_bytes, group.ranks
+                )
             # The arrival bid feeds the group-wide start maximum.  Issue-
             # queue clocks distinguish it from the rank's compute clock
             # (channel-free time for eager dispatch; blocking ops drain the
@@ -763,6 +770,8 @@ class Communicator:
         clock = self.world.clock
         if clock is None:
             return -1.0
+        if getattr(clock, "capturing", False):
+            clock.capture_drain(self.rank)
         if hasattr(clock, "drain"):
             return clock.drain(self.rank)
         return clock.now(self.rank)
@@ -1198,6 +1207,8 @@ class Communicator:
         clock = self.world.clock
         vstart = vend = -1.0
         if clock is not None:
+            if getattr(clock, "capturing", False):
+                clock.capture_send(self.rank, arr.nbytes, dst, int(tag))
             vstart = clock.now(self.rank)
             vend = vstart + clock.p2p_seconds(arr.nbytes, self.rank, dst)
             clock.sync(self.rank, vend)
@@ -1211,6 +1222,9 @@ class Communicator:
         """Block until a message with this (src, tag) arrives."""
         if not 0 <= src < self.size:
             raise SpmdError(f"recv src {src} out of range for world of size {self.size}")
+        clock = self.world.clock
+        if clock is not None and getattr(clock, "capturing", False):
+            clock.capture_recv(self.rank, src, int(tag))
         key = (src, self.rank, int(tag))
         with self.world._mail_cond:
             while True:

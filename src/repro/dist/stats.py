@@ -99,11 +99,17 @@ class TrafficRecord:
 
 @dataclass(frozen=True)
 class TrafficTotals:
-    """Single-pass aggregate of one (op, phase, rank) bucket of records."""
+    """Single-pass aggregate of one (op, phase, rank) bucket of records.
+
+    ``vseconds`` sums the virtual collective wall-time ``vend − vstart``
+    over the bucket's clock-stamped records (``vstart >= 0``); it stays 0
+    for worlds run without a virtual clock.
+    """
 
     count: int = 0
     payload_bytes: int = 0
     wire_bytes: int = 0
+    vseconds: float = 0.0
 
 
 class TrafficWriter:
@@ -196,9 +202,9 @@ class TrafficLog:
     def __init__(self, timeline: bool = False) -> None:
         self._lock = threading.Lock()
         self._records: list[TrafficRecord] = []
-        # (op, phase, rank) -> (count, payload_bytes, wire_bytes), tuples
-        # replaced atomically so readers need no lock.
-        self._buckets: dict[tuple[str, str, int], tuple[int, int, int]] = {}
+        # (op, phase, rank) -> (count, payload_bytes, wire_bytes, vseconds),
+        # tuples replaced atomically so readers need no lock.
+        self._buckets: dict[tuple[str, str, int], tuple[int, int, int, float]] = {}
         self._writers: list[TrafficWriter] = []
         self.timeline = bool(timeline)
 
@@ -216,8 +222,11 @@ class TrafficLog:
             )
         self._records.append(record)
         key = (record.op, record.phase, record.rank)
-        c, p, w = self._buckets.get(key, (0, 0, 0))
-        self._buckets[key] = (c + 1, p + record.payload_bytes, w + record.wire_bytes)
+        c, p, w, v = self._buckets.get(key, (0, 0, 0, 0.0))
+        vs = (record.vend - record.vstart) if record.vstart >= 0.0 else 0.0
+        self._buckets[key] = (
+            c + 1, p + record.payload_bytes, w + record.wire_bytes, v + vs
+        )
 
     def add(self, record: TrafficRecord) -> None:
         with self._lock:
@@ -291,7 +300,8 @@ class TrafficLog:
         may briefly observe up to one flush batch fewer per rank.
         """
         count = payload = wire = 0
-        for (b_op, b_phase, b_rank), (c, p, w) in self._buckets.copy().items():
+        vseconds = 0.0
+        for (b_op, b_phase, b_rank), (c, p, w, v) in self._buckets.copy().items():
             if (
                 (op is None or b_op == op)
                 and (phase is None or b_phase == phase)
@@ -300,6 +310,7 @@ class TrafficLog:
                 count += c
                 payload += p
                 wire += w
+                vseconds += v
         for r in self._pending_records():
             if (
                 (op is None or r.op == op)
@@ -309,7 +320,11 @@ class TrafficLog:
                 count += 1
                 payload += r.payload_bytes
                 wire += r.wire_bytes
-        return TrafficTotals(count=count, payload_bytes=payload, wire_bytes=wire)
+                if r.vstart >= 0.0:
+                    vseconds += r.vend - r.vstart
+        return TrafficTotals(
+            count=count, payload_bytes=payload, wire_bytes=wire, vseconds=vseconds
+        )
 
     def count(self, op: str | None = None, phase: str | None = None, rank: int | None = None) -> int:
         return self.totals(op, phase, rank).count
@@ -326,7 +341,7 @@ class TrafficLog:
 
     def ops_histogram(self, rank: int | None = None) -> dict[str, int]:
         hist: dict[str, int] = {}
-        for (b_op, _b_phase, b_rank), (c, _p, _w) in self._buckets.copy().items():
+        for (b_op, _b_phase, b_rank), (c, _p, _w, _v) in self._buckets.copy().items():
             if rank is None or b_rank == rank:
                 hist[b_op] = hist.get(b_op, 0) + c
         for r in self._pending_records():

@@ -35,6 +35,13 @@ from .overlap import (
 from .memory_model import MemoryBreakdown, estimate_memory
 from .modelcfg import MODEL_ZOO, ModelConfig, named_model, transformer_param_count
 from .plan import ParallelPlan, Precision, Workload
+from .schedule import (
+    CapturedSchedule,
+    ReplayResult,
+    ScheduleEvent,
+    ScheduleReplayError,
+    replay,
+)
 from .throughput import (
     StepEstimate,
     batch_efficiency,
@@ -83,6 +90,11 @@ __all__ = [
     "derive_overlap",
     "derive_overlaps",
     "simulated_overlaps",
+    "CapturedSchedule",
+    "ScheduleEvent",
+    "ScheduleReplayError",
+    "ReplayResult",
+    "replay",
     "StepEstimate",
     "estimate_step",
     "throughput_gain",

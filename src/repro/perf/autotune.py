@@ -158,12 +158,20 @@ def search_configurations(
     intra_node_tp: bool = True,
     overlaps: OverlapSource = None,
     prune_top_k: int | None = None,
+    replay: bool = False,
 ) -> list[TunedPlan]:
     """All feasible plans for the budget, best throughput first.
 
     ``overlaps`` selects the dp/fsdp hidden fractions the ranking uses
     (module docstring); each returned :class:`TunedPlan` records the pair
     applied to it.
+
+    ``replay=True`` (with ``overlaps=None``) ranks with the captured-
+    schedule replay oracle: one threaded stand-in world is recorded per
+    schedule shape and every further candidate is priced by replaying that
+    schedule as pure event arithmetic (see :func:`simulated_overlaps`) —
+    the cheap way to run a measured-overlap sweep.  Ignored when an
+    explicit ``overlaps`` source is passed.
 
     ``prune_top_k`` (with a *callable* ``overlaps``) turns on bound-based
     pruning: candidates are visited in descending order of their analytic
@@ -177,6 +185,8 @@ def search_configurations(
     ``overlaps=None`` recorded.  ``None`` (default) keeps the exhaustive
     behavior, consulting the oracle for every candidate.
     """
+    if replay and overlaps is None:
+        overlaps = simulated_overlaps(machine, model, channels, precision, replay=True)
     candidates = _enumerate_candidates(
         model, channels, total_gpus, machine, global_batch,
         strategies, precision, intra_node_tp,
@@ -354,6 +364,7 @@ def simulated_overlaps(
     channels: int,
     precision: Precision = Precision(),
     dp_buckets: int = 4,
+    replay: bool = False,
 ) -> Callable[[ParallelPlan, int], "DerivedOverlaps | None"]:
     """Build a per-plan overlap oracle for ``search_configurations``.
 
@@ -365,10 +376,22 @@ def simulated_overlaps(
     stand-in shape, so a 1,024-GPU sweep costs a handful of ≤8-rank
     simulations.  Plans with neither a DP nor an FSDP axis return ``None``
     (nothing to overlap — the constants are irrelevant there anyway).
+
+    ``replay=True`` spins up **one** threaded world per stand-in *shape*
+    (schedule structure = plan shape × bucket count), capturing its event
+    schedule; every further cache miss replays that captured schedule as
+    pure event arithmetic (:func:`repro.perf.schedule.replay`) with the
+    candidate's node placement and compute scale — no extra threads, no
+    numpy payloads.  The replayed fractions can differ from the threaded
+    oracle's in the last float bits (the compute scale multiplies captured
+    charges instead of pre-scaled ones), so rankings agree at podium level,
+    not bitwise.
     """
     from .calibrate import measure_plan  # runtime import: calibrate pulls dist
+    from .schedule import replay as replay_schedule
 
     cache: dict[tuple, "DerivedOverlaps"] = {}
+    schedules: dict[tuple, object] = {}  # captured per stand-in shape
     workspace: dict = {}  # warm replay buffers shared by every simulation
 
     def oracle(plan: ParallelPlan, micro: int) -> "DerivedOverlaps | None":
@@ -390,18 +413,42 @@ def simulated_overlaps(
             scale = 10.0 ** round(math.log10(scale), 1)
         key = (sim.label, sim_mach.gpus_per_node, buckets, scale)
         if key not in cache:
-            m = measure_plan(
-                _SIM_MODEL,
-                Workload(_SIM_CHANNELS, _SIM_BATCH),
-                sim,
-                sim_mach,
-                eager=True,
-                dp_buckets=buckets,
-                compute_scale=scale,
-                cap_dp_buckets=False,
-                workspace=workspace,
-            )
-            cache[key] = m.overlaps
+            if replay:
+                # Capture once per schedule shape (the node placement and
+                # the compute scale do not change the event structure, only
+                # its pricing — exactly what replay re-derives).
+                skey = (sim.label, buckets)
+                sched = schedules.get(skey)
+                if sched is None:
+                    cap = measure_plan(
+                        _SIM_MODEL,
+                        Workload(_SIM_CHANNELS, _SIM_BATCH),
+                        sim,
+                        machine,
+                        eager=True,
+                        dp_buckets=buckets,
+                        compute_scale=1.0,
+                        cap_dp_buckets=False,
+                        workspace=workspace,
+                        capture=True,
+                    )
+                    sched = schedules[skey] = cap.schedule
+                cache[key] = replay_schedule(
+                    sched, machine=sim_mach, compute_scale=scale
+                ).overlaps()
+            else:
+                m = measure_plan(
+                    _SIM_MODEL,
+                    Workload(_SIM_CHANNELS, _SIM_BATCH),
+                    sim,
+                    sim_mach,
+                    eager=True,
+                    dp_buckets=buckets,
+                    compute_scale=scale,
+                    cap_dp_buckets=False,
+                    workspace=workspace,
+                )
+                cache[key] = m.overlaps
         return cache[key]
 
     return oracle

@@ -540,12 +540,15 @@ class MeasuredComm:
 
     plan: ParallelPlan
     world_size: int
-    wire: dict[str, int]          # per-rank measured wire bytes by axis
-    seconds: dict[str, float]     # per-rank measured collective seconds by axis
-    step_seconds: float           # virtual makespan (compute + exposed comm)
+    wire: dict[str, int]          # per-rank measured wire bytes by axis, per step
+    seconds: dict[str, float]     # per-rank measured collective seconds by axis, per step
+    step_seconds: float           # virtual makespan per step (compute + exposed comm)
     overlaps: DerivedOverlaps
     predicted: CommBreakdown      # analytic, overlap 0 (raw comm)
     eager: bool = False           # issue-queue replay (overlaps are measured)
+    n_steps: int = 1              # steps the world actually ran
+    rank_times: tuple[float, ...] = ()  # final per-rank virtual clocks (whole run)
+    schedule: object | None = None  # CapturedSchedule when capture=True
 
     @property
     def comm_seconds(self) -> float:
@@ -590,6 +593,8 @@ def measure_plan(
     compute_scale: float = 1.0,
     cap_dp_buckets: bool = True,
     workspace: dict | None = None,
+    n_steps: int = 1,
+    capture: bool = False,
 ) -> MeasuredComm:
     """Replay one step's collective schedule through a real SPMD world.
 
@@ -631,16 +636,29 @@ def measure_plan(
     many plans reuses warm preallocated buffers instead of first-touching
     a fresh working set per world.  Results are unaffected — only the
     allocator traffic changes.
+
+    ``n_steps`` repeats the step body that many times in one world (the
+    reported ``wire``/``seconds``/``step_seconds`` stay **per step**;
+    ``rank_times`` carries the whole run's final per-rank clocks).
+    ``capture=True`` records the run on a schedule-capturing clock and
+    attaches the lowered :class:`~repro.perf.schedule.CapturedSchedule` —
+    the entry point of the record → replay pipeline (capture one step,
+    then :func:`repro.perf.schedule.replay` advances it arbitrarily many
+    steps as pure event arithmetic).
     """
     from ..parallel.mesh import DeviceMesh  # runtime import: parallel pulls nn
 
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
     machine = machine if machine is not None else frontier()
     events = step_comm_schedule(model, workload, plan, precision)
     own = TRAIN_MULT * estimate_flops(model, workload, plan).total
     compute = own / (machine.peak_flops * batch_efficiency(machine, workload.batch))
     compute *= float(compute_scale)
     fwd_seconds, bwd_seconds = compute / 3.0, 2.0 * compute / 3.0
-    clock = VirtualClock(machine, eager_phases=OVERLAP_PHASES if eager else None)
+    clock = VirtualClock(
+        machine, eager_phases=OVERLAP_PHASES if eager else None, capture=capture
+    )
 
     def fn(comm):
         mesh = DeviceMesh(comm, tp=plan.tp, fsdp=plan.fsdp, dp=plan.dp)
@@ -655,7 +673,8 @@ def measure_plan(
         # path rather than the host allocator.  A caller-held *workspace*
         # extends the reuse across worlds (sweeps, benchmark repetitions).
         scratch: dict = {} if workspace is None else workspace.setdefault(comm.rank, {})
-        if not eager:
+
+        def blocking_step():
             comm.charge_compute(fwd_seconds, phase="forward")
             for ev in events:
                 if ev.axis == "dp":
@@ -670,83 +689,89 @@ def measure_plan(
                 with comm.phase_scope(AXIS_PHASES["dp"]):
                     for _ in range(ev.count):
                         _issue(comm, ev.op, ev.payload_bytes, groups["dp"], scratch)
-            return comm.now()
 
-        # --- eager (issue-queue) replay ---------------------------------
-        # Critical-path collectives first: TP AllReduces and the channel
-        # gather block exactly as in a Megatron-style implementation.
-        for ev in events:
-            if ev.axis in ("tp", "gather"):
-                with comm.phase_scope(AXIS_PHASES[ev.axis]):
+        def eager_step():
+            # Critical-path collectives first: TP AllReduces and the channel
+            # gather block exactly as in a Megatron-style implementation.
+            for ev in events:
+                if ev.axis in ("tp", "gather"):
+                    with comm.phase_scope(AXIS_PHASES[ev.axis]):
+                        for _ in range(ev.count):
+                            _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis], scratch)
+            # Forward: dispatch each FSDP gather, then hide it under the next
+            # slice of forward compute (the prefetch schedule).
+            gathers = [
+                ev
+                for ev in events
+                if ev.axis == "fsdp" and ev.op == "all_gather"
+                for _ in range(ev.count)
+            ]
+            if gathers:
+                per = fwd_seconds / len(gathers)
+                for ev in gathers:
+                    with comm.phase_scope(AXIS_PHASES["fsdp"]):
+                        _issue(comm, ev.op, ev.payload_bytes, groups["fsdp"], scratch)
+                    comm.charge_compute(per, phase="forward")
+            else:
+                comm.charge_compute(fwd_seconds, phase="forward")
+            # Backward: each gradient collective is ready only after its slice
+            # of backward compute — charge first, then dispatch (bucketed DDP).
+            issues: list[tuple[str, str, int]] = []
+            for ev in events:
+                if ev.axis == "fsdp" and ev.op != "all_gather":
+                    issues.extend(("fsdp", ev.op, ev.payload_bytes) for _ in range(ev.count))
+                elif ev.axis == "dp":
                     for _ in range(ev.count):
-                        _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis], scratch)
-        # Forward: dispatch each FSDP gather, then hide it under the next
-        # slice of forward compute (the prefetch schedule).
-        gathers = [
-            ev
-            for ev in events
-            if ev.axis == "fsdp" and ev.op == "all_gather"
-            for _ in range(ev.count)
-        ]
-        if gathers:
-            per = fwd_seconds / len(gathers)
-            for ev in gathers:
-                with comm.phase_scope(AXIS_PHASES["fsdp"]):
-                    _issue(comm, ev.op, ev.payload_bytes, groups["fsdp"], scratch)
-                comm.charge_compute(per, phase="forward")
-        else:
-            comm.charge_compute(fwd_seconds, phase="forward")
-        # Backward: each gradient collective is ready only after its slice
-        # of backward compute — charge first, then dispatch (bucketed DDP).
-        issues: list[tuple[str, str, int]] = []
-        for ev in events:
-            if ev.axis == "fsdp" and ev.op != "all_gather":
-                issues.extend(("fsdp", ev.op, ev.payload_bytes) for _ in range(ev.count))
-            elif ev.axis == "dp":
-                for _ in range(ev.count):
-                    if ev.op == "all_reduce":
-                        # Callers simulating a *scaled-down* stand-in world
-                        # disable the cap and pass the bucket count the
-                        # real plan's volume/latency ratio justifies (see
-                        # ``simulated_overlaps``).
-                        cost, n = clock.cost, groups["dp"].size
-                        k = dp_buckets
-                        if cap_dp_buckets:
-                            k = cost.bucket_cap(
-                                ev.op,
-                                ev.payload_bytes,
-                                n,
-                                cost.intra_node(groups["dp"].ranks),
-                                dp_buckets,
+                        if ev.op == "all_reduce":
+                            # Callers simulating a *scaled-down* stand-in world
+                            # disable the cap and pass the bucket count the
+                            # real plan's volume/latency ratio justifies (see
+                            # ``simulated_overlaps``).
+                            cost, n = clock.cost, groups["dp"].size
+                            k = dp_buckets
+                            if cap_dp_buckets:
+                                k = cost.bucket_cap(
+                                    ev.op,
+                                    ev.payload_bytes,
+                                    n,
+                                    cost.intra_node(groups["dp"].ranks),
+                                    dp_buckets,
+                                )
+                            issues.extend(
+                                ("dp", ev.op, p)
+                                for p in _dp_bucket_payloads(
+                                    ev.payload_bytes, n, k
+                                )
                             )
-                        issues.extend(
-                            ("dp", ev.op, p)
-                            for p in _dp_bucket_payloads(
-                                ev.payload_bytes, n, k
-                            )
-                        )
-                    else:
-                        issues.append(("dp", ev.op, ev.payload_bytes))
-        per = bwd_seconds / max(1, len(issues))
-        if not issues:
-            comm.charge_compute(bwd_seconds, phase="backward")
-        for axis, op, payload in issues:
-            comm.charge_compute(per, phase="backward")
-            with comm.phase_scope(AXIS_PHASES[axis]):
-                _issue(comm, op, payload, groups[axis], scratch)
-        # The end-of-step drain (run_spmd finalizes each rank) charges
-        # whatever exposure the schedule failed to hide.
-        return comm.drain_comm()
+                        else:
+                            issues.append(("dp", ev.op, ev.payload_bytes))
+            per = bwd_seconds / max(1, len(issues))
+            if not issues:
+                comm.charge_compute(bwd_seconds, phase="backward")
+            for axis, op, payload in issues:
+                comm.charge_compute(per, phase="backward")
+                with comm.phase_scope(AXIS_PHASES[axis]):
+                    _issue(comm, op, payload, groups[axis], scratch)
+            # The end-of-step drain charges whatever exposure the schedule
+            # failed to hide (run_spmd finalizes each rank too, but the
+            # explicit drain marks the optimizer boundary inside the step —
+            # and is captured, so a replayed step settles at the same point).
+            comm.drain_comm()
+
+        step = eager_step if eager else blocking_step
+        for _ in range(n_steps):
+            step()
+        return comm.now()
 
     _, world = run_spmd_world(fn, plan.total_gpus, clock=clock, timeout=timeout)
     sizes = axis_group_sizes(plan)
     wire = {
-        axis: world.traffic.wire_bytes(phase=phase, rank=0)
+        axis: world.traffic.wire_bytes(phase=phase, rank=0) // n_steps
         for axis, phase in AXIS_PHASES.items()
         if sizes[axis] > 1
     }
     seconds = {
-        axis: phase_comm_seconds(world, phase, rank=0)
+        axis: phase_comm_seconds(world, phase, rank=0) / n_steps
         for axis, phase in AXIS_PHASES.items()
         if sizes[axis] > 1
     }
@@ -758,10 +783,13 @@ def measure_plan(
         world_size=plan.total_gpus,
         wire=wire,
         seconds=seconds,
-        step_seconds=clock.elapsed(),
+        step_seconds=clock.elapsed() / n_steps,
         overlaps=derive_overlaps(world),
         predicted=predicted,
         eager=eager,
+        n_steps=n_steps,
+        rank_times=tuple(clock.times()),
+        schedule=clock.schedule() if capture else None,
     )
 
 

@@ -134,8 +134,18 @@ def phase_comm_seconds(world: Any, phase: str, rank: int) -> float:
     """One rank's summed collective wall-time (``vend − vstart``) in *phase*.
 
     Only virtual-clock-stamped records contribute; includes time spent
-    waiting for stragglers (that wait is real exposure too).
+    waiting for stragglers (that wait is real exposure too).  Reads the
+    :class:`~repro.dist.stats.TrafficLog` bucket totals (O(buckets), not
+    O(records) — 32-rank replays used to rescan the full record list per
+    rank); duck-typed traffic stand-ins without ``totals`` still take the
+    rescan path.
     """
+    totals = getattr(world.traffic, "totals", None)
+    if totals is not None:
+        snap = totals(phase=phase, rank=rank)
+        vseconds = getattr(snap, "vseconds", None)
+        if vseconds is not None:
+            return vseconds
     return sum(
         r.vend - r.vstart
         for r in world.traffic.records()
@@ -236,9 +246,20 @@ def derive_overlap(world: Any, comm_phase: str, compute_phase: str) -> OverlapRe
             )
         return OverlapReport(comm_phase, compute_phase, 0.0, 0.0, 0.0, 0.0, "measured")
     per_rank: dict[int, float] = {}
-    for r in world.traffic.records():
-        if r.phase == comm_phase and r.vstart >= 0.0:
-            per_rank[r.rank] = per_rank.get(r.rank, 0.0) + (r.vend - r.vstart)
+    traffic = getattr(world, "traffic", None)
+    if traffic is None:
+        # A replayed timeline (repro.perf.schedule.ReplayResult) carries no
+        # traffic log; for a blocking phase every settled interval has
+        # ``exposed == end − issue == vend − vstart``, so the clock's
+        # exposed totals reproduce the record walk bitwise (size-1 groups
+        # never touch the clock and contribute zero either way).
+        for rank in range(clock.world_size):
+            if clock.comm_count(rank, comm_phase):
+                per_rank[rank] = clock.exposed_seconds(rank=rank, phase=comm_phase)
+    else:
+        for r in traffic.records():
+            if r.phase == comm_phase and r.vstart >= 0.0:
+                per_rank[r.rank] = per_rank.get(r.rank, 0.0) + (r.vend - r.vstart)
     comm = sum(per_rank.values()) / len(per_rank) if per_rank else 0.0
     if comm <= 0.0:
         # No traffic in the phase — or only zero-duration records (size-1
@@ -264,6 +285,11 @@ def derive_overlaps(world: Any) -> DerivedOverlaps:
     overlap 0 — feeding that into :func:`estimate_step_comm` simply leaves
     the (absent) axis priced at zero anyway.  Eagerly-simulated runs also
     attach the per-bucket exposure evidence.
+
+    *world* may be a live :class:`~repro.dist.World` **or** a replayed
+    timeline (:class:`~repro.perf.schedule.ReplayResult`): anything with a
+    ``.clock``; without a traffic log the bound path reads the clock's
+    exposure totals instead.
     """
     return DerivedOverlaps(
         dp=derive_overlap(world, DP_SYNC_PHASE, BACKWARD_PHASE),

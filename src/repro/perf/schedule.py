@@ -1,0 +1,500 @@
+"""Captured-schedule replay: record one instrumented step, replay N cheaply.
+
+A steady-state training step repeats an identical schedule of compute
+charges and collectives, yet every simulated step today re-runs Python
+autograd, numpy payloads and thread rendezvous.  This module lowers one
+live :func:`repro.dist.run_spmd` step into a flat, serializable event list
+(the same shape as tinygrad's ``LazyOp`` → ``ScheduleItem`` lowering) and
+re-executes it as **pure event arithmetic**: no threads, no numpy, no
+rendezvous — just the :class:`~repro.perf.clock.VirtualClock` methods the
+live runtime would have called, in the same per-rank program order.  That
+makes the replayed timeline *bitwise identical* to the live threaded run
+(virtual times are pure functions of program order; see the determinism
+note in :mod:`repro.perf.clock`).
+
+Record → serialize → replay::
+
+    clock = VirtualClock(machine, eager_phases=OVERLAP_PHASES, capture=True)
+    run_spmd(one_step, world_size, clock=clock)      # live, instrumented
+    sched = clock.schedule()                         # flat event list
+    sched.save("step.json")                          # optional round-trip
+    result = replay(sched, machine, n_steps=1000)    # pure arithmetic
+    result.clock.times()                             # == live 1000-step run
+
+Phase conventions (mirrors :mod:`repro.perf.overlap`):
+
+    =============  =======================  =================================
+    phase          issued by                replay/overlap meaning
+    =============  =======================  =================================
+    ``forward``    forward compute charges  compute that hides fsdp_gather
+    ``backward``   backward compute charges compute that hides dp_sync
+    ``dp_sync``    DP gradient AllReduce    eager under ``OVERLAP_PHASES``
+    ``fsdp_gather`` FSDP param AllGather    eager under ``OVERLAP_PHASES``
+    ``tp``         TP activation AllReduce  blocking (critical path)
+    ``gather``     head-gather AllGather    blocking (critical path)
+    =============  =======================  =================================
+
+Event kinds: ``compute`` (charge seconds onto the rank timeline), ``coll``
+(join a group collective — the replay rendezvous recomputes ``start =
+max(bids)`` and ``end = start + cost`` exactly like the live slot),
+``drain`` (settle the rank's eager issue queue), ``send``/``recv``
+(store-and-forward p2p through a virtual mailbox).  Dependencies are
+implicit in the per-rank program order plus the cross-rank joins (``coll``
+groups and ``send``→``recv`` edges), so the flat list *is* the dependency
+graph.
+
+Run ``python -m repro.perf.schedule [--smoke]`` for a self-contained
+bitwise parity check (used by the ``perf-smoke`` CI job).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Collection, Sequence
+
+from .clock import VirtualClock
+from .cost import CostModel
+from .machine import MachineSpec
+
+__all__ = [
+    "ScheduleEvent",
+    "CapturedSchedule",
+    "ReplayResult",
+    "ScheduleReplayError",
+    "replay",
+]
+
+_SCHEMA_VERSION = 1
+_KINDS = frozenset({"compute", "coll", "drain", "send", "recv"})
+
+
+class ScheduleReplayError(RuntimeError):
+    """A captured schedule could not be replayed (mismatched groups,
+    an op disagreement inside a group slot, or a p2p deadlock)."""
+
+
+@dataclass(frozen=True)
+class ScheduleEvent:
+    """One captured runtime event on one rank's program order.
+
+    Field usage by kind — unused fields hold their defaults:
+
+    ``compute``: ``phase``, ``label``, ``seconds``
+    ``coll``:    ``op``, ``phase``, ``payload_bytes`` (this rank's bid),
+                 ``group`` (world-rank tuple)
+    ``drain``:   (no payload)
+    ``send``:    ``payload_bytes``, ``peer`` (dst), ``tag``
+    ``recv``:    ``peer`` (src), ``tag``
+    """
+
+    kind: str
+    rank: int
+    op: str = ""
+    phase: str = ""
+    label: str = ""
+    seconds: float = 0.0
+    payload_bytes: int = 0
+    group: tuple[int, ...] = ()
+    peer: int = -1
+    tag: int = 0
+
+    def to_json(self) -> dict:
+        out: dict[str, Any] = {"kind": self.kind, "rank": self.rank}
+        if self.op:
+            out["op"] = self.op
+        if self.phase:
+            out["phase"] = self.phase
+        if self.label:
+            out["label"] = self.label
+        if self.seconds:
+            out["seconds"] = self.seconds
+        if self.payload_bytes:
+            out["payload_bytes"] = self.payload_bytes
+        if self.group:
+            out["group"] = list(self.group)
+        if self.peer >= 0:
+            out["peer"] = self.peer
+        if self.tag:
+            out["tag"] = self.tag
+        return out
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ScheduleEvent":
+        kind = obj["kind"]
+        if kind not in _KINDS:
+            raise ValueError(f"unknown schedule event kind {kind!r}")
+        return cls(
+            kind=kind,
+            rank=int(obj["rank"]),
+            op=str(obj.get("op", "")),
+            phase=str(obj.get("phase", "")),
+            label=str(obj.get("label", "")),
+            seconds=float(obj.get("seconds", 0.0)),
+            payload_bytes=int(obj.get("payload_bytes", 0)),
+            group=tuple(int(r) for r in obj.get("group", ())),
+            peer=int(obj.get("peer", -1)),
+            tag=int(obj.get("tag", 0)),
+        )
+
+
+def _event_from_tuple(rank: int, raw: tuple) -> ScheduleEvent:
+    kind = raw[0]
+    if kind == "compute":
+        _, phase, label, seconds = raw
+        return ScheduleEvent(
+            kind="compute", rank=rank, phase=phase, label=label, seconds=seconds
+        )
+    if kind == "coll":
+        _, op, phase, payload, ranks = raw
+        return ScheduleEvent(
+            kind="coll", rank=rank, op=op, phase=phase,
+            payload_bytes=payload, group=ranks,
+        )
+    if kind == "drain":
+        return ScheduleEvent(kind="drain", rank=rank)
+    if kind == "send":
+        _, nbytes, dst, tag = raw
+        return ScheduleEvent(
+            kind="send", rank=rank, payload_bytes=nbytes, peer=dst, tag=tag
+        )
+    if kind == "recv":
+        _, src, tag = raw
+        return ScheduleEvent(kind="recv", rank=rank, peer=src, tag=tag)
+    raise ValueError(f"unknown captured event tuple {raw!r}")
+
+
+@dataclass(frozen=True)
+class CapturedSchedule:
+    """A flat, serializable event list lowered from one instrumented step.
+
+    Events are stored in per-rank program order, concatenated in rank
+    order; :meth:`events_for` recovers one rank's program.  The schedule
+    carries the eager-phase set it was captured under so a replay defaults
+    to the same issue-queue semantics.
+    """
+
+    world_size: int
+    eager_phases: frozenset[str] = frozenset()
+    events: tuple[ScheduleEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {self.world_size}")
+        for ev in self.events:
+            if not 0 <= ev.rank < self.world_size:
+                raise ValueError(
+                    f"event rank {ev.rank} out of range for world of size "
+                    f"{self.world_size}"
+                )
+
+    @classmethod
+    def from_clock(cls, clock: VirtualClock) -> "CapturedSchedule":
+        """Lower a capture-enabled clock's recorded events."""
+        if not getattr(clock, "capture", False):
+            raise ValueError("clock was not created with capture=True")
+        events: list[ScheduleEvent] = []
+        n = clock.world_size
+        for rank in range(n):
+            for raw in clock.captured_events(rank):
+                events.append(_event_from_tuple(rank, raw))
+        return cls(
+            world_size=n,
+            eager_phases=frozenset(clock.eager_phases),
+            events=tuple(events),
+        )
+
+    def events_for(self, rank: int) -> tuple[ScheduleEvent, ...]:
+        """One rank's captured program, in issue order."""
+        return tuple(ev for ev in self.events if ev.rank == rank)
+
+    @property
+    def n_collectives(self) -> int:
+        return sum(1 for ev in self.events if ev.kind == "coll")
+
+    @property
+    def n_compute(self) -> int:
+        return sum(1 for ev in self.events if ev.kind == "compute")
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "version": _SCHEMA_VERSION,
+            "world_size": self.world_size,
+            "eager_phases": sorted(self.eager_phases),
+            "events": [ev.to_json() for ev in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CapturedSchedule":
+        version = int(obj.get("version", _SCHEMA_VERSION))
+        if version != _SCHEMA_VERSION:
+            raise ValueError(f"unsupported schedule schema version {version}")
+        return cls(
+            world_size=int(obj["world_size"]),
+            eager_phases=frozenset(obj.get("eager_phases", ())),
+            events=tuple(ScheduleEvent.from_json(e) for e in obj.get("events", ())),
+        )
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh)
+
+    @classmethod
+    def load(cls, path) -> "CapturedSchedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CapturedSchedule(world={self.world_size}, "
+            f"events={len(self.events)}, colls={self.n_collectives}, "
+            f"eager={sorted(self.eager_phases)})"
+        )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """The outcome of :func:`replay`: the advanced clock plus metadata.
+
+    Quacks enough like a :class:`~repro.dist.World` (it has ``.clock``)
+    that :func:`repro.perf.overlap.derive_overlaps` accepts it directly —
+    the bound path falls back to clock aggregates since a replay carries
+    no traffic log.
+    """
+
+    schedule: CapturedSchedule
+    clock: VirtualClock
+    n_steps: int
+
+    def times(self) -> list[float]:
+        """Per-rank virtual completion times after ``n_steps`` replays."""
+        return self.clock.times()
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual makespan of the whole replay (slowest rank)."""
+        return self.clock.elapsed()
+
+    @property
+    def step_seconds(self) -> float:
+        """Mean virtual seconds per replayed step."""
+        return self.elapsed / self.n_steps if self.n_steps else 0.0
+
+    def overlaps(self):
+        """Derive overlap fractions from the replayed timeline."""
+        from .overlap import derive_overlaps  # local: overlap imports clock too
+
+        return derive_overlaps(self)
+
+
+_UNSET = object()
+
+
+def replay(
+    schedule: CapturedSchedule,
+    machine: MachineSpec | None = None,
+    n_steps: int = 1,
+    eager_phases: Collection[str] | None | object = _UNSET,
+    cost: CostModel | None = None,
+    compute_scale: float = 1.0,
+) -> ReplayResult:
+    """Advance a fresh :class:`VirtualClock` through *n_steps* of *schedule*.
+
+    Pure event arithmetic: each rank's captured program is walked by a
+    cursor; collectives wait in a rendezvous table until every group
+    member's cursor reaches them (``start = max(bids)``, ``end = start +
+    cost`` — the identical protocol the threaded runtime runs under its
+    slot lock), and p2p events flow through a virtual mailbox carrying
+    delivery times.  With the same ``machine``/``cost``/``eager_phases``
+    the replayed timeline of step *k* is bitwise equal to a live threaded
+    run of *k* steps, because both drive the very same clock methods in
+    the same per-rank program order.
+
+    ``eager_phases`` defaults to the set the schedule was captured under;
+    pass an explicit value (or ``None`` for fully blocking) to re-simulate
+    the same step under different issue-queue semantics.  ``compute_scale``
+    multiplies every captured compute charge — the knob the autotuner's
+    replay oracle turns to re-price a schedule for a different model size
+    without re-capturing (``1.0`` leaves charges bitwise untouched).
+
+    Raises :class:`ScheduleReplayError` if the schedule deadlocks (a recv
+    with no matching send, or a collective some member never joins) or if
+    members disagree on the op of a group's next collective.
+    """
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    eph = schedule.eager_phases if eager_phases is _UNSET else eager_phases
+    clock = VirtualClock(machine=machine, cost=cost, eager_phases=eph)
+    clock.bind(schedule.world_size)
+    scale = float(compute_scale)
+    if scale < 0.0:
+        raise ValueError(f"compute_scale must be >= 0, got {compute_scale}")
+    programs = [schedule.events_for(r) for r in range(schedule.world_size)]
+    # The p2p mailbox persists across steps (a recv may legitimately match
+    # a send from an earlier replayed step, mirroring the live World mail).
+    mail: dict[tuple[int, int, int], deque] = {}
+    for _ in range(n_steps):
+        _replay_step(clock, programs, scale, mail)
+    for rank in range(schedule.world_size):
+        clock.finalize_rank(rank)  # rank-exit drain, like run_spmd
+    return ReplayResult(schedule=schedule, clock=clock, n_steps=n_steps)
+
+
+def _replay_step(
+    clock: VirtualClock,
+    programs: Sequence[Sequence[ScheduleEvent]],
+    scale: float,
+    mail: dict[tuple[int, int, int], deque],
+) -> None:
+    n = len(programs)
+    pos = [0] * n
+    lengths = [len(p) for p in programs]
+    # Rendezvous table: group ranks -> (op, {rank: (bid, issue, payload, phase)}).
+    # One in-flight slot per group suffices: a rank blocks on its group's
+    # collective, so no group can have two open generations at once.
+    slots: dict[tuple[int, ...], tuple[str, dict[int, tuple[float, float, int, str]]]] = {}
+
+    def advance(rank: int) -> bool:
+        """Walk one rank's cursor until it blocks; True if it moved."""
+        evs = programs[rank]
+        moved = False
+        while pos[rank] < lengths[rank]:
+            ev = evs[pos[rank]]
+            kind = ev.kind
+            if kind == "compute":
+                seconds = ev.seconds if scale == 1.0 else ev.seconds * scale
+                clock.charge(rank, seconds, phase=ev.phase, label=ev.label)
+            elif kind == "drain":
+                clock.drain(rank)
+            elif kind == "send":
+                vstart = clock.now(rank)
+                vend = vstart + clock.p2p_seconds(ev.payload_bytes, rank, ev.peer)
+                clock.sync(rank, vend)
+                mail.setdefault((rank, ev.peer, ev.tag), deque()).append(vend)
+            elif kind == "recv":
+                queue = mail.get((ev.peer, rank, ev.tag))
+                if not queue:
+                    return moved  # blocked: matching send not replayed yet
+                sent_vend = queue.popleft()
+                clock.sync(rank, max(clock.now(rank), sent_vend))
+            elif kind == "coll":
+                key = ev.group
+                if rank not in key:
+                    raise ScheduleReplayError(
+                        f"rank {rank} issued a collective on group {key} it "
+                        f"is not a member of"
+                    )
+                op, arrivals = slots.setdefault(key, (ev.op, {}))
+                if op != ev.op:
+                    raise ScheduleReplayError(
+                        f"group {key} rendezvous mismatch: {op!r} vs {ev.op!r}"
+                    )
+                bid = clock.collective_arrival(rank, ev.op, ev.phase)
+                issue = clock.now(rank)
+                arrivals[rank] = (bid, issue, ev.payload_bytes, ev.phase)
+                if len(arrivals) < len(key):
+                    return True  # blocked awaiting the rest of the group
+                # Last arriver: price once, complete for every member, and
+                # push every member's cursor past its coll event.
+                del slots[key]
+                start = max(a[0] for a in arrivals.values())
+                payload = max(a[2] for a in arrivals.values())
+                end = start + clock.collective_seconds(ev.op, payload, key)
+                for member in key:
+                    _bid, m_issue, _payload, m_phase = arrivals[member]
+                    clock.collective_complete(
+                        member, ev.op, m_phase, m_issue, start, end
+                    )
+                    pos[member] += 1
+                moved = True
+                continue
+            else:  # pragma: no cover - from_json rejects unknown kinds
+                raise ScheduleReplayError(f"unknown event kind {kind!r}")
+            pos[rank] += 1
+            moved = True
+        return moved
+
+    while True:
+        progressed = False
+        for rank in range(n):
+            if pos[rank] < lengths[rank]:
+                progressed = advance(rank) or progressed
+        if all(pos[r] >= lengths[r] for r in range(n)):
+            return
+        if not progressed:
+            stuck = {
+                r: programs[r][pos[r]]
+                for r in range(n)
+                if pos[r] < lengths[r]
+            }
+            raise ScheduleReplayError(
+                f"schedule deadlocked; blocked cursors: {stuck}"
+            )
+
+
+# -- CLI parity check (wired into the perf-smoke CI job) -------------------
+def _parity_case(plan, world_size, eager, n_steps, machine):  # pragma: no cover
+    from .calibrate import measure_plan
+    from .modelcfg import ModelConfig
+    from .plan import Workload
+
+    model = ModelConfig(
+        "replay-parity", dim=64, depth=2, heads=4, patch=4, image_hw=(16, 16)
+    )
+    workload = Workload(channels=16, batch=2)
+    captured = measure_plan(
+        model, workload, plan, machine, eager=eager, capture=True
+    )
+    live = measure_plan(
+        model, workload, plan, machine, eager=eager, n_steps=n_steps
+    )
+    replayed = replay(captured.schedule, machine, n_steps=n_steps)
+    return list(live.rank_times), replayed.times()
+
+
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    """Bitwise parity check: live threaded k-step run vs captured replay."""
+    import argparse
+
+    from .machine import frontier
+    from .plan import ParallelPlan
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small fast subset")
+    parser.add_argument("--steps", type=int, default=None, help="replay steps")
+    opts = parser.parse_args(argv)
+    machine = frontier()
+    cases = [
+        (ParallelPlan("tp", tp=2, fsdp=1, dp=2), 4),
+        (ParallelPlan("dchag", tp=2, fsdp=2, dp=1, dchag_kind="linear"), 4),
+    ]
+    if not opts.smoke:
+        cases.append(
+            (ParallelPlan("dchag", tp=2, fsdp=2, dp=2, dchag_kind="linear"), 8)
+        )
+    n_steps = opts.steps if opts.steps else (3 if opts.smoke else 10)
+    failures = 0
+    for plan, world_size in cases:
+        for eager in (False, True):
+            live, replayed = _parity_case(plan, world_size, eager, n_steps, machine)
+            ok = live == replayed
+            failures += 0 if ok else 1
+            mode = "eager" if eager else "blocking"
+            status = "OK " if ok else "FAIL"
+            print(
+                f"[{status}] {plan.label:>24s} world={world_size} {mode:>8s} "
+                f"steps={n_steps} makespan={max(replayed):.6e}s"
+            )
+            if not ok:
+                print(f"    live:   {live}\n    replay: {replayed}")
+    if failures:
+        print(f"{failures} parity case(s) FAILED")
+        return 1
+    print("all replay parity cases bitwise-identical to live runs")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

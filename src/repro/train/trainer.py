@@ -120,7 +120,12 @@ class Trainer:
         loss.backward()
         if self.grad_hook is not None:
             self.grad_hook()
-        norm = self.clip_fn(self.params, cfg.grad_clip) if cfg.grad_clip else 0.0
+        # With clipping disabled the true gradient norm is still recorded:
+        # clip_fn at max_norm=inf computes the (possibly distributed) global
+        # norm without scaling anything, so TrainResult.grad_norms reports
+        # real magnitudes for unclipped runs instead of a flat 0.0.
+        max_norm = cfg.grad_clip if cfg.grad_clip else float("inf")
+        norm = self.clip_fn(self.params, max_norm)
         self.optimizer.step()
         value = float(loss.item())
         self.result.losses.append(value)
@@ -140,5 +145,11 @@ class Trainer:
         for batch in batches:
             if self._step >= limit:
                 break
-            self.step(*batch) if isinstance(batch, tuple) else self.step(batch)
+            # Loaders yield (inputs, targets) as tuples *or* lists; both
+            # unpack into model.loss(*batch).  Anything else (a bare
+            # Tensor/array batch) passes through as a single argument.
+            if isinstance(batch, (tuple, list)):
+                self.step(*batch)
+            else:
+                self.step(batch)
         return self.result

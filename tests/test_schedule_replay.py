@@ -1,0 +1,298 @@
+"""Captured-schedule replay: bitwise parity with the live threaded runtime.
+
+The tentpole contract: a schedule captured from ONE instrumented step and
+replayed for k steps produces per-rank virtual timelines **bitwise equal**
+to a live threaded run of k steps — across plans, world sizes and
+eager/blocking clock modes, and for arbitrary hypothesis-generated SPMD
+programs (compute charges, sub-group collectives, drains, ring p2p).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist import ProcessGroup, run_spmd_world
+from repro.perf import (
+    OVERLAP_PHASES,
+    CapturedSchedule,
+    ModelConfig,
+    ParallelPlan,
+    ScheduleReplayError,
+    VirtualClock,
+    Workload,
+    derive_overlaps,
+    frontier,
+    replay,
+    search_configurations,
+    simulated_overlaps,
+)
+from repro.perf.calibrate import measure_plan
+from repro.perf.schedule import ScheduleEvent
+
+MACHINE = frontier()
+MODEL = ModelConfig("replay-test", dim=64, depth=2, heads=4, patch=4, image_hw=(16, 16))
+WORKLOAD = Workload(channels=16, batch=2)
+
+PLAN_CASES = [
+    pytest.param(ParallelPlan("tp", tp=2, fsdp=1, dp=1), id="tp2"),
+    pytest.param(ParallelPlan("tp", tp=1, fsdp=1, dp=4), id="dp4"),
+    pytest.param(ParallelPlan("tp", tp=2, fsdp=1, dp=2), id="tp2dp2"),
+    pytest.param(
+        ParallelPlan("dchag", tp=2, fsdp=2, dp=2, dchag_kind="linear"), id="dchag8"
+    ),
+]
+
+
+class TestPlanParity:
+    """Plan-level parity: one captured measure_plan step replayed k times
+    equals a live k-step world, bitwise."""
+
+    @pytest.mark.parametrize("plan", PLAN_CASES)
+    @pytest.mark.parametrize("eager", [False, True], ids=["blocking", "eager"])
+    def test_replay_matches_live_threaded_run(self, plan, eager):
+        captured = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=eager, capture=True)
+        assert captured.schedule is not None
+        for k in (1, 4):
+            live = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=eager, n_steps=k)
+            replayed = replay(captured.schedule, MACHINE, n_steps=k)
+            assert replayed.times() == list(live.rank_times)  # bitwise
+
+    def test_capture_does_not_perturb_the_timeline(self):
+        plan = ParallelPlan("tp", tp=2, fsdp=1, dp=2)
+        plain = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=True)
+        captured = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=True, capture=True)
+        assert captured.rank_times == plain.rank_times
+        assert captured.step_seconds == plain.step_seconds
+
+    def test_replay_overlaps_match_live_measured_overlaps(self):
+        plan = ParallelPlan("dchag", tp=2, fsdp=2, dp=2, dchag_kind="linear")
+        captured = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=True, capture=True)
+        replayed = replay(captured.schedule, MACHINE, n_steps=1)
+        ov_live, ov_rep = captured.overlaps, replayed.overlaps()
+        assert ov_rep.dp.source == "measured"
+        assert ov_rep.dp_overlap == ov_live.dp_overlap
+        assert ov_rep.fsdp_overlap == ov_live.fsdp_overlap
+        assert ov_rep.buckets == ov_live.buckets
+
+    def test_replay_overlaps_match_live_bound_overlaps(self):
+        """Blocking phases take the bound path; without a traffic log the
+        replay derives it from clock exposure totals — same numbers."""
+        plan = ParallelPlan("tp", tp=1, fsdp=1, dp=4)
+        captured = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=False, capture=True)
+        replayed = replay(captured.schedule, MACHINE, n_steps=1)
+        ov_live, ov_rep = captured.overlaps, replayed.overlaps()
+        assert ov_rep.dp.source == "bound"
+        assert ov_rep.dp_overlap == ov_live.dp_overlap
+        assert ov_rep.dp.comm_seconds == ov_live.dp.comm_seconds
+
+    def test_per_step_semantics_of_multi_step_measure(self):
+        plan = ParallelPlan("tp", tp=2, fsdp=1, dp=2)
+        one = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=False)
+        three = measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=False, n_steps=3)
+        assert three.n_steps == 3
+        assert three.wire == one.wire  # per-step, not 3x
+        assert math.isclose(three.step_seconds, one.step_seconds, rel_tol=1e-12)
+        assert three.wire_matches_predicted()
+
+
+# -- hypothesis-generated SPMD programs ------------------------------------
+_PHASES = ("forward", "backward", "dp_sync", "fsdp_gather", "tp")
+_OPS = ("all_reduce", "all_gather", "reduce_scatter", "broadcast", "barrier")
+
+_ITEM = st.one_of(
+    st.tuples(
+        st.just("compute"),
+        st.sampled_from(_PHASES),
+        st.floats(1e-7, 1e-4, allow_nan=False, allow_infinity=False),
+    ),
+    st.tuples(
+        st.just("coll"), st.sampled_from(_OPS), st.sampled_from(_PHASES),
+        st.integers(1, 64),
+    ),
+    st.tuples(
+        st.just("coll_half"), st.sampled_from(_OPS), st.sampled_from(_PHASES),
+        st.integers(1, 64),
+    ),
+    st.tuples(st.just("drain")),
+    st.tuples(st.just("ring"), st.integers(1, 64)),
+)
+_PROGRAM = st.lists(_ITEM, min_size=1, max_size=10)
+_EAGER = st.sampled_from([frozenset(), frozenset({"dp_sync"}), OVERLAP_PHASES])
+
+
+def _run_program(comm, program):
+    """Execute one SPMD-consistent program item list on this rank."""
+    n = comm.size
+    half_ranks = tuple(range(n // 2)) if comm.rank < n // 2 else tuple(range(n // 2, n))
+    half = ProcessGroup(comm.world, half_ranks)
+    for item in program:
+        kind = item[0]
+        if kind == "compute":
+            _, phase, seconds = item
+            comm.charge_compute(seconds, phase=phase)
+        elif kind in ("coll", "coll_half"):
+            _, op, phase, units = item
+            group = half if kind == "coll_half" else None
+            g = group.size if group is not None else n
+            with comm.phase_scope(phase):
+                if op == "barrier":
+                    comm.barrier(group=group)
+                elif op == "all_reduce":
+                    comm.all_reduce(np.ones(units * g, np.float32), group=group)
+                elif op == "all_gather":
+                    comm.all_gather(np.ones(units, np.float32), group=group)
+                elif op == "reduce_scatter":
+                    comm.reduce_scatter(np.ones(units * g, np.float32), group=group)
+                else:
+                    root = group.ranks[0] if group is not None else 0
+                    comm.broadcast(np.ones(units * g, np.float32), root, group=group)
+        elif kind == "drain":
+            comm.drain_comm()
+        else:  # ring p2p: send to the next rank, receive from the previous
+            _, units = item
+            comm.send(np.ones(units, np.float32), (comm.rank + 1) % n, tag=7)
+            comm.recv((comm.rank - 1) % n, tag=7)
+
+
+class TestProgramParity:
+    @settings(max_examples=25, deadline=None)
+    @given(_PROGRAM, st.sampled_from([2, 4]), _EAGER, st.sampled_from([1, 3]))
+    def test_replay_is_bitwise_identical_to_live(self, program, world_size, eager, k):
+        cap_clock = VirtualClock(MACHINE, eager_phases=eager, capture=True)
+        run_spmd_world(lambda comm: _run_program(comm, program), world_size,
+                       clock=cap_clock)
+        schedule = cap_clock.schedule()
+
+        live_clock = VirtualClock(MACHINE, eager_phases=eager)
+
+        def live_fn(comm):
+            for _ in range(k):
+                _run_program(comm, program)
+
+        run_spmd_world(live_fn, world_size, clock=live_clock)
+        replayed = replay(schedule, MACHINE, n_steps=k)
+        assert replayed.times() == live_clock.times()
+        assert replayed.clock.comm_intervals() == live_clock.comm_intervals()
+        assert replayed.clock.compute_intervals() == live_clock.compute_intervals()
+
+
+class TestSerialization:
+    def _schedule(self):
+        plan = ParallelPlan("dchag", tp=2, fsdp=2, dp=1, dchag_kind="linear")
+        return measure_plan(MODEL, WORKLOAD, plan, MACHINE, eager=True, capture=True).schedule
+
+    def test_json_round_trip_replays_identically(self, tmp_path):
+        schedule = self._schedule()
+        path = tmp_path / "step.json"
+        schedule.save(path)
+        loaded = CapturedSchedule.load(path)
+        assert loaded == schedule
+        assert replay(loaded, MACHINE, n_steps=2).times() == replay(
+            schedule, MACHINE, n_steps=2
+        ).times()
+
+    def test_rejects_unknown_event_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScheduleEvent.from_json({"kind": "warp", "rank": 0})
+
+    def test_rejects_unknown_schema_version(self):
+        with pytest.raises(ValueError, match="version"):
+            CapturedSchedule.from_json({"version": 99, "world_size": 1})
+
+    def test_rejects_out_of_range_rank(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CapturedSchedule(
+                world_size=2, events=(ScheduleEvent(kind="drain", rank=5),)
+            )
+
+    def test_from_clock_requires_capture(self):
+        with pytest.raises(ValueError, match="capture"):
+            CapturedSchedule.from_clock(VirtualClock(MACHINE))
+
+
+class TestReplaySemantics:
+    def test_n_steps_validation(self):
+        schedule = CapturedSchedule(world_size=1)
+        with pytest.raises(ValueError):
+            replay(schedule, MACHINE, n_steps=0)
+
+    def test_group_op_mismatch_raises(self):
+        events = (
+            ScheduleEvent(kind="coll", rank=0, op="all_reduce", phase="tp",
+                          payload_bytes=64, group=(0, 1)),
+            ScheduleEvent(kind="coll", rank=1, op="all_gather", phase="tp",
+                          payload_bytes=64, group=(0, 1)),
+        )
+        schedule = CapturedSchedule(world_size=2, events=events)
+        with pytest.raises(ScheduleReplayError, match="mismatch"):
+            replay(schedule, MACHINE)
+
+    def test_unmatched_recv_deadlocks_with_diagnostic(self):
+        events = (ScheduleEvent(kind="recv", rank=0, peer=1, tag=3),)
+        schedule = CapturedSchedule(world_size=2, events=events)
+        with pytest.raises(ScheduleReplayError, match="deadlock"):
+            replay(schedule, MACHINE)
+
+    def test_compute_scale_scales_pure_compute_linearly(self):
+        events = (
+            ScheduleEvent(kind="compute", rank=0, phase="forward", seconds=1e-4),
+        )
+        schedule = CapturedSchedule(world_size=1, events=events)
+        base = replay(schedule, MACHINE).elapsed
+        assert replay(schedule, MACHINE, compute_scale=3.0).elapsed == pytest.approx(
+            3.0 * base
+        )
+
+    def test_eager_phase_override_changes_exposure(self):
+        """The same captured schedule re-simulated blocking exposes the
+        full collective cost; the captured (eager) default hides some."""
+        plan = ParallelPlan("tp", tp=1, fsdp=1, dp=4)
+        captured = measure_plan(
+            MODEL, WORKLOAD, plan, MACHINE, eager=True, capture=True
+        )
+        eager_rep = replay(captured.schedule, MACHINE)
+        blocking_rep = replay(captured.schedule, MACHINE, eager_phases=None)
+        assert blocking_rep.clock.exposed_seconds(
+            phase="dp_sync"
+        ) >= eager_rep.clock.exposed_seconds(phase="dp_sync")
+        assert blocking_rep.elapsed >= eager_rep.elapsed
+
+    def test_step_seconds_is_mean_per_step(self):
+        schedule = CapturedSchedule(
+            world_size=1,
+            events=(ScheduleEvent(kind="compute", rank=0, phase="forward",
+                                  seconds=2e-5),),
+        )
+        result = replay(schedule, MACHINE, n_steps=10)
+        assert result.step_seconds == pytest.approx(2e-5)
+        assert result.elapsed == pytest.approx(2e-4)
+
+
+class TestReplayOracle:
+    def test_search_with_replay_oracle_matches_threaded_podium(self):
+        model = ModelConfig("sweep", dim=256, depth=6, heads=8, patch=4,
+                            image_hw=(32, 32))
+        threaded = search_configurations(
+            model, 32, 16, MACHINE, 32,
+            overlaps=simulated_overlaps(MACHINE, model, 32),
+        )
+        replayed = search_configurations(model, 32, 16, MACHINE, 32, replay=True)
+        assert [t.plan.label for t in threaded[:3]] == [
+            t.plan.label for t in replayed[:3]
+        ]
+        for a, b in zip(threaded[:3], replayed[:3]):
+            assert b.total_tflops == pytest.approx(a.total_tflops, rel=1e-6)
+
+    def test_replay_oracle_spins_up_one_world_per_shape(self):
+        """The replay oracle's whole point: repeated consultations with
+        different compute scales re-use one captured schedule."""
+        model = ModelConfig("sweep", dim=256, depth=6, heads=8, patch=4,
+                            image_hw=(32, 32))
+        oracle = simulated_overlaps(MACHINE, model, 32, replay=True)
+        plan = ParallelPlan("tp", tp=1, fsdp=1, dp=8)
+        first = oracle(plan, 2)
+        second = oracle(plan, 2)
+        assert first is second  # cached
+        assert first is not None and 0.0 <= first.dp_overlap <= 1.0

@@ -125,6 +125,55 @@ class TestTrainer:
         with pytest.raises(ValueError):
             Trainer(_Quadratic(), TrainConfig(), start_step=-1)
 
+    def test_fit_unpacks_list_batches_like_tuples(self):
+        """Regression: loaders yielding [x, y] lists used to reach
+        model.loss as a single positional argument and crash."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        y = rng.standard_normal((4, 1)).astype(np.float32)
+        as_tuples = Trainer(_Quadratic(), TrainConfig(total_steps=3))
+        as_lists = Trainer(_Quadratic(), TrainConfig(total_steps=3))
+        as_tuples.fit([(x, y)] * 3)
+        as_lists.fit([[x, y]] * 3)
+        np.testing.assert_allclose(as_lists.result.losses, as_tuples.result.losses)
+
+    def test_fit_passes_bare_array_batches_whole(self):
+        """Non-sequence batches still arrive as one argument."""
+        seen = []
+
+        class _OneArg(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(4, 1, np.random.default_rng(0))
+
+            def loss(self, x):
+                seen.append(x.shape)
+                return F.mse_loss(self.lin(Tensor(x)), Tensor(np.zeros((2, 1), np.float32)))
+
+        tr = Trainer(_OneArg(), TrainConfig(total_steps=2))
+        tr.fit([np.zeros((2, 4), np.float32)] * 2)
+        assert seen == [(2, 4), (2, 4)]
+
+    def test_grad_norms_recorded_without_clipping(self):
+        """Regression: grad_clip=0 used to record norm 0.0 instead of the
+        true gradient norm — and must not scale any gradient."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 4)).astype(np.float32)
+        y = rng.standard_normal((8, 1)).astype(np.float32)
+
+        unclipped = Trainer(_Quadratic(), TrainConfig(lr=0.0, grad_clip=0.0, total_steps=2))
+        reference = Trainer(_Quadratic(), TrainConfig(lr=0.0, grad_clip=1e9, total_steps=2))
+        unclipped.step(x, y)
+        reference.step(x, y)
+        # Same model/data: the recorded norm equals the (never-exceeded)
+        # clip path's pre-clip norm, and it is a real nonzero magnitude.
+        assert unclipped.result.grad_norms[0] == reference.result.grad_norms[0]
+        assert unclipped.result.grad_norms[0] > 0.0
+        # With lr=0 the step leaves params alone, so gradients themselves
+        # must also be untouched by the norm computation.
+        for p_u, p_r in zip(unclipped.params, reference.params):
+            np.testing.assert_array_equal(p_u.grad, p_r.grad)
+
 
 class TestMetrics:
     def test_lat_weighted_rmse_zero_when_equal(self):
