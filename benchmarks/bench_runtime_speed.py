@@ -264,10 +264,33 @@ def main(argv=None) -> int:
                         help="gate against the committed snapshot at PATH (CI)")
     parser.add_argument("--regression-tol", type=float, default=1.5,
                         help="max allowed step_replay_8 slowdown vs committed (default 1.5x)")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="also persist this run into a repro.obs sweep store")
     args = parser.parse_args(argv)
 
     results = run_suite(args.smoke)
     probe = host_probe_seconds()
+
+    if args.store:
+        from repro.obs.store import SweepStore
+
+        with SweepStore(args.store) as sweep_store:
+            run_id = sweep_store.record_run(
+                "bench", "runtime_speed", machine=MACHINE.name,
+                host=platform.platform(), params={"smoke": args.smoke},
+            )
+            for name, r in results.items():
+                sweep_store.record_metric(run_id, name, r["seconds"], unit="s",
+                                          source="bench")
+                sweep_store.record_metric(run_id, f"{name}/min", r["min_seconds"],
+                                          unit="s", source="bench")
+            sweep_store.record_metric(run_id, "host_probe_seconds", probe, unit="s",
+                                      source="bench")
+            cr = results.get("captured_replay", {})
+            if "speedup_vs_live" in cr:
+                sweep_store.record_metric(run_id, "captured_replay/speedup_vs_live",
+                                          cr["speedup_vs_live"], source="bench")
+            print(f"stored as run {run_id} in {args.store}")
 
     out = Path(args.out)
     doc = {"suite": "bench_runtime_speed", "host": _host(), "host_probe_seconds": probe}

@@ -616,6 +616,10 @@ class Communicator:
                 event.wait(_POLL_S)
         error = slot.error
         start, finish = slot.start, slot.finish
+        # Group-wide priced payload (max bid), read under the same
+        # published-before-done guarantee as start/finish: it stamps the
+        # clock's archived interval with wire volume and link class.
+        group_payload = slot.payload_max
         value = None
         if error is None:
             result = slot.result
@@ -692,7 +696,8 @@ class Communicator:
         if clock is not None and finish >= 0.0:
             if hasattr(clock, "collective_complete"):
                 clock.collective_complete(
-                    self.rank, op, self.phase, vstart, start, finish
+                    self.rank, op, self.phase, vstart, start, finish,
+                    payload_bytes=group_payload, ranks=group.ranks,
                 )
             else:
                 clock.sync(self.rank, finish)

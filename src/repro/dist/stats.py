@@ -339,7 +339,12 @@ class TrafficLog:
     ) -> int:
         return self.totals(op, phase, rank).wire_bytes
 
-    def ops_histogram(self, rank: int | None = None) -> dict[str, int]:
+    def ops_histogram(
+        self, rank: int | None = None, top: int | None = None
+    ) -> dict[str, int]:
+        """Per-op record counts; ``top`` keeps only the N most frequent ops
+        (ties broken by op name for determinism) — the cap large-world
+        drivers use so a histogram render never enumerates every op."""
         hist: dict[str, int] = {}
         for (b_op, _b_phase, b_rank), (c, _p, _w, _v) in self._buckets.copy().items():
             if rank is None or b_rank == rank:
@@ -347,10 +352,52 @@ class TrafficLog:
         for r in self._pending_records():
             if rank is None or r.rank == rank:
                 hist[r.op] = hist.get(r.op, 0) + 1
+        if top is not None and len(hist) > top:
+            kept = sorted(hist.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+            return dict(kept)
         return hist
+
+    def records_by_rank(
+        self, rank: int, op: str | None = None, phase: str | None = None
+    ):
+        """Stream one rank's records without copying the whole log.
+
+        Yields flushed records first (this rank's in issue order), then the
+        rank's still-pending writer records.  The shared record list is
+        append-only while a world runs, so walking it by index is safe
+        without snapshotting it — the O(world · records) copy
+        :meth:`records` pays per call never happens here.  A concurrent
+        :meth:`reset` simply ends the stream early.
+        """
+        i = 0
+        while True:
+            try:
+                r = self._records[i]
+            except IndexError:
+                break
+            i += 1
+            if r.rank != rank:
+                continue
+            if (op is None or r.op == op) and (phase is None or r.phase == phase):
+                yield r
+        for w in tuple(self._writers):
+            for r in tuple(w.pending):
+                if r.rank != rank:
+                    continue
+                if (op is None or r.op == op) and (phase is None or r.phase == phase):
+                    yield r
 
     def __len__(self) -> int:
         return len(self._records) + sum(len(w.pending) for w in tuple(self._writers))
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"TrafficLog({self.ops_histogram()})"
+    #: Ops rendered by ``repr`` before the histogram is elided.
+    _REPR_TOP_OPS = 6
+
+    def __repr__(self) -> str:
+        hist = self.ops_histogram()
+        shown = self.ops_histogram(top=self._REPR_TOP_OPS)
+        extra = len(hist) - len(shown)
+        body = ", ".join(f"{op!r}: {n}" for op, n in sorted(shown.items()))
+        if extra > 0:
+            body += f", … +{extra} more ops"
+        return f"TrafficLog({{{body}}})"

@@ -159,6 +159,8 @@ def search_configurations(
     overlaps: OverlapSource = None,
     prune_top_k: int | None = None,
     replay: bool = False,
+    store=None,
+    store_name: str | None = None,
 ) -> list[TunedPlan]:
     """All feasible plans for the budget, best throughput first.
 
@@ -184,6 +186,12 @@ def search_configurations(
     candidates rank below them by their paper-constant score with
     ``overlaps=None`` recorded.  ``None`` (default) keeps the exhaustive
     behavior, consulting the oracle for every candidate.
+
+    ``store`` (a :class:`~repro.obs.store.SweepStore` or path) persists
+    the full ranked candidate list as a ``search`` run named
+    ``store_name`` (default derived from the budget);
+    :meth:`~repro.obs.store.SweepStore.top_plans` then reproduces this
+    function's podium from the database alone.
     """
     if replay and overlaps is None:
         overlaps = simulated_overlaps(machine, model, channels, precision, replay=True)
@@ -227,6 +235,27 @@ def search_configurations(
             ov = overlaps(plan, micro) if callable(overlaps) else overlaps
             results.append(TunedPlan(plan, micro, score(plan, ov), ov))
     results.sort(key=lambda t: t.total_tflops, reverse=True)
+    if store is not None:
+        from ..obs.store import open_store  # local: obs imports perf modules
+
+        handle = open_store(store)
+        run_id = handle.record_run(
+            "search",
+            store_name
+            if store_name is not None
+            else f"{model.name}-ch{channels}-g{total_gpus}-b{global_batch}",
+            machine=machine.name,
+            params={
+                "channels": channels,
+                "total_gpus": total_gpus,
+                "global_batch": global_batch,
+                "strategies": list(strategies),
+                "candidates": len(results),
+            },
+        )
+        handle.record_plans(run_id, results)
+        if handle is not store:
+            handle.close()
     return results
 
 

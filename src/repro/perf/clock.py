@@ -90,6 +90,14 @@ class CommInterval:
     the full wait for a blocking collective, the drained remainder
     ``max(0, end − clock at drain)`` for an eager one (0 when compute fully
     hid it).
+
+    ``payload_bytes`` is the group-wide payload the rendezvous priced (the
+    max over member bids), ``wire_bytes`` this rank's ring wire volume for
+    it, ``intra`` the link class the group rode (every member on one
+    node), and ``group`` the member world ranks — the identity the trace
+    exporter uses to tie one collective's per-rank intervals into a single
+    flow.  All default to the no-information values for legacy callers
+    that complete a collective without payload metadata.
     """
 
     rank: int
@@ -99,6 +107,10 @@ class CommInterval:
     start: float
     end: float
     exposed: float
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    intra: bool = True
+    group: tuple[int, ...] = ()
 
     @property
     def seconds(self) -> float:
@@ -109,6 +121,11 @@ class CommInterval:
     def hidden(self) -> float:
         """Seconds of this collective the rank did *not* stall on."""
         return max(0.0, (self.end - self.issue) - self.exposed)
+
+    @property
+    def link(self) -> str:
+        """Link class as the observability layer names it."""
+        return "intra" if self.intra else "inter"
 
 
 class VirtualClock:
@@ -155,7 +172,8 @@ class VirtualClock:
         # NCCL-style channels, p2p sharing) makes completions non-monotone
         # in issue order; ``_pseq`` breaks ties deterministically.
         self._chan_free: list[float] = []
-        self._pending: list[list[tuple[float, int, str, str, float, float]]] = []
+        # (end, seq, op, phase, issue, start, payload, wire, intra, group)
+        self._pending: list[list[tuple]] = []
         self._pseq: list[int] = []
         self._comm: list[list[CommInterval]] = []
         # Running per-(rank, phase) totals so overlap derivation reads
@@ -164,6 +182,11 @@ class VirtualClock:
         self._busy_tot: list[dict[str, float]] = []
         self._exposed_tot: list[dict[str, float]] = []
         self._count_tot: list[dict[str, int]] = []
+        # Running per-rank comm-volume totals keyed by (op, phase, intra):
+        # (count, wire_bytes, busy_seconds).  The export hook the
+        # observability layer (repro.obs.commvol) reads without rescanning
+        # interval lists.
+        self._vol_tot: list[dict[tuple[str, str, bool], tuple[int, int, float]]] = []
 
     # -- world plumbing (called by repro.dist.runtime) ---------------------
     def bind(self, world_size: int) -> None:
@@ -180,6 +203,7 @@ class VirtualClock:
         self._busy_tot = [{} for _ in range(n)]
         self._exposed_tot = [{} for _ in range(n)]
         self._count_tot = [{} for _ in range(n)]
+        self._vol_tot = [{} for _ in range(n)]
 
     @property
     def world_size(self) -> int:
@@ -288,7 +312,15 @@ class VirtualClock:
         return self._times[rank]
 
     def collective_complete(
-        self, rank: int, op: str, phase: str, issue: float, start: float, end: float
+        self,
+        rank: int,
+        op: str,
+        phase: str,
+        issue: float,
+        start: float,
+        end: float,
+        payload_bytes: int = 0,
+        ranks: Sequence[int] = (),
     ) -> None:
         """Record one priced collective for *rank*.
 
@@ -297,27 +329,47 @@ class VirtualClock:
         blocking collective stalls the rank to ``end`` and archives its full
         wait as exposed; an eager one only occupies the channel and joins
         the pending queue (exposure settled at drain).
+
+        ``payload_bytes`` (the group max bid) and ``ranks`` (the group's
+        world ranks) stamp the archived interval with its wire volume and
+        link class — callers that omit them (legacy duck-typed paths) get
+        zero-byte intervals; virtual times are unaffected either way.
         """
+        grp = ranks if isinstance(ranks, tuple) else tuple(ranks)
+        if len(grp) > 1:
+            wire = self.cost.wire_bytes(op, int(payload_bytes), len(grp))
+            intra = self.cost.intra_node(grp)
+        else:
+            wire, intra = 0, True
         self._chan_free[rank] = max(self._chan_free[rank], end)
         if self.is_eager(op, phase):
             # Heap-ordered channel event: settled at the next drain point in
             # completion order, O(log n) per dispatch.
             seq = self._pseq[rank]
             self._pseq[rank] = seq + 1
-            heapq.heappush(self._pending[rank], (end, seq, op, phase, issue, start))
+            heapq.heappush(
+                self._pending[rank],
+                (end, seq, op, phase, issue, start, int(payload_bytes), wire,
+                 intra, grp),
+            )
             return
-        self._archive(rank, op, phase, issue, start, end, max(0.0, end - issue))
+        self._archive(
+            rank, op, phase, issue, start, end, max(0.0, end - issue),
+            int(payload_bytes), wire, intra, grp,
+        )
         self.sync(rank, end)
 
     def _archive(
         self, rank: int, op: str, phase: str, issue: float, start: float,
-        end: float, exposed: float,
+        end: float, exposed: float, payload: int = 0, wire: int = 0,
+        intra: bool = True, group: tuple[int, ...] = (),
     ) -> None:
         """Record one settled collective and fold it into the totals."""
         self._comm[rank].append(
             CommInterval(
                 rank=rank, op=op, phase=phase, issue=issue, start=start, end=end,
-                exposed=exposed,
+                exposed=exposed, payload_bytes=payload, wire_bytes=wire,
+                intra=intra, group=group,
             )
         )
         busy = self._busy_tot[rank]
@@ -326,6 +378,10 @@ class VirtualClock:
         exp[phase] = exp.get(phase, 0.0) + exposed
         cnt = self._count_tot[rank]
         cnt[phase] = cnt.get(phase, 0) + 1
+        vol = self._vol_tot[rank]
+        key = (op, phase, intra)
+        c, w, busy_s = vol.get(key, (0, 0, 0.0))
+        vol[key] = (c + 1, w + wire, busy_s + (end - start))
 
     def drain(self, rank: int) -> float:
         """Settle *rank*'s pending queue; returns the post-drain clock.
@@ -339,10 +395,15 @@ class VirtualClock:
         if heap:
             w = self._times[rank]
             while heap:
-                end, _seq, op, phase, issue, start = heapq.heappop(heap)
+                end, _seq, op, phase, issue, start, payload, wire, intra, grp = (
+                    heapq.heappop(heap)
+                )
                 exposed = max(0.0, end - w)
                 w = max(w, end)
-                self._archive(rank, op, phase, issue, start, end, exposed)
+                self._archive(
+                    rank, op, phase, issue, start, end, exposed, payload, wire,
+                    intra, grp,
+                )
             self._times[rank] = w
         return self._times[rank]
 
@@ -413,6 +474,42 @@ class VirtualClock:
         if phase is None:
             return sum(self._count_tot[rank].values())
         return self._count_tot[rank].get(phase, 0)
+
+    # -- observability export hooks (consumed by repro.obs) ----------------
+    def timeline(self, rank: int) -> list[ComputeInterval | CommInterval]:
+        """One rank's full archived timeline, time-ordered.
+
+        Compute and settled comm intervals merged and sorted by
+        ``(start, end)`` — the flat view the trace exporter
+        (:mod:`repro.obs.trace`) lowers to Chrome trace tracks.  Eager
+        collectives still in the pending queue are not included; drain (or
+        let :func:`repro.dist.run_spmd` finalize the rank) first.
+        """
+        merged: list[ComputeInterval | CommInterval] = [
+            *self._compute[rank], *self._comm[rank]
+        ]
+        merged.sort(key=lambda iv: (iv.start, iv.end))
+        return merged
+
+    def comm_volumes(
+        self, rank: int | None = None
+    ) -> dict[tuple[str, str, bool], tuple[int, int, float]]:
+        """Settled comm volumes by ``(op, phase, intra)`` from running totals.
+
+        Values are ``(count, wire_bytes, busy_seconds)`` — ``wire_bytes``
+        is the per-rank ring wire volume and ``busy_seconds`` the pure α–β
+        channel occupancy, both independent of overlap.  With ``rank=None``
+        the totals are summed over every rank.  O(buckets), never rescans
+        interval lists — the comm-volume report's *simulated* column
+        (:func:`repro.obs.commvol.comm_volume_report`) reads this.
+        """
+        ranks = range(len(self._vol_tot)) if rank is None else (rank,)
+        out: dict[tuple[str, str, bool], tuple[int, int, float]] = {}
+        for r in ranks:
+            for key, (c, w, s) in self._vol_tot[r].items():
+                oc, ow, os_ = out.get(key, (0, 0, 0.0))
+                out[key] = (oc + c, ow + w, os_ + s)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

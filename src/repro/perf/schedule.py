@@ -72,7 +72,26 @@ _KINDS = frozenset({"compute", "coll", "drain", "send", "recv"})
 
 class ScheduleReplayError(RuntimeError):
     """A captured schedule could not be replayed (mismatched groups,
-    an op disagreement inside a group slot, or a p2p deadlock)."""
+    an op disagreement inside a group slot, or a p2p deadlock).
+
+    Carries the failure's coordinates so drivers can localize a mismatched
+    capture without parsing the message: ``rank`` (the rank whose program
+    failed, or the first blocked rank for a deadlock), ``index`` (its
+    0-based event position), and ``op`` (the offending event's op, ``""``
+    for opless kinds).  All three also appear in the rendered text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: int | None = None,
+        index: int | None = None,
+        op: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.index = index
+        self.op = op
 
 
 @dataclass(frozen=True)
@@ -383,13 +402,17 @@ def _replay_step(
                 key = ev.group
                 if rank not in key:
                     raise ScheduleReplayError(
-                        f"rank {rank} issued a collective on group {key} it "
-                        f"is not a member of"
+                        f"rank {rank} event {pos[rank]} ({ev.op!r}): issued a "
+                        f"collective on group {key} it is not a member of",
+                        rank=rank, index=pos[rank], op=ev.op,
                     )
                 op, arrivals = slots.setdefault(key, (ev.op, {}))
                 if op != ev.op:
                     raise ScheduleReplayError(
-                        f"group {key} rendezvous mismatch: {op!r} vs {ev.op!r}"
+                        f"rank {rank} event {pos[rank]} ({ev.op!r}): group "
+                        f"{key} rendezvous mismatch — peers opened the slot "
+                        f"with {op!r}",
+                        rank=rank, index=pos[rank], op=ev.op,
                     )
                 bid = clock.collective_arrival(rank, ev.op, ev.phase)
                 issue = clock.now(rank)
@@ -405,7 +428,8 @@ def _replay_step(
                 for member in key:
                     _bid, m_issue, _payload, m_phase = arrivals[member]
                     clock.collective_complete(
-                        member, ev.op, m_phase, m_issue, start, end
+                        member, ev.op, m_phase, m_issue, start, end,
+                        payload_bytes=payload, ranks=key,
                     )
                     pos[member] += 1
                 moved = True
@@ -424,13 +448,22 @@ def _replay_step(
         if all(pos[r] >= lengths[r] for r in range(n)):
             return
         if not progressed:
-            stuck = {
-                r: programs[r][pos[r]]
+            stuck = [
+                (r, pos[r], programs[r][pos[r]])
                 for r in range(n)
                 if pos[r] < lengths[r]
-            }
+            ]
+            detail = "; ".join(
+                f"rank {r} event {i}: {ev.kind}"
+                + (f" {ev.op!r}" if ev.op else "")
+                + (f" peer={ev.peer} tag={ev.tag}" if ev.kind in ("send", "recv") else "")
+                + (f" group={ev.group}" if ev.kind == "coll" else "")
+                for r, i, ev in stuck
+            )
+            first_rank, first_index, first_ev = stuck[0]
             raise ScheduleReplayError(
-                f"schedule deadlocked; blocked cursors: {stuck}"
+                f"schedule deadlocked; blocked cursors: {detail}",
+                rank=first_rank, index=first_index, op=first_ev.op,
             )
 
 

@@ -327,3 +327,61 @@ class TestConcurrentAggregates:
         w.add(self._record(0))
         log.reset()
         assert log.count() == 0 and not w.pending
+
+
+class TestObservabilityAccessors:
+    """The capped repr, top-N histogram and streaming per-rank accessor the
+    observability layer (repro.obs) and large-world drivers rely on."""
+
+    @staticmethod
+    def _log_with_ops(n_ops: int, per_op: int = 1) -> TrafficLog:
+        log = TrafficLog()
+        for i in range(n_ops):
+            for _ in range(per_op):
+                log.add(TrafficRecord(rank=0, op=f"op_{i:03d}", phase="p",
+                                      payload_bytes=8, wire_bytes=4, group_size=2))
+        return log
+
+    def test_histogram_top_keeps_most_frequent_ops(self):
+        log = TrafficLog()
+        for op, n in (("a", 5), ("b", 3), ("c", 3), ("d", 1)):
+            for _ in range(n):
+                log.add(TrafficRecord(rank=0, op=op, phase="", payload_bytes=1,
+                                      wire_bytes=1, group_size=2))
+        assert log.ops_histogram(top=2) == {"a": 5, "b": 3}  # tie b/c -> name order
+        assert log.ops_histogram(top=10) == log.ops_histogram()
+
+    def test_repr_caps_rendered_ops(self):
+        many = self._log_with_ops(TrafficLog._REPR_TOP_OPS + 7)
+        text = repr(many)
+        assert f"+7 more ops" in text
+        assert text.count("op_") == TrafficLog._REPR_TOP_OPS
+        few = self._log_with_ops(2)
+        assert "more ops" not in repr(few)
+
+    def test_records_by_rank_streams_filtered_records(self):
+        log = TrafficLog()
+        for rank in (0, 1):
+            for op in ("all_reduce", "all_gather"):
+                log.add(TrafficRecord(rank=rank, op=op, phase="tp",
+                                      payload_bytes=8, wire_bytes=4, group_size=2))
+        mine = list(log.records_by_rank(1))
+        assert [r.rank for r in mine] == [1, 1]
+        assert [r.op for r in mine] == ["all_reduce", "all_gather"]  # issue order
+        assert [r.op for r in log.records_by_rank(1, op="all_gather")] == ["all_gather"]
+        assert list(log.records_by_rank(0, phase="dp_sync")) == []
+
+    def test_records_by_rank_sees_pending_writer_records(self):
+        log = TrafficLog()
+        w = log.writer()
+        w.add(TrafficRecord(rank=0, op="all_reduce", phase="", payload_bytes=8,
+                            wire_bytes=4, group_size=2))
+        assert w.pending  # unflushed, yet visible to the stream
+        assert [r.op for r in log.records_by_rank(0)] == ["all_reduce"]
+
+    def test_records_by_rank_matches_records_on_live_world(self):
+        _, world = run_spmd_world(_one_step, 4)
+        for rank in range(4):
+            assert list(world.traffic.records_by_rank(rank)) == world.traffic.records(
+                rank=rank
+            )

@@ -63,3 +63,11 @@ def test_scaling_planner():
 @pytest.mark.slow
 def test_overlap_calibration():
     run_example("overlap_calibration.py", ["--steps", "2"])
+
+
+@pytest.mark.slow
+def test_trace_export(tmp_path):
+    run_example(
+        "trace_export.py",
+        ["--steps", "2", "--out", str(tmp_path / "step.trace.json")],
+    )

@@ -235,6 +235,53 @@ class TestReplaySemantics:
         with pytest.raises(ScheduleReplayError, match="deadlock"):
             replay(schedule, MACHINE)
 
+    def test_mismatch_error_names_rank_event_and_op(self):
+        """The rendered diagnostic carries enough to find the bad event:
+        the offending rank, its event index and the op it issued."""
+        events = (
+            ScheduleEvent(kind="compute", rank=1, phase="forward", seconds=1e-6),
+            ScheduleEvent(kind="coll", rank=0, op="all_reduce", phase="tp",
+                          payload_bytes=64, group=(0, 1)),
+            ScheduleEvent(kind="coll", rank=1, op="all_gather", phase="tp",
+                          payload_bytes=64, group=(0, 1)),
+        )
+        schedule = CapturedSchedule(world_size=2, events=events)
+        with pytest.raises(ScheduleReplayError) as exc_info:
+            replay(schedule, MACHINE)
+        err = exc_info.value
+        text = str(err)
+        assert f"rank {err.rank}" in text
+        assert f"event {err.index}" in text
+        assert repr(err.op) in text
+        assert err.op in ("all_reduce", "all_gather")
+        # The index is the rank's own event cursor, not the global position.
+        assert (err.rank, err.index) in {(0, 0), (1, 1)}
+
+    def test_not_a_member_error_names_rank_event_and_op(self):
+        events = (
+            ScheduleEvent(kind="coll", rank=0, op="broadcast", phase="tp",
+                          payload_bytes=8, group=(1,)),
+        )
+        schedule = CapturedSchedule(world_size=2, events=events)
+        with pytest.raises(ScheduleReplayError, match="not a member") as exc_info:
+            replay(schedule, MACHINE)
+        err = exc_info.value
+        assert (err.rank, err.index, err.op) == (0, 0, "broadcast")
+        assert "rank 0 event 0 ('broadcast')" in str(err)
+
+    def test_deadlock_error_reports_each_blocked_rank(self):
+        events = (
+            ScheduleEvent(kind="recv", rank=0, peer=1, tag=3),
+            ScheduleEvent(kind="recv", rank=1, peer=0, tag=9),
+        )
+        schedule = CapturedSchedule(world_size=2, events=events)
+        with pytest.raises(ScheduleReplayError, match="deadlock") as exc_info:
+            replay(schedule, MACHINE)
+        err = exc_info.value
+        text = str(err)
+        assert "rank 0 event 0" in text and "rank 1 event 0" in text
+        assert err.rank is not None and err.index is not None
+
     def test_compute_scale_scales_pure_compute_linearly(self):
         events = (
             ScheduleEvent(kind="compute", rank=0, phase="forward", seconds=1e-4),
