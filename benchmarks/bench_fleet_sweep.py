@@ -1,0 +1,181 @@
+"""Fleet-scale autotuner sweep priced entirely by vectorized replay.
+
+Ranks every feasible configuration of a 7B-class model across a whole
+fleet of GPU budgets — ``len(FLEET_BUDGETS)`` (total_gpus, global_batch)
+points, >= 1000 candidate plans in total — through
+:func:`repro.perf.autotune.sweep_replay`: at most a handful of threaded
+stand-in worlds are ever spun up (one per schedule shape; the run asserts
+``captured_worlds <= 4``), each captured schedule is lowered once by
+:class:`repro.perf.schedule.ReplayProgram`, and every distinct
+(placement, compute-scale) variant is priced as one lane of a vectorized
+replay.  The scalar yardstick — per-budget
+``search_configurations(..., replay=True)`` calls, which re-capture and
+re-interpret per call — is timed once and recorded as
+``speedup_vs_scalar``; both paths produce identical rankings (pinned in
+``tests/test_schedule_replay.py``).
+
+The grid keeps the channel count odd on purpose: D-CHAG requires
+``channels % tp == 0``, so every candidate collapses to ``tp=1`` and the
+shrunk stand-in shapes stay within the <= 4 captured-world budget while the
+(fsdp, dp) factorizations still fan out to 1000+ candidates.
+
+Standalone runs merge a ``fleet_sweep`` entry into ``BENCH_runtime.json``
+(and optionally a sweep store); ``bench_runtime_speed.py`` also times this
+benchmark as part of the tracked suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.perf import frontier, named_model, search_configurations, sweep_replay
+
+MACHINE = frontier()
+FLEET_MODEL_NAME = "7B"
+#: Odd on purpose — forces tp=1 under D-CHAG's channels % tp == 0 rule,
+#: capping the sweep at <= 4 captured stand-in worlds (see module docstring).
+FLEET_CHANNELS = 495
+FLEET_STRATEGIES = ("dchag",)
+MAX_WORLDS = 4
+MIN_CANDIDATES = 1000
+
+
+def _budget_grid() -> list[tuple[int, int]]:
+    """8 .. 12,288 GPUs x {1,2,3,4,6,8,12,16} samples/GPU: 168 budgets."""
+    gpus: set[int] = set()
+    for e in range(3, 14):
+        gpus.add(2**e)
+        if e >= 4:
+            gpus.add(3 * 2**e // 2)
+    return [(g, g * m) for g in sorted(gpus) for m in (1, 2, 3, 4, 6, 8, 12, 16)]
+
+
+FLEET_BUDGETS = _budget_grid()
+
+
+def fleet_sweep_once() -> "object":
+    """One full sweep (the timed unit); asserts the sweep's shape contract."""
+    sweep = sweep_replay(
+        named_model(FLEET_MODEL_NAME), FLEET_CHANNELS, MACHINE, FLEET_BUDGETS,
+        strategies=FLEET_STRATEGIES,
+    )
+    assert sweep.candidates >= MIN_CANDIDATES, (
+        f"fleet sweep shrank: {sweep.candidates} candidates < {MIN_CANDIDATES}"
+    )
+    assert sweep.captured_worlds <= MAX_WORLDS, (
+        f"fleet sweep over-captured: {sweep.captured_worlds} worlds > {MAX_WORLDS}"
+    )
+    return sweep
+
+
+def scalar_baseline_seconds() -> float:
+    """Today's path, timed once: one ``search_configurations(replay=True)``
+    call per budget, each re-capturing its own stand-in worlds."""
+    model = named_model(FLEET_MODEL_NAME)
+    t0 = time.perf_counter()
+    for total_gpus, global_batch in FLEET_BUDGETS:
+        search_configurations(
+            model, FLEET_CHANNELS, total_gpus, MACHINE, global_batch,
+            strategies=FLEET_STRATEGIES, replay=True,
+        )
+    return time.perf_counter() - t0
+
+
+def run_benchmark(smoke: bool) -> dict:
+    """Timed sweep + one scalar yardstick; the ``fleet_sweep`` result row."""
+    repeats = 3 if smoke else 7
+    sweep = fleet_sweep_once()  # warmup (and contract check)
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fleet_sweep_once()
+        samples.append(time.perf_counter() - t0)
+    result = {
+        "seconds": statistics.median(samples),
+        "min_seconds": min(samples),
+        "repeats": repeats,
+        "budgets": len(FLEET_BUDGETS),
+        "candidates": sweep.candidates,
+        "captured_worlds": sweep.captured_worlds,
+        "replay_lanes": sweep.lanes,
+    }
+    scalar = scalar_baseline_seconds()
+    result["scalar_seconds"] = scalar
+    result["speedup_vs_scalar"] = round(scalar / result["seconds"], 2)
+    print(
+        f"fleet_sweep        {result['seconds'] * 1e3:9.2f} ms  "
+        f"({sweep.candidates} candidates, {sweep.captured_worlds} worlds, "
+        f"{sweep.lanes} lanes; scalar path {scalar * 1e3:.2f} ms -> "
+        f"{result['speedup_vs_scalar']:.2f}x)"
+    )
+    return result
+
+
+def merge_into_trajectory(out: Path, result: dict, baseline: bool) -> None:
+    """Merge this run's ``fleet_sweep`` row into the tracked JSON snapshot
+    without touching the other benchmarks' numbers."""
+    doc = json.loads(out.read_text()) if out.exists() else {
+        "suite": "bench_runtime_speed", "baseline": {}, "current": {}, "speedup": {},
+    }
+    doc.setdefault("current", {})["fleet_sweep"] = result
+    base = doc.setdefault("baseline", {})
+    if baseline or "fleet_sweep" not in base:
+        base["fleet_sweep"] = result
+    if base["fleet_sweep"].get("seconds", 0) > 0 and result["seconds"] > 0:
+        doc.setdefault("speedup", {})["fleet_sweep"] = round(
+            base["fleet_sweep"]["seconds"] / result["seconds"], 2
+        )
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"merged fleet_sweep into {out}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="fewer repeats (CI)")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_runtime.json"),
+        help="tracked trajectory JSON to merge the fleet_sweep entry into",
+    )
+    parser.add_argument("--baseline", action="store_true",
+                        help="record this run as the fleet_sweep baseline too")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="also persist the sweep rankings into a repro.obs sweep store")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args.smoke)
+    merge_into_trajectory(Path(args.out), result, args.baseline)
+
+    if args.store:
+        from repro.obs.store import SweepStore
+
+        # Record the rankings themselves (one search run per budget) plus
+        # the benchmark timings as a bench run.
+        sweep_replay(
+            named_model(FLEET_MODEL_NAME), FLEET_CHANNELS, MACHINE, FLEET_BUDGETS,
+            strategies=FLEET_STRATEGIES, store=args.store,
+            store_name=f"fleet-{FLEET_MODEL_NAME}-ch{FLEET_CHANNELS}",
+        )
+        with SweepStore(args.store) as store:
+            run_id = store.record_run(
+                "bench", "fleet_sweep", machine=MACHINE.name,
+                host=platform.platform(), params={"smoke": args.smoke},
+            )
+            for key in ("seconds", "min_seconds", "scalar_seconds"):
+                store.record_metric(run_id, f"fleet_sweep/{key}", result[key],
+                                    unit="s", source="bench")
+            for key in ("candidates", "captured_worlds", "replay_lanes",
+                        "speedup_vs_scalar"):
+                store.record_metric(run_id, f"fleet_sweep/{key}", result[key],
+                                    source="bench")
+        print(f"stored fleet sweep rankings and timings in {args.store}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,19 +18,24 @@ Times the three hot layers every figure and autotuner sweep runs through —
   pruning (``prune_top_k=3``), the autotuner's end-to-end cost: the time
   to produce the §6.2 podium with per-plan simulated overlaps.
 * ``captured_replay`` — 100 training steps advanced through a captured
-  8-rank schedule as pure event arithmetic
-  (:func:`repro.perf.schedule.replay`): no threads, no numpy payloads, no
-  rendezvous.  The result also records ``live_seconds`` (one threaded
-  100-step world) and ``speedup_vs_live`` — the replay engine's raison
-  d'être, expected well above 10×.
+  8-rank schedule by the vectorized replay kernel
+  (:func:`repro.perf.schedule.replay_many`, one lane — lowering included):
+  no threads, no numpy payloads, no rendezvous, no per-step cursor walk.
+  The result also records ``live_seconds`` (one threaded 100-step world)
+  and ``speedup_vs_live`` — the replay engine's raison d'être.
+* ``fleet_sweep`` — a 1000+-candidate multi-budget autotuner sweep priced
+  entirely by vectorized replay from <= 4 captured stand-in worlds
+  (:func:`repro.perf.autotune.sweep_replay`; see
+  ``benchmarks/bench_fleet_sweep.py`` for the standalone version and the
+  scalar-path yardstick).
 
 Results are written as JSON (default ``BENCH_runtime.json`` at the repo
 root).  The file keeps two snapshots: ``baseline`` (the pre-optimization
 numbers, preserved across runs) and ``current`` (this run), plus the
 per-benchmark speedups.  CI runs ``--smoke --check BENCH_runtime.json``:
 fresh numbers are gated against the committed ``current`` values and the
-job fails if ``step_replay_8`` regresses by more than ``--regression-tol``
-(default 1.5×).
+job fails if **any** tracked benchmark regresses by more than
+``--regression-tol`` (default 1.5×), probe-normalized across hosts.
 """
 
 from __future__ import annotations
@@ -52,7 +57,9 @@ from repro.perf.clock import VirtualClock
 from repro.perf.modelcfg import ModelConfig
 from repro.perf.overlap import OVERLAP_PHASES
 from repro.perf.plan import ParallelPlan, Workload
-from repro.perf.schedule import replay
+from repro.perf.schedule import ReplayVariant, replay_many
+
+import bench_fleet_sweep
 
 MACHINE = frontier()
 
@@ -151,11 +158,14 @@ def run_suite(smoke: bool) -> dict:
         "collective_churn": bench_collective_churn,
         "eager_drain": bench_eager_drain,
         "sec62_search": bench_sec62_search,
-        "captured_replay": lambda: replay(captured, MACHINE, n_steps=REPLAY_STEPS),
+        "captured_replay": lambda: replay_many(
+            captured, [ReplayVariant(machine=MACHINE)], n_steps=REPLAY_STEPS
+        ),
+        "fleet_sweep": bench_fleet_sweep.fleet_sweep_once,
     }
     results = {}
     for name, fn in suite.items():
-        r = repeats if name != "sec62_search" else max(2, repeats - 1)
+        r = repeats if name not in ("sec62_search", "fleet_sweep") else max(2, repeats - 1)
         results[name] = _time(fn, r)
         print(f"{name:<18} {results[name]['seconds'] * 1e3:9.2f} ms  "
               f"(min {results[name]['min_seconds'] * 1e3:.2f} ms, {r} runs)")
@@ -175,6 +185,19 @@ def run_suite(smoke: bool) -> dict:
     cr["speedup_vs_live"] = round(live / cr["seconds"], 2)
     print(f"{'captured_replay':<18} {cr['speedup_vs_live']:9.2f}x vs live "
           f"({live * 1e3:.2f} ms threaded for {REPLAY_STEPS} steps)")
+    # Fleet-sweep shape metadata plus its own yardstick: the scalar
+    # per-budget search path, timed once (not a tracked benchmark).
+    fs = results["fleet_sweep"]
+    sweep = bench_fleet_sweep.fleet_sweep_once()
+    fs["budgets"] = len(bench_fleet_sweep.FLEET_BUDGETS)
+    fs["candidates"] = sweep.candidates
+    fs["captured_worlds"] = sweep.captured_worlds
+    fs["replay_lanes"] = sweep.lanes
+    fs["scalar_seconds"] = bench_fleet_sweep.scalar_baseline_seconds()
+    fs["speedup_vs_scalar"] = round(fs["scalar_seconds"] / fs["seconds"], 2)
+    print(f"{'fleet_sweep':<18} {fs['speedup_vs_scalar']:9.2f}x vs scalar "
+          f"({fs['scalar_seconds'] * 1e3:.2f} ms for {fs['candidates']} "
+          f"candidates over {fs['budgets']} budgets)")
     return results
 
 
@@ -230,27 +253,37 @@ def host_probe_seconds() -> float:
 def check_regression(current: dict, probe: float, committed_path: Path, tol: float) -> int:
     """Gate fresh numbers against the committed ``current`` snapshot.
 
-    When both snapshots carry a host probe, the gate compares
-    probe-normalized times (benchmark seconds per probe second), so a
-    slower CI runner does not read as a code regression; legacy snapshots
-    without a probe fall back to raw seconds.
+    Every benchmark present in both snapshots is gated — the job fails if
+    ANY of them regresses past ``tol``, not just the step replay.  When
+    both snapshots carry a host probe, the gate compares probe-normalized
+    times (benchmark seconds per probe second), so a slower CI runner does
+    not read as a code regression; legacy snapshots without a probe fall
+    back to raw seconds.
     """
     doc = json.loads(committed_path.read_text())
     committed = doc["current"]
-    gate = "step_replay_8"
-    fresh = current[gate]["seconds"]
-    pinned = committed[gate]["seconds"]
     pinned_probe = doc.get("host_probe_seconds", 0.0)
-    if probe > 0 and pinned_probe > 0:
-        ratio = (fresh / probe) / (pinned / pinned_probe)
-        basis = f"probe-normalized (host probe {probe * 1e3:.1f} ms vs committed {pinned_probe * 1e3:.1f} ms)"
-    else:
-        ratio = fresh / pinned if pinned > 0 else float("inf")
-        basis = "raw seconds (no probe in committed snapshot)"
-    status = "ok" if ratio <= tol else "REGRESSION"
-    print(f"regression gate [{basis}]: {gate} {fresh * 1e3:.2f} ms vs committed "
-          f"{pinned * 1e3:.2f} ms ({ratio:.2f}x, tol {tol:.2f}x) -> {status}")
-    return 0 if ratio <= tol else 1
+    normalized = probe > 0 and pinned_probe > 0
+    basis = (
+        f"probe-normalized (host probe {probe * 1e3:.1f} ms vs committed "
+        f"{pinned_probe * 1e3:.1f} ms)"
+        if normalized
+        else "raw seconds (no probe in committed snapshot)"
+    )
+    print(f"regression gate [{basis}], tol {tol:.2f}x:")
+    failures = 0
+    for gate in sorted(set(current) & set(committed)):
+        fresh = current[gate]["seconds"]
+        pinned = committed[gate]["seconds"]
+        if normalized:
+            ratio = (fresh / probe) / (pinned / pinned_probe)
+        else:
+            ratio = fresh / pinned if pinned > 0 else float("inf")
+        status = "ok" if ratio <= tol else "REGRESSION"
+        failures += 0 if ratio <= tol else 1
+        print(f"  {gate:<18} {fresh * 1e3:9.2f} ms vs committed "
+              f"{pinned * 1e3:9.2f} ms ({ratio:.2f}x) -> {status}")
+    return 0 if failures == 0 else 1
 
 
 def main(argv=None) -> int:
@@ -263,7 +296,7 @@ def main(argv=None) -> int:
     parser.add_argument("--check", metavar="PATH", default=None,
                         help="gate against the committed snapshot at PATH (CI)")
     parser.add_argument("--regression-tol", type=float, default=1.5,
-                        help="max allowed step_replay_8 slowdown vs committed (default 1.5x)")
+                        help="max allowed slowdown vs committed, any benchmark (default 1.5x)")
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="also persist this run into a repro.obs sweep store")
     args = parser.parse_args(argv)

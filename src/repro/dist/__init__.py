@@ -45,6 +45,7 @@ from .autograd import (
     copy_to_group,
     reduce_from_group,
 )
+from .pool import BufferPool, site_key
 from .runtime import (
     Communicator,
     ProcessGroup,
@@ -57,6 +58,8 @@ from .runtime import (
 from .stats import TrafficLog, TrafficRecord, TrafficTotals, ring_wire_bytes
 
 __all__ = [
+    "BufferPool",
+    "site_key",
     "Communicator",
     "ProcessGroup",
     "SpmdError",

@@ -52,6 +52,7 @@ def all_gather_autograd(
     group: ProcessGroup | None = None,
     axis: int = 0,
     reduce_op: str = "sum",
+    pool_key: str | None = None,
 ) -> Tensor:
     """AllGather *x* along *axis*; backward pays a ReduceScatter.
 
@@ -59,9 +60,25 @@ def all_gather_autograd(
     backward reduces (``reduce_op``: "sum", or "mean" for the FSDP/DDP
     convention) and scatters each rank its own slice — the §3.1 distributed
     tokenization cost that D-CHAG removes.
+
+    With *pool_key* (and ``axis == 0``) the gather lands in per-part views
+    of one pooled contiguous buffer, so the concatenation is free and
+    steady-state calls allocate nothing; the first call at a site runs the
+    allocating path to learn the peers' part shapes.  See
+    :mod:`repro.dist.pool` for the reuse discipline.
     """
     group = _resolve(comm, group)
-    parts = comm.all_gather(x.data, group=group)
+    pooled = pool_key is not None and axis == 0
+    out_data = None
+    if pooled:
+        site = comm.pool.meta(pool_key)
+        shapes = site.get("shapes") if site.get("local") == x.data.shape else None
+        if shapes is not None:
+            flat, views = comm.pool.take_views(pool_key, shapes, x.data.dtype)
+            parts = comm.all_gather(x.data, group=group, out=views)
+            out_data = flat
+    if out_data is None:
+        parts = comm.all_gather(x.data, group=group)
     other_dims = {p.shape[:axis] + p.shape[axis + 1 :] for p in parts}
     if len(other_dims) > 1:
         raise SpmdError(
@@ -72,12 +89,21 @@ def all_gather_autograd(
     # ReduceScatter is told the exact per-rank sizes so each rank gets back
     # the gradient of precisely its own contribution (a padded collective).
     sizes = tuple(p.shape[axis] for p in parts)
-    out_data = np.concatenate(parts, axis=axis)
+    if out_data is None:
+        out_data = np.concatenate(parts, axis=axis)
+        if pooled:
+            site["local"] = x.data.shape
+            site["shapes"] = [p.shape for p in parts]
 
     def backward(grad: np.ndarray) -> None:
+        out = (
+            comm.pool.take(f"{pool_key}/bwd", x.data.shape, x.data.dtype)
+            if pooled
+            else None
+        )
         with _backward_phase(comm):
             shard = comm.reduce_scatter(
-                grad, op=reduce_op, group=group, axis=axis, sizes=sizes
+                grad, op=reduce_op, group=group, axis=axis, sizes=sizes, out=out
             )
         x._accumulate(shard)
 
@@ -113,33 +139,53 @@ def all_gather_forward_only(
 
 
 def copy_to_group(
-    comm: Communicator, x: Tensor, group: ProcessGroup | None = None
+    comm: Communicator,
+    x: Tensor,
+    group: ProcessGroup | None = None,
+    pool_key: str | None = None,
 ) -> Tensor:
     """Megatron's ``f``: identity forward, AllReduce(sum) of grads backward.
 
     Placed at the *entry* of a tensor-parallel region: the replicated input
     feeds every rank's shard, so its gradient is the sum of all shards'
-    contributions.
+    contributions.  With *pool_key* the backward AllReduce lands in a pooled
+    buffer (``_accumulate`` copies, so the pool is free to reuse it next
+    step).
     """
     group = _resolve(comm, group)
 
     def backward(grad: np.ndarray) -> None:
+        out = (
+            comm.pool.take(pool_key, grad.shape, grad.dtype)
+            if pool_key is not None
+            else None
+        )
         with _backward_phase(comm):
-            x._accumulate(comm.all_reduce(grad, group=group))
+            x._accumulate(comm.all_reduce(grad, group=group, out=out))
 
     return x._make(x.data, (x,), backward, "copy_to_group")
 
 
 def reduce_from_group(
-    comm: Communicator, x: Tensor, group: ProcessGroup | None = None
+    comm: Communicator,
+    x: Tensor,
+    group: ProcessGroup | None = None,
+    pool_key: str | None = None,
 ) -> Tensor:
     """Megatron's ``g``: AllReduce(sum) forward, identity backward.
 
     Placed at the *exit* of a tensor-parallel region to complete the partial
-    sums of a row-parallel matmul.
+    sums of a row-parallel matmul.  With *pool_key* the forward AllReduce
+    reuses a pooled result buffer, valid until this site runs again (the
+    downstream bias-add copies it into fresh activation storage).
     """
     group = _resolve(comm, group)
-    out_data = comm.all_reduce(x.data, group=group)
+    out = (
+        comm.pool.take(pool_key, x.data.shape, x.data.dtype)
+        if pool_key is not None
+        else None
+    )
+    out_data = comm.all_reduce(x.data, group=group, out=out)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad)
@@ -152,13 +198,16 @@ def average_gradients(
     params: list[Tensor],
     group: ProcessGroup | None = None,
     bucket_bytes: int = 1 << 24,
+    pool_key: str | None = None,
 ) -> None:
     """AllReduce(mean) every parameter gradient across the group (DDP sync).
 
     Gradients are flattened into buckets of at most *bucket_bytes* so large
     models issue a few big collectives instead of one per parameter;
     ``None`` gradients contribute zeros (a rank that never touched a
-    parameter still participates in its reduction).
+    parameter still participates in its reduction).  With *pool_key* the
+    flat bucket buffers are pooled per bucket index, so a steady-state sync
+    allocates nothing beyond the per-parameter grad copies.
     """
     group = _resolve(comm, group)
     params = [p for p in params if p.requires_grad]
@@ -174,13 +223,26 @@ def average_gradients(
         buckets[-1].append(p)
         used += p.nbytes
 
-    for bucket in buckets:
-        flat = np.concatenate(
-            [
-                (p.grad if p.grad is not None else np.zeros_like(p.data)).ravel()
-                for p in bucket
-            ]
-        )
+    for bi, bucket in enumerate(buckets):
+        if pool_key is not None:
+            dtype = np.result_type(*(p.data.dtype for p in bucket))
+            total = sum(p.data.size for p in bucket)
+            flat = comm.pool.take(f"{pool_key}/bucket{bi}", (total,), dtype)
+            offset = 0
+            for p in bucket:
+                seg = flat[offset : offset + p.data.size]
+                if p.grad is None:
+                    seg[...] = 0
+                else:
+                    np.copyto(seg, p.grad.ravel())
+                offset += p.data.size
+        else:
+            flat = np.concatenate(
+                [
+                    (p.grad if p.grad is not None else np.zeros_like(p.data)).ravel()
+                    for p in bucket
+                ]
+            )
         # Reduce back into the flat bucket buffer (out= may alias the
         # input): no second full-size allocation per bucket.
         avg = comm.all_reduce(flat, op="mean", group=group, out=flat)

@@ -1,0 +1,117 @@
+"""Site-keyed collective buffer pools — steady-state steps allocate nothing.
+
+The runtime's collectives accept ``out=`` so callers can reuse result
+buffers; :class:`BufferPool` is the piece that makes reuse systematic.  Each
+call *site* (one FSDP unit gather, one TP region AllReduce, one DDP bucket)
+owns a stable string key; the pool maps that key to one buffer and hands the
+same array back every step, reallocating only when the requested shape or
+dtype changes.  Wrappers opt in by threading ``pool_key=`` through
+:mod:`repro.dist.autograd`; the allocating path stays the default and is the
+reference the pooled path is property-tested bitwise against.
+
+Allocation discipline (the contract wrappers and callers rely on):
+
+* A pooled buffer is valid until the **same site executes again** — one
+  forward/backward later its contents are overwritten in place.  Anything
+  that must outlive the step (parameter gradients, checkpoint copies) is
+  copied out of the pool, never aliased; :meth:`repro.tensor.Tensor._accumulate`
+  already copies unowned arrays, so pooled collective results can be fed to
+  autograd directly.
+* Shape changes are tolerated per rank (a mismatch is a pool miss, not an
+  error), but an AllGather site that cached its *peers'* part shapes
+  (:meth:`BufferPool.take_views`) requires lockstep shape changes: if a peer
+  shard resizes while this rank's does not, the runtime's ``out=``
+  validation raises :class:`~repro.dist.runtime.SpmdError` loudly rather
+  than corrupting — pooled gather sites must keep static shapes per site.
+* Keys are rank-local (each rank's :class:`~repro.dist.runtime.Communicator`
+  owns its own pool); no cross-rank agreement on keys is needed, only the
+  usual SPMD lockstep on the collectives themselves.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = ["BufferPool", "site_key"]
+
+_SITE_COUNTER = itertools.count()
+
+
+def site_key(prefix: str) -> str:
+    """A process-unique pool key for one call site (``"prefix#N"``).
+
+    Wrapper constructors call this once per site (per FSDP unit, per TP
+    region) so two models over the same communicator can never share — and
+    silently clobber — each other's buffers.
+    """
+    return f"{prefix}#{next(_SITE_COUNTER)}"
+
+
+class BufferPool:
+    """One rank's site-keyed buffer cache (lifetime: the world's).
+
+    ``hits``/``misses`` count steady-state reuse vs (re)allocation — the
+    property tests pin that a converged training step takes zero misses.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._views: dict[str, tuple] = {}
+        self._meta: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, key: str, shape, dtype) -> np.ndarray:
+        """The site's buffer, reused when shape/dtype match, fresh otherwise."""
+        shape = (shape,) if isinstance(shape, int) else tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(key)
+        if buf is not None and buf.shape == shape and buf.dtype == dtype:
+            self.hits += 1
+            return buf
+        self.misses += 1
+        buf = np.empty(shape, dtype=dtype)
+        self._buffers[key] = buf
+        return buf
+
+    def take_views(self, key: str, shapes, dtype):
+        """One contiguous axis-0 buffer plus per-part views into it.
+
+        *shapes* lists each part's shape; all must share trailing dims.  The
+        flat buffer's axis 0 is the parts' axis-0 sizes summed, so gathering
+        into the views **is** the concatenation — no copy afterwards.
+        Returns ``(flat, views)``.
+        """
+        shapes = [tuple(int(x) for x in s) for s in shapes]
+        dtype = np.dtype(dtype)
+        entry = self._views.get(key)
+        if entry is not None and entry[2] == shapes and entry[3] == dtype:
+            self.hits += 1
+            return entry[0], entry[1]
+        trail = {s[1:] for s in shapes}
+        if len(trail) > 1:
+            raise ValueError(f"take_views parts disagree on trailing dims: {sorted(trail)}")
+        self.misses += 1
+        total = sum(s[0] for s in shapes)
+        flat = np.empty((total, *shapes[0][1:]), dtype=dtype)
+        views, lo = [], 0
+        for s in shapes:
+            views.append(flat[lo : lo + s[0]])
+            lo += s[0]
+        self._views[key] = (flat, views, shapes, dtype)
+        return flat, views
+
+    def meta(self, key: str) -> dict:
+        """Mutable per-site scratch dict (e.g. cached peer part shapes)."""
+        m = self._meta.get(key)
+        if m is None:
+            m = self._meta[key] = {}
+        return m
+
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held (flat view buffers counted once)."""
+        held = sum(b.nbytes for b in self._buffers.values())
+        held += sum(entry[0].nbytes for entry in self._views.values())
+        return held

@@ -53,8 +53,9 @@ __all__ = [
     "split_sizes",
 ]
 
-# How often blocked ranks re-check the abort flag.  Completions are signalled
-# with notify_all, so this only bounds abort latency, not collective latency.
+# How often blocked ranks re-check the abort flag.  Completions open each
+# waiter's gate directly, so this only bounds abort latency, not collective
+# latency.
 _POLL_S = 0.05
 
 _DEFAULT_TIMEOUT_S = 120.0
@@ -125,26 +126,32 @@ class _Slot:
 
     Slots live in a fixed per-group ring and are re-initialized in place
     when their generation comes around again (``gen`` is the sequence
-    number currently occupying the slot).  Completion is signalled with a
-    per-slot :class:`threading.Event` instead of a group-wide condition
-    broadcast: only the ranks blocked on *this* collective wake, and they
-    resume without re-acquiring the group lock.
+    number currently occupying the slot).  Completion is a **batched
+    wake**: the last arriver runs the reduction, distributes every
+    member's private return value into ``values`` while all peers are
+    still blocked, then publishes by releasing each waiter's pre-locked
+    **gate** — one plain C-level mutex handoff per waiter, with none of
+    ``Event``/``Condition``'s per-wait waiter-lock allocation and list
+    bookkeeping.  Waiters pick their value up lock-free (one GIL-atomic
+    list read) — no consumed-count bookkeeping, no second
+    synchronization point on the way out.
     """
 
     __slots__ = (
         "gen",
         "signature",
         "data",
+        "consumers",
         "arrived",
         "done",
-        "event",
-        "exit_event",
+        "gates",
+        "values",
+        "value_errors",
         "result",
+        "self_consume",
+        "picked",
         "error",
-        "consumed",
         "out_count",
-        "barrier_votes",
-        "use_barrier",
         "scratch",
         "arrivals",
         "payload_max",
@@ -154,19 +161,28 @@ class _Slot:
 
     def __init__(self, size: int) -> None:
         self.gen = -1
-        self.event = threading.Event()
-        self.exit_event = threading.Event()
+        # One pre-locked gate per member.  Waiters block on their own
+        # gate's timed acquire; the publisher releases each peer's gate
+        # after ``done`` is set.  A raw lock handoff is the cheapest wake
+        # CPython offers — no per-wait waiter-lock allocation, no
+        # Condition list bookkeeping — and the rendezvous-bound collective
+        # floor is exactly this wake path times the group size.
+        self.gates = [threading.Lock() for _ in range(size)]
+        for gate in self.gates:
+            gate.acquire()
         self.data: list[Any] = [None] * size
+        self.consumers: list[Any] = [None] * size
+        self.values: list[Any] = [None] * size
+        self.value_errors: list[BaseException | None] = [None] * size
         self.arrivals: list[float] = [0.0] * size
         self.signature: tuple = ()
         self.arrived = 0
         self.done = False
         self.result: Any = None
+        self.self_consume = False
+        self.picked: list[None] = []
         self.error: BaseException | None = None
-        self.consumed = 0
         self.out_count = 0
-        self.barrier_votes = 0
-        self.use_barrier = False
         # Reusable reduction buffers keyed by (shape, dtype); kept across
         # recycles so steady-state schedules reduce into warm, preallocated
         # memory instead of faulting a fresh buffer per collective.  Only
@@ -181,17 +197,23 @@ class _Slot:
         """Re-initialize for sequence number *gen* (under the group lock)."""
         self.gen = gen
         self.signature = signature
-        self.event.clear()
-        self.exit_event.clear()
+        # Re-lock any gate whose release went unconsumed (its waiter left
+        # via the poll timeout after observing ``done``).  No thread can
+        # be blocked on this slot's gates here: every member consumed this
+        # slot's previous generation long ago (see the ring invariant).
+        for gate in self.gates:
+            gate.acquire(False)
         self.data = [None] * size
+        self.consumers = [None] * size
+        self.values = [None] * size
+        self.value_errors = [None] * size
         self.arrived = 0
         self.done = False
         self.result = None
+        self.self_consume = False
+        self.picked = []
         self.error = None
-        self.consumed = 0
         self.out_count = 0
-        self.barrier_votes = 0
-        self.use_barrier = False
         self.payload_max = 0
         self.start = -1.0
         self.finish = -1.0
@@ -201,7 +223,7 @@ class _GroupState:
     """Shared rendezvous state for one ranks-tuple (lazily created).
 
     ``lock`` guards only the brief arrival/consumption bookkeeping; waiting
-    happens lock-free on each slot's event, and reductions run on the last
+    happens on each member's own slot gate, and reductions run on the last
     arriver's thread with no lock held at all.
     """
 
@@ -298,8 +320,12 @@ class World:
             # Wake every blocked waiter immediately: they observe the slot
             # still not done, re-check the abort flag, and unwind.
             for slot in state.ring:
-                slot.event.set()
-                slot.exit_event.set()
+                for gate in slot.gates:
+                    if gate.locked():
+                        try:
+                            gate.release()
+                        except RuntimeError:
+                            pass  # lost the race with the publisher (or a second abort)
 
     def _check_abort(self) -> None:
         if self._abort_event.is_set():
@@ -325,10 +351,15 @@ def _copy_in(value) -> np.ndarray:
     return np.array(value, copy=True)
 
 
-#: AllGathers at or above this payload run with an exit barrier (parts are
-#: copied straight from the peers' live buffers, skipping the snapshot);
-#: below it the second synchronization point costs more than the copy.
-_GATHER_BARRIER_MIN = 1 << 18
+#: Collectives whose group-max payload reaches this size switch from
+#: last-arriver distribution (one thread runs every member's consume — the
+#: lowest-latency wake, but serial memcpy) to publish mode: the result is
+#: detached from the live contributions once, then every member copies its
+#: own value out in parallel after the wake (numpy copies drop the GIL, so
+#: the per-collective memcpy floor scales down with the member count).  The
+#: choice is made by the last arriver alone — one protocol per slot, never
+#: a split vote.
+_PUBLISH_MIN = 1 << 16
 
 
 def _check_out(out: np.ndarray, shape: tuple, dtype, what: str) -> None:
@@ -401,6 +432,31 @@ def _reduce(
     return out
 
 
+def _consume_reduce_private(result: np.ndarray, take_ref: bool) -> np.ndarray:
+    """Reduction consume without ``out=``: the one ``take_ref`` rank keeps
+    the fresh compute output by reference, everyone else copies a private
+    result (the reduction never aliases a contribution)."""
+    return result if take_ref else result.copy()
+
+
+#: Hot-path interning.  Small collectives are rendezvous-bound: with many
+#: ranks sharing one GIL, per-call allocations (signature tuples, compute
+#: closures) are a measurable slice of the per-collective floor, so the
+#: callables that never vary per call are built exactly once.
+_REDUCE_SIGS = {op: ("all_reduce", op) for op in _REDUCE_OPS}
+_REDUCE_COMPUTES: dict[str, Callable] = {
+    op: (lambda o: lambda data, scratch: _reduce(data, o, scratch))(op)
+    for op in _REDUCE_OPS
+}
+
+#: Memoized per-(op, payload, group) wire bytes for traffic logging — pure
+#: arithmetic, but steady-state steps reissue identical collectives, so the
+#: hot path pays one dict probe instead.  GIL-atomic dict ops make lock-free
+#: sharing safe (a racy miss just recomputes the same value).
+_WIRE_CACHE: dict[tuple[str, int, int], int] = {}
+_WIRE_CACHE_MAX = 4096
+
+
 class Communicator:
     """One rank's handle on the world — the RCCL substitute.
 
@@ -420,6 +476,21 @@ class Communicator:
         # buffers too, so counts are exact whenever the world quiesces;
         # mid-run polling may transiently miss a batch in flight.
         self._traffic = world.traffic.writer()
+        self._pool = None
+
+    @property
+    def pool(self):
+        """This rank's site-keyed collective buffer pool (lazily created).
+
+        Lifetime matches the world's; wrappers key into it via
+        :func:`repro.dist.pool.site_key` to reuse ``out=`` buffers across
+        steps (see :mod:`repro.dist.pool` for the allocation discipline).
+        """
+        if self._pool is None:
+            from .pool import BufferPool
+
+            self._pool = BufferPool()
+        return self._pool
 
     # -- plumbing ----------------------------------------------------------
     def group(self, ranks: Sequence[int]) -> ProcessGroup:
@@ -454,14 +525,20 @@ class Communicator:
         vstart: float = -1.0,
         vend: float = -1.0,
     ) -> None:
-        wire = ring_wire_bytes(op, payload_bytes, group_size)
+        payload = int(payload_bytes)
+        key = (op, payload, group_size)
+        wire = _WIRE_CACHE.get(key)
+        if wire is None:
+            if len(_WIRE_CACHE) >= _WIRE_CACHE_MAX:
+                _WIRE_CACHE.clear()
+            wire = _WIRE_CACHE[key] = ring_wire_bytes(op, payload, group_size)
         self._traffic.add(
             TrafficRecord(
                 rank=self.rank,
                 op=op,
                 phase=self.phase,
-                payload_bytes=int(payload_bytes),
-                wire_bytes=int(wire),
+                payload_bytes=payload,
+                wire_bytes=wire,
                 group_size=group_size,
                 vstart=vstart,
                 vend=vend,
@@ -482,44 +559,51 @@ class Communicator:
         payload_bytes: int = 0,
         consume: Callable[[Any, bool], Any] | None = None,
         out_provided: bool = False,
-        barrier_vote: bool | None = None,
-        compute_live: Callable[[list, dict | None], Any] | None = None,
+        snapshot: Callable[[Any], Any] | None = None,
     ) -> tuple[Any, float, float]:
-        """Join the group's next collective slot; return its shared result.
+        """Join the group's next collective slot; return this rank's value.
 
-        The last arriver runs *compute* over the group-rank-ordered
-        contribution list — with **no lock held**, so a large reduction
-        never serializes unrelated rendezvous — then publishes the result
-        and sets the slot's event, waking exactly the ranks blocked on this
-        collective (no group-wide broadcast, no lock re-acquisition on the
-        wake path).
+        Batched-wake protocol: the last arriver runs *compute* over the
+        group-rank-ordered contribution list — with **no lock held**, so a
+        large reduction never serializes unrelated rendezvous — then
+        releases the whole group by opening each waiter's pre-locked gate
+        (a raw C-level mutex handoff per member).  Below
+        ``_PUBLISH_MIN`` it **distributes** first: it runs each rank's
+        *consume* closure itself, while all peers are still blocked inside
+        the rendezvous, and waiters pick their value up with one GIL-atomic
+        list read — no lock re-acquisition, no consumed-count bookkeeping,
+        no second synchronization point, and no snapshot of anything.  At or
+        above it (bandwidth-bound payloads, where one thread running every
+        member's memcpy serially is the floor) it **publishes** instead:
+        the result is detached from the live contributions once (via
+        *snapshot*, for ops whose compute output references them) and every
+        member runs its own consume in parallel after the wake.  Both modes
+        produce bitwise-identical values; the choice is the last arriver's
+        alone, so the group can never split across protocols.
 
-        Zero-copy contract: contributions are *not* snapshotted — every
-        contributing rank stays blocked in this rendezvous until the result
-        is published, so *compute* sees stable inputs but must not mutate
-        them, and any part of its output that aliases a contribution must
-        be copied before it escapes (the contributor may mutate its buffer
-        as soon as it returns) **unless** the slot runs with an exit
-        barrier.  The barrier is a **group decision**: each rank casts
-        ``barrier_vote`` (``None`` ⇒ the op never uses one) and the
-        collective runs barrier-mode only if *every* member voted for it —
-        a per-rank decision could split the group across two wake
-        protocols and deadlock.  In barrier mode the last arriver runs
-        *compute_live* (outputs may reference the live contributions), and
-        no member returns until every member finished consuming, so
-        *consume* may read peers' buffers directly; a rank whose consume
-        raises still joins the barrier before re-raising, so peers never
-        hang on it.  *compute* is called as ``compute(data, scratch)``:
+        Zero-copy contract: contributions are *not* snapshotted in
+        distribution mode — every contributing rank stays blocked until
+        distribution finished, so *compute* and the *consume* closures see
+        stable inputs and may copy straight out of peers' live buffers.
+        Neither may mutate a contribution.  In publish mode consume runs
+        *after* the wake, so it may only read the (detached) result it is
+        handed — which is also why no value handed back may ever alias a
+        contribution.  *compute* is called as ``compute(data, scratch)``:
         *scratch* is the slot's reusable (shape, dtype)-keyed buffer map
         when **every** member passed a preallocated ``out=`` (the result
         then never escapes the slot and reductions may write warm scratch
-        memory), ``None`` otherwise.  *consume* turns the shared result
-        into this rank's private return value: it is called as
-        ``consume(result, last_reader)`` where ``last_reader`` is True for
-        exactly one rank — the one that observes every other member
-        already finished consuming — which may therefore take shared
-        buffers by reference instead of copying (always False in barrier
-        mode).  ``consume=None`` shares the result verbatim (barrier).
+        memory), ``None`` otherwise.  *consume* turns the shared compute
+        result into one rank's private value; it is called as
+        ``consume(result, take_ref)`` once per member, where ``take_ref``
+        is True for at most one call — made only in distribution mode when
+        *result* is a fresh private buffer (no scratch in play) — whose
+        consume may then return shared compute output by reference instead
+        of copying.  A consume that raises fails only its own rank (the
+        error is re-raised there verbatim); peers complete normally.
+        ``consume=None`` hands every rank the compute result itself
+        (barrier: ``None``).  *snapshot* detaches a live-referencing
+        compute result for publish mode; ops whose results are already
+        private (reductions) pass ``None``.
 
         Returns ``(value, vstart, vend)``: this rank's virtual issue time
         and the group-wide virtual completion (slowest arrival bid +
@@ -572,48 +656,93 @@ class Communicator:
                     f"{slot.signature[0]!r}"
                 )
             slot.data[me] = contribution
+            slot.consumers[me] = consume
             if out_provided:
                 slot.out_count += 1
-            if barrier_vote:
-                slot.barrier_votes += 1
+            if payload_bytes > slot.payload_max:
+                slot.payload_max = int(payload_bytes)
             if clock is not None:
                 slot.arrivals[me] = bid
-                if payload_bytes > slot.payload_max:
-                    slot.payload_max = int(payload_bytes)
             slot.arrived += 1
             last = slot.arrived == size
         if last:
-            # Reduction compute runs with no lock held: every member is
-            # blocked in this rendezvous, so slot.data is stable.  The
-            # barrier decision is unanimous (published with the result):
-            # mixed votes — uneven shards straddling the size gate, or
-            # out= on only some ranks — fall back to snapshot mode.
-            use_barrier = compute_live is not None and slot.barrier_votes == size
-            slot.use_barrier = use_barrier
+            # Compute + distribution run with no lock held: every member is
+            # blocked in this rendezvous, so slot.data (and every buffer it
+            # references, including peers' out= targets captured by their
+            # consume closures) is stable until the wake below.
+            use_scratch = slot.out_count == size
             result: Any = None
             error: BaseException | None = None
             try:
-                fn = compute_live if use_barrier else compute
-                result = fn(
-                    slot.data, slot.scratch if slot.out_count == size else None
-                )
+                result = compute(slot.data, slot.scratch if use_scratch else None)
             except BaseException as exc:  # surfaces on every member rank
                 error = exc
+            publish = (
+                error is None
+                and consume is not None
+                and snapshot is None
+                and slot.payload_max >= _PUBLISH_MIN
+            )
+            if publish:
+                # Publish mode (bandwidth-bound reductions): the result is
+                # already detached from the live contributions, so every
+                # member can run its own consume after the wake — the copy
+                # out of the shared reduce buffer overlaps with whatever
+                # the distributor (and faster peers) do next, instead of
+                # serializing on the distributor's thread.  Ops whose
+                # compute output references live contributions (*snapshot*
+                # is set) always distribute: one thread copying from a
+                # cache-warm source beats a GIL-arbitrated copy storm.
+                slot.result = result
+                slot.self_consume = True
+            if error is None and not publish:
+                consumers = slot.consumers
+                values = slot.values
+                value_errors = slot.value_errors
+                for i in range(size):
+                    fn = consumers[i]
+                    if fn is None:
+                        values[i] = result
+                        continue
+                    try:
+                        # At most one member takes shared compute output by
+                        # reference, and only when it is a fresh private
+                        # buffer (never the slot's warm scratch).  Which
+                        # member is arrival-timing dependent; values are
+                        # bitwise identical either way.
+                        values[i] = fn(result, i == me and not use_scratch)
+                    except BaseException as exc:  # fails rank i only
+                        value_errors[i] = exc
             start = finish = -1.0
             if clock is not None:
                 start = max(slot.arrivals)
                 finish = start + clock.collective_seconds(
                     op, slot.payload_max, group.ranks
                 )
-            slot.result, slot.error = result, error
+            # The published result (if any) is detached: drop contribution
+            # and closure references before the wake so the slot never pins
+            # live buffers (or callers' out= targets) while the group idles.
+            slot.data = []
+            slot.consumers = []
+            slot.error = error
             slot.start, slot.finish = start, finish
-            slot.done = True  # published before the wake (GIL write order)
-            slot.event.set()
+            slot.done = True  # published before the gates open (GIL write order)
+            gates = slot.gates
+            for i in range(size):
+                if i != me:
+                    try:
+                        gates[i].release()
+                    except RuntimeError:
+                        pass  # a concurrent world abort opened this gate first
         else:
-            event = slot.event
+            gate = slot.gates[me]
             while not slot.done:
+                # A successful acquire means the publisher opened our gate
+                # (``done`` is already visible) or a world abort did; a
+                # timeout is just the abort-flag poll backstop.
+                if gate.acquire(True, _POLL_S) and slot.done:
+                    break
                 self.world._check_abort()
-                event.wait(_POLL_S)
         error = slot.error
         start, finish = slot.start, slot.finish
         # Group-wide priced payload (max bid), read under the same
@@ -622,77 +751,29 @@ class Communicator:
         group_payload = slot.payload_max
         value = None
         if error is None:
-            result = slot.result
-            if consume is None:
-                value = result
-            elif slot.use_barrier:
-                # Consume straight off the live contributions, then hold
-                # every member until all of them finished: nobody's buffer
-                # can be mutated while a peer is still copying from it.
-                # The barrier is joined even if this rank's consume raises
-                # (e.g. an out= validation error): peers still count it and
-                # this rank still waits, so neither side hangs or returns
-                # while a peer is mid-copy.
-                consume_error: BaseException | None = None
-                try:
-                    value = consume(result, False)
-                except BaseException as exc:
-                    consume_error = exc
-                with state.lock:
-                    slot.consumed += 1
-                    all_done = slot.consumed == size
-                if all_done:
-                    # Everyone is done reading: drop the contribution and
-                    # result references before releasing the group, so the
-                    # slot never pins large buffers while the group idles.
-                    slot.data = []
+            if slot.self_consume:
+                # Publish mode: copy my value out of the detached result in
+                # parallel with every peer (large numpy copies release the
+                # GIL).  ``picked`` is release bookkeeping only — list
+                # appends are GIL-atomic, and whichever rank observes the
+                # full count drops the slot's result reference (clearing
+                # twice is idempotent, so a racy double-observation is
+                # harmless).
+                value = consume(slot.result, False)
+                slot.picked.append(None)
+                if len(slot.picked) == size:
                     slot.result = None
-                    slot.exit_event.set()
-                else:
-                    exit_event = slot.exit_event
-                    while True:
-                        # The event alone is not proof of completion — a
-                        # world abort sets every slot event to wake
-                        # sleepers — so recheck the consumed count and let
-                        # an abort surface instead of returning a result a
-                        # peer may still be copying from.
-                        with state.lock:
-                            if slot.consumed == size:
-                                break
-                        self.world._check_abort()
-                        exit_event.wait(_POLL_S)
-                if consume_error is not None:
-                    raise consume_error
             else:
-                # Last-reader handoff: the rank that observes every peer
-                # already done consuming may take shared buffers without a
-                # copy — nobody else will ever read them again.
-                with state.lock:
-                    last_reader = slot.consumed == size - 1
-                    if last_reader:
-                        slot.consumed = size
-                if last_reader:
-                    value = consume(result, True)
-                    # Final reader: release the slot's payload references
-                    # (an idle group would otherwise pin them until this
-                    # ring slot's generation comes around again).
-                    slot.data = []
-                    slot.result = None
-                else:
-                    value = consume(result, False)
-                    with state.lock:
-                        slot.consumed += 1
-                        released = slot.consumed == size
-                    if released:  # nobody claimed last-reader (racy peeks)
-                        slot.data = []
-                        slot.result = None
-        else:
-            with state.lock:
-                slot.consumed += 1
-                released = slot.consumed == size
-            if released:
-                slot.data = []
-                slot.result = None
+                # Distribution mode: lock-free pickup — list reads/writes
+                # are GIL-atomic and each rank touches only its own index.
+                # Clearing the cell releases this rank's value reference
+                # without waiting for the ring slot's generation to come
+                # around again.
+                verr = slot.value_errors[me]
+                if verr is not None:
+                    raise verr
+                value = slot.values[me]
+                slot.values[me] = None
         if clock is not None and finish >= 0.0:
             if hasattr(clock, "collective_complete"):
                 clock.collective_complete(
@@ -714,8 +795,7 @@ class Communicator:
         payload_bytes: int,
         consume: Callable[[Any, bool], Any] | None = None,
         out_provided: bool = False,
-        barrier_vote: bool | None = None,
-        compute_live: Callable[[list, dict | None], Any] | None = None,
+        snapshot: Callable[[Any], Any] | None = None,
     ):
         """Rendezvous + traffic accounting for one logged collective.
 
@@ -729,8 +809,7 @@ class Communicator:
         try:
             result, vs, ve = self._rendezvous(
                 group, signature, contribution, compute, payload_bytes,
-                consume=consume, out_provided=out_provided,
-                barrier_vote=barrier_vote, compute_live=compute_live,
+                consume=consume, out_provided=out_provided, snapshot=snapshot,
             )
         except BaseException:
             self._log(op, payload_bytes, group.size, self._vnow(), -1.0)
@@ -821,10 +900,12 @@ class Communicator:
         ``out`` may alias *array*: the reduction never writes contributions.
         """
         group = self._resolve(group)
-        if op not in _REDUCE_OPS:
+        compute = _REDUCE_COMPUTES.get(op)
+        if compute is None:
             raise SpmdError(f"unknown reduce op {op!r} (expected one of {_REDUCE_OPS})")
         arr = np.asarray(array)  # no snapshot: peers stay blocked while we reduce
-        _check_mean_dtype(op, arr)
+        if op == "mean":
+            _check_mean_dtype(op, arr)
         if out is not None:
             _check_out(out, arr.shape, arr.dtype, "all_reduce")
         if group.size == 1:
@@ -835,19 +916,22 @@ class Communicator:
             np.copyto(out, arr)
             return out
 
-        def consume(result: np.ndarray, last: bool) -> np.ndarray:
-            if out is not None:
+        if out is None:
+            # The reduction output never aliases a contribution; the one
+            # take_ref rank (distributor, fresh buffer only) keeps it,
+            # everyone else copies out a private result.
+            consume = _consume_reduce_private
+        else:
+
+            def consume(result: np.ndarray, take_ref: bool) -> np.ndarray:
                 np.copyto(out, result)
                 return out
-            # The reduction output is a fresh buffer; the last reader takes
-            # it by reference, everyone else copies out a private result.
-            return result if last else result.copy()
 
         return self._run_collective(
             group,
-            ("all_reduce", op),
+            _REDUCE_SIGS[op],
             arr,
-            lambda data, scratch: _reduce(data, op, scratch),
+            compute,
             payload_bytes=arr.nbytes,
             consume=consume,
             out_provided=out is not None,
@@ -863,15 +947,11 @@ class Communicator:
 
         ``out`` — one preallocated buffer per group rank, exact shape and
         dtype match — receives the parts in place (the list is returned).
-        When **every** rank's payload is big (≥ ``_GATHER_BARRIER_MIN``) or
-        passes ``out=``, the gather runs with an **exit barrier**: every
-        rank copies its parts straight out of the peers' live buffers and
-        nobody returns until all have, which removes the intermediate
-        snapshot a copy-out-after-release scheme needs.  The choice is a
-        unanimous group vote (uneven shards straddling the gate fall back
-        to snapshot mode — the two wake protocols must never mix on one
-        collective).  ``out`` buffers must not overlap the *array* of any
-        other rank — aliasing your own contribution is allowed.
+        Parts are copied straight out of the peers' live buffers during
+        batched-wake distribution (every member is still blocked inside the
+        collective while copies run), so no intermediate snapshot is ever
+        taken.  ``out`` buffers must not overlap the *array* of any other
+        rank — aliasing your own contribution is allowed.
         """
         group = self._resolve(group)
         arr = np.asarray(array)
@@ -888,8 +968,8 @@ class Communicator:
                 # Only the rank's own slot may alias its input, and only
                 # *exactly* (same memory, shape and strides — the copy is
                 # then a no-op): a partial overlap would mutate the live
-                # contribution while peers are still copying from it under
-                # the exit barrier.
+                # contribution while distribution is still copying peers'
+                # parts from it.
                 exact = o is arr or (
                     o.shape == arr.shape
                     and o.strides == arr.strides
@@ -898,7 +978,7 @@ class Communicator:
                 if i != me or not exact:
                     raise SpmdError(
                         "all_gather out buffers must not overlap this rank's "
-                        "input (peers read it live under the exit barrier); "
+                        "input (peers copy it live during distribution); "
                         "only out[me] exactly aliasing the input is allowed"
                     )
         if group.size == 1:
@@ -909,22 +989,12 @@ class Communicator:
             _check_out(out[0], arr.shape, arr.dtype, "all_gather")
             np.copyto(out[0], arr)
             return list(out)
-        vote = arr.nbytes >= _GATHER_BARRIER_MIN or out is not None
 
-        # Barrier mode (unanimous vote): parts are copied straight from the
-        # contributions while every member is still held inside the
-        # collective — no snapshot.  Snapshot mode (any dissent, or small
-        # payloads where the second synchronization point costs more than
-        # the copy): snapshot once in compute.
-        def compute_live(data: list, scratch) -> list:
-            return data
-
-        def compute(data: list, scratch) -> list:
-            return [np.array(p, copy=True) for p in data]
-
-        def consume(parts: list, last: bool) -> list[np.ndarray]:
+        def consume(parts: list, take_ref: bool) -> list[np.ndarray]:
             if out is None:
-                return list(parts) if last else [np.array(p, copy=True) for p in parts]
+                # Parts are peers' live buffers: always copy (a reference
+                # would be mutable by its contributor after the wake).
+                return [np.array(p, copy=True) for p in parts]
             # All-or-nothing: validate every buffer before writing any, so
             # a mismatch never leaves the caller's buffers half-clobbered.
             for o, p in zip(out, parts):
@@ -937,12 +1007,13 @@ class Communicator:
             group,
             ("all_gather",),
             arr,
-            compute,
+            # Distribution copies straight from the live contributions;
+            # publish mode detaches them via the snapshot below first.
+            lambda data, scratch: data,
             payload_bytes=arr.nbytes,
             consume=consume,
             out_provided=out is not None,
-            barrier_vote=vote,
-            compute_live=compute_live,
+            snapshot=lambda parts: [np.array(p, copy=True) for p in parts],
         )
 
     def all_gather_concat(
@@ -1065,22 +1136,24 @@ class Communicator:
             contributed = data[root_index]
             if contributed is None:
                 raise SpmdError(f"broadcast root rank {root} supplied no payload")
-            # One shared snapshot, detached from the root's live buffer
-            # before anyone (including the root) returns.
-            return np.array(contributed, copy=True)
+            # The root's live buffer: distribution copies from it per rank
+            # while the root is still blocked — no shared snapshot.
+            return contributed
 
-        def consume(r: np.ndarray, last: bool) -> np.ndarray:
+        def consume(r: np.ndarray, take_ref: bool) -> np.ndarray:
             if out is not None:
                 _check_out(out, r.shape, r.dtype, "broadcast")
                 np.copyto(out, r)
                 return out
-            return r if last else r.copy()
+            # r is the root's live buffer: always detach with a copy.
+            return np.array(r, copy=True)
 
         bid = payload.nbytes if payload is not None else 0
         try:
             result, vs, ve = self._rendezvous(
                 group, ("broadcast", root), payload, compute, payload_bytes=bid,
                 consume=consume, out_provided=out is not None,
+                snapshot=lambda r: np.array(r, copy=True),
             )
         except BaseException:
             # Failed/aborted broadcasts still log (vend=-1), like every
@@ -1113,14 +1186,15 @@ class Communicator:
             sent = data[root_index]
             if sent is None:
                 raise SpmdError(f"scatter root rank {root} supplied no chunks")
-            # Snapshot once: each chunk is consumed by exactly one rank, so
-            # these copies are handed over without another copy-out.
-            return [np.array(c, copy=True) for c in sent]
+            # The root's live chunk list: each rank's distribution copy
+            # detaches exactly the one chunk it consumes.
+            return sent
 
         me = group.rank_index(self.rank)
         return self._run_collective(
             group, ("scatter", root), contribution, compute, payload_bytes=payload,
-            consume=lambda parts, last: parts[me],
+            consume=lambda parts, take_ref: np.array(parts[me], copy=True),
+            snapshot=lambda parts: [np.array(c, copy=True) for c in parts],
         )
 
     def gather(self, array, root: int, group: ProcessGroup | None = None) -> list[np.ndarray] | None:
@@ -1138,11 +1212,14 @@ class Communicator:
             group,
             ("gather", root),
             arr,
-            # Snapshot once in compute: only the root reads the result, so
-            # it takes these copies without copying again.
-            lambda data, scratch: [np.array(p, copy=True) for p in data],
+            # Live contributions: only the root's distribution copy reads
+            # them, so non-root ranks cost nothing.
+            lambda data, scratch: data,
             payload_bytes=arr.nbytes,
-            consume=lambda parts, last: list(parts) if is_root else None,
+            consume=lambda parts, take_ref: (
+                [np.array(p, copy=True) for p in parts] if is_root else None
+            ),
+            snapshot=lambda parts: [np.array(p, copy=True) for p in parts],
         )
         return parts if is_root else None
 
@@ -1176,9 +1253,11 @@ class Communicator:
             return list(out)
         me = group.rank_index(self.rank)
 
-        def consume(matrix: list, last: bool) -> list[np.ndarray]:
+        def consume(matrix: list, take_ref: bool) -> list[np.ndarray]:
             if out is None:
-                return [matrix[i][me] for i in range(n)]
+                # Cells are peers' live send buffers: copy this rank's
+                # column out during distribution.
+                return [np.array(matrix[i][me], copy=True) for i in range(n)]
             # All-or-nothing: validate every buffer before writing any.
             for i in range(n):
                 cell = matrix[i][me]
@@ -1191,11 +1270,12 @@ class Communicator:
             group,
             ("all_to_all",),
             contribution,
-            # Snapshot the matrix once: cell (i, j) is consumed only by
-            # group-rank j, so receivers take their column without a copy.
-            lambda data, scratch: [[np.array(a, copy=True) for a in row] for row in data],
+            # Live send matrix: cell (i, j) is copied out only by group-rank
+            # j's distribution step — exactly the n² cells that are needed.
+            lambda data, scratch: data,
             payload_bytes=payload,
             consume=consume,
+            snapshot=lambda m: [[np.array(a, copy=True) for a in row] for row in m],
         )
 
     # -- point-to-point ----------------------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..dist import Communicator, ProcessGroup, all_gather_autograd
+from ..dist import Communicator, ProcessGroup, all_gather_autograd, site_key
 from ..nn import Module
 from ..tensor import Tensor
 
@@ -30,9 +30,13 @@ class FlatParamShard:
         comm: Communicator,
         group: ProcessGroup,
         named_params: list[tuple[str, Tensor]],
+        pool: bool = True,
     ) -> None:
         self.comm = comm
         self.group = group
+        # Per-unit pool site: every step's gather reuses one flat buffer
+        # (valid until the next materialize of this same unit).
+        self.pool_key = site_key("fsdp.unit") if pool else None
         self.names = [n for n, _ in named_params]
         self.shapes = [p.data.shape for _, p in named_params]
         self.sizes = [p.data.size for _, p in named_params]
@@ -62,7 +66,14 @@ class FlatParamShard:
         (the backward collectives keep the runtime's ``"backward"`` stamp).
         """
         with self.comm.phase_scope("fsdp_gather"):
-            full = all_gather_autograd(self.comm, self.shard, self.group, axis=0, reduce_op="mean")
+            full = all_gather_autograd(
+                self.comm,
+                self.shard,
+                self.group,
+                axis=0,
+                reduce_op="mean",
+                pool_key=self.pool_key,
+            )
         tensors = []
         offset = 0
         for shape, size in zip(self.shapes, self.sizes):
@@ -96,10 +107,16 @@ class FlatParamShard:
 class FSDPUnit:
     """Wraps one module whose parameters are sharded together."""
 
-    def __init__(self, comm: Communicator, group: ProcessGroup, module: Module) -> None:
+    def __init__(
+        self,
+        comm: Communicator,
+        group: ProcessGroup,
+        module: Module,
+        pool: bool = True,
+    ) -> None:
         self.module = module
         self.named = list(module.named_parameters())
-        self.flat = FlatParamShard(comm, group, self.named)
+        self.flat = FlatParamShard(comm, group, self.named, pool=pool)
         # Parameter slots are refilled with gathered values at materialize().
         root = module._locate_root() if hasattr(module, "_locate_root") else module
         self._slots = [self._locate(root, name) for name, _ in self.named]
@@ -148,6 +165,7 @@ class FSDPModel(Module):
         module: Module,
         units: list[Module] | None = None,
         unit_seconds: float = 0.0,
+        pool: bool = True,
     ) -> None:
         super().__init__()
         group = group if group is not None else comm.world.default_group
@@ -162,10 +180,10 @@ class FSDPModel(Module):
         for m in unit_modules:
             for _, p in m.named_parameters():
                 listed.add(id(p))
-            self.units.append(FSDPUnit(comm, group, m))
+            self.units.append(FSDPUnit(comm, group, m, pool=pool))
         residual = _ResidualUnit(module, listed)
         if residual.named:
-            self.units.append(FSDPUnit(comm, group, residual))
+            self.units.append(FSDPUnit(comm, group, residual, pool=pool))
 
     def shard_parameters(self) -> list[Tensor]:
         return [u.flat.shard for u in self.units]

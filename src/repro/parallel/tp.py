@@ -19,7 +19,7 @@ import contextlib
 
 import numpy as np
 
-from ..dist import Communicator, ProcessGroup, copy_to_group, reduce_from_group
+from ..dist import Communicator, ProcessGroup, copy_to_group, reduce_from_group, site_key
 from ..nn import LayerNorm, Linear, Module, ModuleList
 from ..nn.attention import _merge_heads, _split_heads, scaled_dot_product_attention
 from ..tensor import Tensor, functional as F
@@ -51,6 +51,12 @@ class TPContext:
     ``eager_phases`` — every TP collective produces activations the next
     operation consumes immediately, so the region AllReduces must block
     (which is also why the overlap engine never discounts the TP axis).
+
+    ``pool=True`` (the default) gives every region boundary a pooled
+    ``out=`` buffer: each block's forward ``g`` AllReduce and backward ``f``
+    AllReduce reuse one buffer per site across steps instead of allocating
+    (see :mod:`repro.dist.pool`); ``pool=False`` is the allocating reference
+    the parity property tests compare against.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class TPContext:
         group: ProcessGroup | None = None,
         block_seconds: float = 0.0,
         phase: str | None = None,
+        pool: bool = True,
     ) -> None:
         self.comm = comm
         self.group = group if group is not None else comm.world.default_group
@@ -66,6 +73,13 @@ class TPContext:
         self.index = self.group.rank_index(comm.rank)
         self.block_seconds = float(block_seconds)
         self.phase = phase
+        self.pool = bool(pool)
+
+    def region_keys(self, prefix: str) -> tuple[str | None, str | None]:
+        """Pool keys for one ``f → … → g`` parallel region (or ``None``s)."""
+        if not self.pool:
+            return None, None
+        return site_key(f"{prefix}.f"), site_key(f"{prefix}.g")
 
     def charge(self, seconds: float, phase: str = "forward") -> None:
         """Charge compute onto this rank's virtual timeline."""
@@ -258,19 +272,29 @@ class TPTransformerBlock(Module):
             masters["mlp.fc2.weight"],
             masters["mlp.fc2.bias"],
         )
+        self._attn_keys = ctx.region_keys("tp.block.attn")
+        self._mlp_keys = ctx.region_keys("tp.block.mlp")
 
     def forward(self, x: Tensor) -> Tensor:
         ctx = self.ctx
+        attn_f, attn_g = self._attn_keys
+        mlp_f, mlp_g = self._mlp_keys
         with ctx.scope():
-            h = copy_to_group(ctx.comm, self.norm1(x), ctx.group)
+            h = copy_to_group(ctx.comm, self.norm1(x), ctx.group, pool_key=attn_f)
             attn = self.attn(h)
             ctx.charge(0.5 * ctx.block_seconds)
-            h = reduce_from_group(ctx.comm, attn, ctx.group) + self.attn.proj_bias
+            h = (
+                reduce_from_group(ctx.comm, attn, ctx.group, pool_key=attn_g)
+                + self.attn.proj_bias
+            )
             x = x + h
-            h = copy_to_group(ctx.comm, self.norm2(x), ctx.group)
+            h = copy_to_group(ctx.comm, self.norm2(x), ctx.group, pool_key=mlp_f)
             mlp = self.mlp(h)
             ctx.charge(0.5 * ctx.block_seconds)
-            h = reduce_from_group(ctx.comm, mlp, ctx.group) + self.mlp.fc2_bias
+            h = (
+                reduce_from_group(ctx.comm, mlp, ctx.group, pool_key=mlp_g)
+                + self.mlp.fc2_bias
+            )
         return x + h
 
 
@@ -358,13 +382,15 @@ class TPChannelCrossAttention(Module):
         self.kv_proj = Linear(dim, 2 * self.local_heads * hd, weight=kv_w, bias_value=kv_b)
         self.proj = RowParallelLinear(ctx, master_proj_w)
         self.proj_bias = Tensor(np.asarray(master_proj_b, dtype=np.float32), requires_grad=True)
+        self._keys = ctx.region_keys("tp.chanxattn")
 
     def forward(self, x: Tensor) -> Tensor:
         """Replicated [B, C, N, D] -> replicated [B, N, D] (Q=1)."""
         ctx = self.ctx
+        key_f, key_g = self._keys
         b, c, n, d = x.shape
         with ctx.scope():
-            x = copy_to_group(ctx.comm, x, ctx.group)
+            x = copy_to_group(ctx.comm, x, ctx.group, pool_key=key_f)
             tokens = x.transpose(0, 2, 1, 3).reshape(b * n, c, d)
             q_in = self.query_tokens.expand_dims(0).broadcast_to((b * n, self.num_queries, d))
             q = _split_heads(self.q_proj(q_in), self.local_heads)
@@ -374,7 +400,7 @@ class TPChannelCrossAttention(Module):
             out = scaled_dot_product_attention(q, k, v)
             out = self.proj(_merge_heads(out))
             ctx.charge(ctx.block_seconds)
-            out = reduce_from_group(ctx.comm, out, ctx.group) + self.proj_bias
+            out = reduce_from_group(ctx.comm, out, ctx.group, pool_key=key_g) + self.proj_bias
         out = out.reshape(b, n, self.num_queries, d).transpose(0, 2, 1, 3)
         if self.num_queries == 1:
             return out.squeeze(1)

@@ -6,10 +6,12 @@ in ``tests/test_perf_validation.py``.
 """
 
 from .autotune import (
+    ReplaySweep,
     TunedPlan,
     best_configuration,
     search_configurations,
     simulated_overlaps,
+    sweep_replay,
 )
 from .clock import CommInterval, ComputeInterval, VirtualClock
 from .cost import CostModel
@@ -37,10 +39,13 @@ from .modelcfg import MODEL_ZOO, ModelConfig, named_model, transformer_param_cou
 from .plan import ParallelPlan, Precision, Workload
 from .schedule import (
     CapturedSchedule,
+    ReplayProgram,
     ReplayResult,
+    ReplayVariant,
     ScheduleEvent,
     ScheduleReplayError,
     replay,
+    replay_many,
 )
 from .throughput import (
     StepEstimate,
@@ -94,7 +99,12 @@ __all__ = [
     "ScheduleEvent",
     "ScheduleReplayError",
     "ReplayResult",
+    "ReplayVariant",
+    "ReplayProgram",
     "replay",
+    "replay_many",
+    "ReplaySweep",
+    "sweep_replay",
     "StepEstimate",
     "estimate_step",
     "throughput_gain",

@@ -51,9 +51,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "TunedPlan",
     "OverlapSource",
+    "ReplaySweep",
     "search_configurations",
     "best_configuration",
     "simulated_overlaps",
+    "sweep_replay",
 ]
 
 #: What ``search_configurations(overlaps=...)`` accepts: one fixed derived
@@ -276,6 +278,183 @@ def best_configuration(
             f"no feasible configuration for {model.name} / {channels}ch on {total_gpus} GPUs"
         )
     return results[0]
+
+
+# -- fleet-scale vectorized replay sweep -----------------------------------
+
+
+@dataclass(frozen=True)
+class ReplaySweep:
+    """A multi-budget search priced entirely by vectorized replay.
+
+    ``rankings`` pairs each ``(total_gpus, global_batch)`` budget with its
+    ranked candidate list — element-wise **equal** (same plans, same float
+    scores, same :class:`~repro.perf.overlap.DerivedOverlaps`) to what
+    ``search_configurations(..., replay=True)`` returns for that budget,
+    because the vectorized kernel's timelines are bitwise identical to the
+    scalar interpreter's.  ``captured_worlds`` counts the threaded stand-in
+    worlds actually spun up (one per schedule shape) and ``lanes`` the
+    distinct ``(shape, placement, scale)`` variants priced through them —
+    the sweep's whole point is ``candidates >> lanes >= captured_worlds``.
+    """
+
+    rankings: tuple[tuple[tuple[int, int], tuple[TunedPlan, ...]], ...]
+    candidates: int
+    captured_worlds: int
+    lanes: int
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.candidates} candidates priced through "
+            f"{self.lanes} replay lanes from {self.captured_worlds} "
+            f"captured world(s)"
+        )
+
+
+def sweep_replay(
+    model: ModelConfig,
+    channels: int,
+    machine: MachineSpec,
+    budgets: "Sequence[tuple[int, int]]",
+    strategies: tuple[str, ...] = ("tp", "dchag"),
+    precision: Precision = Precision(),
+    intra_node_tp: bool = True,
+    dp_buckets: int = 4,
+    store=None,
+    store_name: str | None = None,
+) -> ReplaySweep:
+    """Rank every candidate of every budget from a handful of captured worlds.
+
+    The per-candidate oracle of ``search_configurations(..., replay=True)``
+    interleaves capture and pricing: each cache miss walks the scalar
+    interpreter over the captured schedule.  A fleet sweep (many GPU
+    budgets x batch sizes) hits hundreds of such misses, all replays of the
+    same few schedules under different node placements and compute scales —
+    exactly the shape :func:`repro.perf.schedule.replay_many` batches.  So
+    this entry runs the sweep in three phases:
+
+    1. enumerate every feasible candidate of every budget and map it to its
+       replay variant key (stand-in shape, node placement, bucket count,
+       quantized compute scale — the same keying the oracle caches under);
+    2. capture ONE threaded stand-in world per schedule shape, lower it
+       once, and price all of that shape's variants in a single vectorized
+       :meth:`~repro.perf.schedule.ReplayProgram.run` call;
+    3. score and rank each budget's candidates from the priced overlaps.
+
+    Scores, overlaps and ranking order are equal to per-budget
+    ``search_configurations(model, channels, g, machine, b, replay=True)``
+    calls (pinned by ``tests/test_schedule_replay.py``); only the
+    orchestration differs.  ``store`` persists one ``search`` run per
+    budget, named ``{store_name or model.name-chN}-gG-bB``, so
+    :meth:`~repro.obs.store.SweepStore.top_plans` reproduces any budget's
+    podium from the database alone.
+    """
+    from .calibrate import measure_plan  # runtime import: calibrate pulls dist
+    from .schedule import ReplayVariant, replay_many
+
+    # Phase 1: enumerate, and key every candidate needing an overlap pair.
+    per_budget: list[tuple[tuple[int, int], list[tuple[ParallelPlan, int, tuple | None]]]] = []
+    variant_by_key: dict[tuple, tuple] = {}  # key -> (sim_mach, scale)
+    keys_by_shape: dict[tuple, tuple[ParallelPlan, list[tuple]]] = {}  # skey -> (sim, keys)
+    for total_gpus, global_batch in budgets:
+        rows: list[tuple[ParallelPlan, int, tuple | None]] = []
+        for plan, micro in _enumerate_candidates(
+            model, channels, total_gpus, machine, global_batch,
+            strategies, precision, intra_node_tp,
+        ):
+            if plan.dp <= 1 and plan.fsdp <= 1:
+                rows.append((plan, micro, None))
+                continue
+            sim = _shrink_plan(plan)
+            sim_mach = _sim_machine(plan, machine, sim)
+            scale = _compute_scale(
+                model, channels, plan, micro, machine, precision, sim, sim_mach
+            )
+            buckets = _dp_buckets_for(
+                model, channels, plan, micro, machine, precision, dp_buckets
+            )
+            if scale > 0.0:
+                scale = 10.0 ** round(math.log10(scale), 1)
+            key = (sim.label, sim_mach.gpus_per_node, buckets, scale)
+            if key not in variant_by_key:
+                skey = (sim.label, buckets)
+                variant_by_key[key] = (sim_mach, scale)
+                keys_by_shape.setdefault(skey, (sim, []))[1].append(key)
+            rows.append((plan, micro, key))
+        per_budget.append(((total_gpus, global_batch), rows))
+
+    # Phase 2: one threaded capture per schedule shape, then one vectorized
+    # replay_many call pricing every variant of that shape.
+    workspace: dict = {}
+    overlaps_by_key: dict[tuple, "DerivedOverlaps"] = {}
+    for (_sim_label, buckets), (sim_plan, keys) in keys_by_shape.items():
+        cap = measure_plan(
+            _SIM_MODEL,
+            Workload(_SIM_CHANNELS, _SIM_BATCH),
+            sim_plan,
+            machine,
+            eager=True,
+            dp_buckets=buckets,
+            compute_scale=1.0,
+            cap_dp_buckets=False,
+            workspace=workspace,
+            capture=True,
+        )
+        variants = [
+            ReplayVariant(machine=variant_by_key[k][0], compute_scale=variant_by_key[k][1])
+            for k in keys
+        ]
+        for k, res in zip(keys, replay_many(cap.schedule, variants)):
+            overlaps_by_key[k] = res.overlaps()
+
+    # Phase 3: score and rank each budget from the priced pairs.
+    rankings: list[tuple[tuple[int, int], tuple[TunedPlan, ...]]] = []
+    n_candidates = 0
+    for (total_gpus, global_batch), rows in per_budget:
+        results = [
+            TunedPlan(
+                plan,
+                micro,
+                global_batch_throughput(
+                    model, channels, plan, machine, global_batch, precision,
+                    overlaps=overlaps_by_key.get(key),
+                ),
+                overlaps_by_key.get(key),
+            )
+            for plan, micro, key in rows
+        ]
+        results.sort(key=lambda t: t.total_tflops, reverse=True)
+        n_candidates += len(results)
+        rankings.append(((total_gpus, global_batch), tuple(results)))
+        if store is not None:
+            from ..obs.store import open_store  # local: obs imports perf modules
+
+            handle = open_store(store)
+            base = store_name if store_name is not None else f"{model.name}-ch{channels}"
+            run_id = handle.record_run(
+                "search",
+                f"{base}-g{total_gpus}-b{global_batch}",
+                machine=machine.name,
+                params={
+                    "channels": channels,
+                    "total_gpus": total_gpus,
+                    "global_batch": global_batch,
+                    "strategies": list(strategies),
+                    "candidates": len(results),
+                    "oracle": "sweep_replay",
+                },
+            )
+            handle.record_plans(run_id, results)
+            if handle is not store:
+                handle.close()
+
+    return ReplaySweep(
+        rankings=tuple(rankings),
+        candidates=n_candidates,
+        captured_worlds=len(keys_by_shape),
+        lanes=len(variant_by_key),
+    )
 
 
 # -- per-plan simulated overlap oracle ------------------------------------

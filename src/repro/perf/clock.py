@@ -187,6 +187,15 @@ class VirtualClock:
         # observability layer (repro.obs.commvol) reads without rescanning
         # interval lists.
         self._vol_tot: list[dict[tuple[str, str, bool], tuple[int, int, float]]] = []
+        # (op, payload, group) → (wire_bytes, intra, collective_seconds):
+        # steady-state schedules reissue the same few collectives thousands
+        # of times per step, and every *member* prices wire volume at
+        # completion — memoized per clock (the cost model and its MachineSpec
+        # are fixed for the clock's lifetime; spec tweaks go through
+        # dataclasses.replace and build a fresh clock).  Concurrent rank
+        # threads may race a fill; dict item writes are GIL-atomic and the
+        # value is deterministic, so a lost race only recomputes.
+        self._price_memo: dict[tuple[str, int, tuple], tuple[int, bool, float]] = {}
 
     # -- world plumbing (called by repro.dist.runtime) ---------------------
     def bind(self, world_size: int) -> None:
@@ -241,11 +250,32 @@ class VirtualClock:
         tot[phase] = tot.get(phase, 0.0) + seconds
         return start, end
 
+    def _price(
+        self, op: str, payload_bytes: int, grp: tuple
+    ) -> tuple[int, bool, float]:
+        """Memoized ``(wire_bytes, intra, seconds)`` for one collective shape."""
+        key = (op, int(payload_bytes), grp)
+        hit = self._price_memo.get(key)
+        if hit is None:
+            if len(grp) > 1:
+                wire = self.cost.wire_bytes(op, int(payload_bytes), len(grp))
+                intra = self.cost.intra_node(grp)
+            else:
+                wire, intra = 0, True
+            secs = (
+                self.cost.collective_seconds_for(op, payload_bytes, grp)
+                if grp
+                else 0.0
+            )
+            hit = self._price_memo[key] = (wire, intra, secs)
+        return hit
+
     def collective_seconds(
         self, op: str, payload_bytes: int, ranks: Sequence[int]
     ) -> float:
-        """α–β cost of one collective over the given world ranks."""
-        return self.cost.collective_seconds_for(op, payload_bytes, ranks)
+        """α–β cost of one collective over the given world ranks (memoized)."""
+        grp = ranks if isinstance(ranks, tuple) else tuple(ranks)
+        return self._price(op, payload_bytes, grp)[2]
 
     def p2p_seconds(self, nbytes: int, src: int, dst: int) -> float:
         return self.cost.p2p_seconds(nbytes, src, dst)
@@ -336,11 +366,7 @@ class VirtualClock:
         zero-byte intervals; virtual times are unaffected either way.
         """
         grp = ranks if isinstance(ranks, tuple) else tuple(ranks)
-        if len(grp) > 1:
-            wire = self.cost.wire_bytes(op, int(payload_bytes), len(grp))
-            intra = self.cost.intra_node(grp)
-        else:
-            wire, intra = 0, True
+        wire, intra, _ = self._price(op, payload_bytes, grp)
         self._chan_free[rank] = max(self._chan_free[rank], end)
         if self.is_eager(op, phase):
             # Heap-ordered channel event: settled at the next drain point in

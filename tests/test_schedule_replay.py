@@ -24,12 +24,19 @@ from repro.perf import (
     Workload,
     derive_overlaps,
     frontier,
+    named_model,
     replay,
     search_configurations,
     simulated_overlaps,
 )
+from repro.perf.autotune import sweep_replay
 from repro.perf.calibrate import measure_plan
-from repro.perf.schedule import ScheduleEvent
+from repro.perf.schedule import (
+    ReplayProgram,
+    ReplayVariant,
+    ScheduleEvent,
+    replay_many,
+)
 
 MACHINE = frontier()
 MODEL = ModelConfig("replay-test", dim=64, depth=2, heads=4, patch=4, image_hw=(16, 16))
@@ -315,6 +322,194 @@ class TestReplaySemantics:
         result = replay(schedule, MACHINE, n_steps=10)
         assert result.step_seconds == pytest.approx(2e-5)
         assert result.elapsed == pytest.approx(2e-4)
+
+
+#: Lane scales for the vectorized-parity checks: 8 lanes trip the numpy
+#: lane-vector executor (``_VECTOR_MIN_LANES``), with 1.0 mixed in so the
+#: untouched-charges case rides along.
+_LANE_SCALES = (1.0, 0.5, 2.0, 10.0, 1.0, 0.25, 4.0, 1.0)
+
+
+def _assert_lane_bitwise(sched, ref, lane):
+    """One vectorized lane must match the scalar interpreter bitwise."""
+    assert lane.times() == ref.times()
+    assert lane.clock.comm_intervals() == ref.clock.comm_intervals()
+    assert lane.clock.comm_volumes() == ref.clock.comm_volumes()
+    assert lane.overlaps() == ref.overlaps()
+    for r in range(sched.world_size):
+        for phase in (None, *_PHASES):
+            assert lane.clock.compute_seconds(r, phase) == ref.clock.compute_seconds(r, phase)
+            assert lane.clock.comm_busy_seconds(r, phase) == ref.clock.comm_busy_seconds(r, phase)
+            assert lane.clock.exposed_seconds(r, phase) == ref.clock.exposed_seconds(r, phase)
+            assert lane.clock.comm_count(r, phase) == ref.clock.comm_count(r, phase)
+    assert lane.clock.compute_seconds() == ref.clock.compute_seconds()
+    assert lane.clock.exposed_seconds() == ref.clock.exposed_seconds()
+    assert lane.clock.elapsed() == ref.clock.elapsed()
+
+
+class TestVectorizedParity:
+    """The lowered program (python single-lane AND numpy lane-vector
+    executors) reproduces the scalar interpreter bitwise — times, archived
+    intervals, aggregate totals and derived overlaps, across compute
+    scales."""
+
+    @pytest.mark.parametrize("plan", PLAN_CASES)
+    @pytest.mark.parametrize("eager", [False, True], ids=["blocking", "eager"])
+    def test_single_and_vector_lanes_match_scalar(self, plan, eager):
+        sched = measure_plan(
+            MODEL, WORKLOAD, plan, MACHINE, eager=eager, capture=True
+        ).schedule
+        for k in (1, 4):
+            scalar = replay(sched, MACHINE, n_steps=k)
+            single = replay_many(
+                sched, [ReplayVariant(machine=MACHINE)], n_steps=k
+            )[0]
+            _assert_lane_bitwise(sched, scalar, single)
+            lanes = replay_many(
+                sched,
+                [ReplayVariant(machine=MACHINE, compute_scale=s) for s in _LANE_SCALES],
+                n_steps=k,
+            )
+            for s, lane in zip(_LANE_SCALES, lanes):
+                _assert_lane_bitwise(
+                    sched, replay(sched, MACHINE, n_steps=k, compute_scale=s), lane
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(_PROGRAM, st.sampled_from([2, 4]), _EAGER, st.sampled_from([1, 3]))
+    def test_arbitrary_programs_vectorize_bitwise(self, program, world_size, eager, k):
+        cap_clock = VirtualClock(MACHINE, eager_phases=eager, capture=True)
+        run_spmd_world(lambda comm: _run_program(comm, program), world_size,
+                       clock=cap_clock)
+        sched = cap_clock.schedule()
+        refs = [replay(sched, MACHINE, n_steps=k, compute_scale=s)
+                for s in _LANE_SCALES]
+        lanes = replay_many(
+            sched,
+            [ReplayVariant(machine=MACHINE, compute_scale=s) for s in _LANE_SCALES],
+            n_steps=k,
+        )
+        for ref, lane in zip(refs, lanes):
+            assert lane.times() == ref.times()
+            assert lane.clock.comm_intervals() == ref.clock.comm_intervals()
+        single = replay_many(sched, [ReplayVariant(machine=MACHINE)], n_steps=k)[0]
+        assert single.times() == refs[0].times()
+
+    def test_program_reuse_across_runs(self):
+        """One lowering, many run() calls: results stay bitwise stable."""
+        sched = measure_plan(
+            MODEL, WORKLOAD, ParallelPlan("tp", tp=2, fsdp=1, dp=2), MACHINE,
+            eager=True, capture=True,
+        ).schedule
+        prog = ReplayProgram(sched, n_steps=2)
+        first = prog.run([ReplayVariant(machine=MACHINE)])[0]
+        second = prog.run([ReplayVariant(machine=MACHINE)])[0]
+        assert first.times() == second.times()
+        assert first.times() == replay(sched, MACHINE, n_steps=2).times()
+
+    def test_lowering_raises_the_interpreter_errors(self):
+        events = (
+            ScheduleEvent(kind="coll", rank=0, op="all_reduce", phase="tp",
+                          payload_bytes=64, group=(0, 1)),
+            ScheduleEvent(kind="coll", rank=1, op="all_gather", phase="tp",
+                          payload_bytes=64, group=(0, 1)),
+        )
+        sched = CapturedSchedule(world_size=2, events=events)
+        with pytest.raises(ScheduleReplayError, match="mismatch") as exc_info:
+            ReplayProgram(sched)
+        assert exc_info.value.op in ("all_reduce", "all_gather")
+        deadlocked = CapturedSchedule(
+            world_size=2,
+            events=(ScheduleEvent(kind="recv", rank=0, peer=1, tag=3),),
+        )
+        with pytest.raises(ScheduleReplayError, match="deadlock"):
+            ReplayProgram(deadlocked)
+
+    def test_variant_validation(self):
+        sched = CapturedSchedule(
+            world_size=1,
+            events=(ScheduleEvent(kind="compute", rank=0, phase="forward",
+                                  seconds=1e-6),),
+        )
+        with pytest.raises(ValueError, match="n_steps"):
+            ReplayProgram(sched, n_steps=0)
+        with pytest.raises(ValueError, match="compute_scale"):
+            replay_many(sched, [ReplayVariant(machine=MACHINE, compute_scale=-1.0)])
+        with pytest.raises(TypeError, match="ReplayVariant"):
+            replay_many(sched, [MACHINE])
+
+    def test_eager_phase_override_threads_through(self):
+        plan = ParallelPlan("tp", tp=1, fsdp=1, dp=4)
+        sched = measure_plan(
+            MODEL, WORKLOAD, plan, MACHINE, eager=True, capture=True
+        ).schedule
+        ref = replay(sched, MACHINE, eager_phases=None)
+        lane = replay_many(
+            sched, [ReplayVariant(machine=MACHINE)], eager_phases=None
+        )[0]
+        assert lane.times() == ref.times()
+        assert lane.clock.exposed_seconds(phase="dp_sync") == ref.clock.exposed_seconds(phase="dp_sync")
+
+
+class TestSweepReplay:
+    SWEEP_MODEL = ModelConfig("sweep", dim=256, depth=6, heads=8, patch=4,
+                              image_hw=(32, 32))
+
+    def test_rankings_equal_the_scalar_replay_search(self):
+        """The strong contract: per budget, sweep_replay returns exactly
+        what search_configurations(..., replay=True) returns — same plans,
+        same float scores, same overlap pairs."""
+        budgets = [(16, 32), (32, 64)]
+        sweep = sweep_replay(self.SWEEP_MODEL, 32, MACHINE, budgets)
+        assert [b for b, _ in sweep.rankings] == budgets
+        for (g, b), ranked in sweep.rankings:
+            ref = search_configurations(self.SWEEP_MODEL, 32, g, MACHINE, b,
+                                        replay=True)
+            assert list(ranked) == ref
+        assert sweep.candidates == sum(len(r) for _, r in sweep.rankings)
+        assert sweep.captured_worlds <= sweep.lanes <= sweep.candidates
+
+    def test_fleet_scale_sweep_prices_1000_candidates_from_4_worlds(self):
+        """The PR's fleet pin: a 1000+-candidate multi-budget sweep costs at
+        most a handful of threaded worlds, and spot-checked budgets match
+        the scalar search exactly."""
+        import importlib.util as _ilu
+        from pathlib import Path
+
+        spec = _ilu.spec_from_file_location(
+            "bench_fleet_sweep",
+            Path(__file__).resolve().parent.parent / "benchmarks" / "bench_fleet_sweep.py",
+        )
+        bench = _ilu.module_from_spec(spec)
+        spec.loader.exec_module(bench)
+        model = named_model(bench.FLEET_MODEL_NAME)
+        sweep = sweep_replay(
+            model, bench.FLEET_CHANNELS, MACHINE, bench.FLEET_BUDGETS,
+            strategies=bench.FLEET_STRATEGIES,
+        )
+        assert sweep.candidates >= 1000
+        assert sweep.captured_worlds <= 4
+        ranked = dict(sweep.rankings)
+        for g, b in bench.FLEET_BUDGETS[:: len(bench.FLEET_BUDGETS) // 4]:
+            ref = search_configurations(
+                model, bench.FLEET_CHANNELS, g, MACHINE, b,
+                strategies=bench.FLEET_STRATEGIES, replay=True,
+            )
+            assert list(ranked[(g, b)]) == ref
+
+    def test_store_round_trip_reproduces_each_budget_podium(self, tmp_path):
+        from repro.obs.store import SweepStore
+
+        db = tmp_path / "sweep.db"
+        sweep = sweep_replay(
+            self.SWEEP_MODEL, 32, MACHINE, [(16, 32), (32, 32)],
+            store=db, store_name="unit",
+        )
+        with SweepStore(db) as store:
+            for (g, b), ranked in sweep.rankings:
+                run, = store.run_history(kind="search", name=f"unit-g{g}-b{b}")
+                top = store.top_plans(run.id, limit=3)
+                assert [p.label for p in top] == [t.plan.label for t in ranked[:3]]
 
 
 class TestReplayOracle:

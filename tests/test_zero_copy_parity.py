@@ -2,14 +2,16 @@
 
 PR 5 reworked the runtime's data path — contributions are no longer
 snapshotted (peers stay blocked while the reduction runs), reductions write
-``np.add(..., out=)`` into per-slot scratch, big AllGathers copy parts
-straight from live peer buffers under an exit barrier, and ``out=``
-parameters reuse preallocated result buffers.  None of that may change a
-single bit: every collective must equal the reference rank-ordered
-computation (the same left-to-right pairwise order the reference copy path
-used), private results must stay private (mutating one rank's output never
-leaks to another rank or a later collective), and the charged wire bytes
-must stay exactly :func:`repro.dist.ring_wire_bytes`.
+``np.add(..., out=)`` into per-slot scratch, and ``out=`` parameters reuse
+preallocated result buffers.  PR 8 replaced the per-rank wake chain with
+batched-wake distribution: the last arriver copies every member's value
+straight from the live contributions and releases the group with one event
+set.  None of that may change a single bit: every collective must equal the
+reference rank-ordered computation (the same left-to-right pairwise order
+the reference copy path used), private results must stay private (mutating
+one rank's output — or its *input*, right after return — never leaks to
+another rank or a later collective), and the charged wire bytes must stay
+exactly :func:`repro.dist.ring_wire_bytes`.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dist import ring_wire_bytes, run_spmd_world
-from repro.dist.runtime import _GATHER_BARRIER_MIN, split_sizes
+from repro.dist.runtime import split_sizes
 
 WORLD_SIZES = (2, 4, 8)
 REDUCE_OPS = ("sum", "mean", "max", "min")
@@ -161,21 +163,22 @@ class TestGatherParity:
 
     @pytest.mark.parametrize("n", WORLD_SIZES)
     @pytest.mark.parametrize("use_out", [False, True])
-    def test_all_gather_exit_barrier_path(self, n, use_out):
-        """Payloads ≥ _GATHER_BARRIER_MIN take the live-copy exit-barrier
-        path; results must be identical to the snapshot path's."""
-        length = _GATHER_BARRIER_MIN // 4 + 3  # float32 ⇒ just above the gate
+    def test_all_gather_large_payload_live_copy(self, n, use_out):
+        """Large gathers copy parts straight from peers' live buffers during
+        batched-wake distribution (no snapshot); mutating the *input* the
+        moment the collective returns must therefore never leak to any
+        peer's gathered parts."""
+        length = (1 << 18) // 4 + 3  # ~256 KiB of float32 per rank
         contribs = _contribs(n, length, np.float32, seed=1234)
         orig = [c.copy() for c in contribs]
 
         def fn(comm):
             mine = contribs[comm.rank]
-            assert mine.nbytes >= _GATHER_BARRIER_MIN
             outs = [np.empty_like(contribs[i]) for i in range(n)] if use_out else None
             parts = comm.all_gather(mine, out=outs)
             got = [p.copy() for p in parts]
-            # Mutate the INPUT right after return: the exit barrier must
-            # have sequenced every peer's copy before we got here.
+            # Mutate the INPUT right after return: distribution must have
+            # finished every peer's copy before anyone was released.
             mine[...] = -1.0
             return got
 
@@ -186,13 +189,13 @@ class TestGatherParity:
         assert _wire_ok(world, "all_gather", orig[0].nbytes, n)
 
     @pytest.mark.parametrize("use_out", [False, True])
-    def test_all_gather_mixed_votes_straddling_the_gate(self, use_out):
-        """Uneven shards straddling ``_GATHER_BARRIER_MIN`` (or out= on only
-        some ranks) split the barrier vote; the group must unanimously fall
-        back to snapshot mode — never mix the two wake protocols (the
-        pre-fix behavior deadlocked or aliased live buffers here)."""
-        big = _GATHER_BARRIER_MIN // 4 + 7   # float32: above the gate
-        small = 64                            # far below it
+    def test_all_gather_mixed_out_and_uneven_shards(self, use_out):
+        """Mixed per-rank configurations — uneven shard sizes, ``out=`` on
+        only some ranks — all run the one batched-wake protocol (the old
+        design split the group across a barrier vote here and had to fall
+        back; there is no second protocol to fall back to anymore)."""
+        big = (1 << 18) // 4 + 7   # ~256 KiB float32 shard
+        small = 64                 # tiny shard on the other ranks
         lengths = [big, small, big, small]
         contribs = [
             np.full(lengths[r], float(r + 1), dtype=np.float32) for r in range(4)
