@@ -113,7 +113,24 @@ def run_benchmark(smoke: bool) -> dict:
         f"{sweep.lanes} lanes; scalar path {scalar * 1e3:.2f} ms -> "
         f"{result['speedup_vs_scalar']:.2f}x)"
     )
+    print_winners(sweep)
     return result
+
+
+def print_winners(sweep, every: int = 32) -> None:
+    """Per-budget winners with all four plan axes (tp/sp/fsdp/dp) spelled
+    out; one row every ``every`` budgets keeps the table skimmable."""
+    print(f"{'gpus':>6} {'batch':>6} {'tp':>3} {'sp':>3} {'fsdp':>5} "
+          f"{'dp':>5}  {'TFLOP/s':>9}  label")
+    for i, ((gpus, batch), ranked) in enumerate(sweep.rankings):
+        if i % every and (gpus, batch) != sweep.rankings[-1][0]:
+            continue
+        if not ranked:
+            continue
+        top = ranked[0]
+        p = top.plan
+        print(f"{gpus:>6} {batch:>6} {p.tp:>3} {p.sp:>3} {p.fsdp:>5} "
+              f"{p.dp:>5}  {top.total_tflops:>9.1f}  {p.label}")
 
 
 def merge_into_trajectory(out: Path, result: dict, baseline: bool) -> None:

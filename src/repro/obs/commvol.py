@@ -292,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strategy", default="dist_tok",
                         choices=("tp", "dist_tok", "dchag"))
     parser.add_argument("--tp", type=int, default=2)
+    parser.add_argument("--sp", type=int, default=1,
+                        help="sequence-parallel degree (Ulysses sp_a2a phases)")
     parser.add_argument("--fsdp", type=int, default=1)
     parser.add_argument("--dp", type=int, default=2)
     parser.add_argument("--channels", type=int, default=16)
@@ -307,7 +309,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the markdown table to PATH")
     args = parser.parse_args(argv)
 
-    plan = ParallelPlan(strategy=args.strategy, tp=args.tp, fsdp=args.fsdp, dp=args.dp)
+    plan = ParallelPlan(
+        strategy=args.strategy, tp=args.tp, sp=args.sp, fsdp=args.fsdp, dp=args.dp
+    )
     report = comm_volume_report(
         _default_model(),
         Workload(channels=args.channels, batch=args.batch),

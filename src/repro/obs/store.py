@@ -8,7 +8,8 @@ store=)``, ``measure_plan(..., store=)``, ``calibrate(..., store=)``, the
 drivers query back out with :meth:`SweepStore.top_plans`,
 :meth:`SweepStore.volume_by_link` and :meth:`SweepStore.run_history`.
 
-Schema (version 1, ``PRAGMA user_version``):
+Schema (version 2, ``PRAGMA user_version``; version-1 stores are migrated
+in place by adding the ``plans.sp`` column with a default of 1):
 
     =========  =========================================================
     table      one row per
@@ -42,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["SCHEMA_VERSION", "RunRow", "StoredPlan", "SweepStore"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -62,6 +63,7 @@ CREATE TABLE IF NOT EXISTS plans (
     label          TEXT NOT NULL,
     strategy       TEXT NOT NULL,
     tp             INTEGER NOT NULL,
+    sp             INTEGER NOT NULL DEFAULT 1,
     fsdp           INTEGER NOT NULL,
     dp             INTEGER NOT NULL,
     micro_batch    INTEGER NOT NULL,
@@ -123,6 +125,7 @@ class StoredPlan:
     label: str
     strategy: str
     tp: int
+    sp: int
     fsdp: int
     dp: int
     micro_batch: int
@@ -150,12 +153,17 @@ class SweepStore:
         self._db.execute("PRAGMA journal_mode=WAL")
         self._db.execute("PRAGMA foreign_keys=ON")
         version = self._db.execute("PRAGMA user_version").fetchone()[0]
-        if version not in (0, SCHEMA_VERSION):
+        if version not in (0, 1, SCHEMA_VERSION):
             raise ValueError(
                 f"sweep store {self.path} has schema version {version}; "
                 f"this build reads version {SCHEMA_VERSION}"
             )
         with self._db:
+            if version == 1:
+                # v1 -> v2: plans gained a sequence-parallel degree column.
+                self._db.execute(
+                    "ALTER TABLE plans ADD COLUMN sp INTEGER NOT NULL DEFAULT 1"
+                )
             self._db.executescript(_SCHEMA)
             self._db.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
 
@@ -216,8 +224,8 @@ class SweepStore:
             rows.append(
                 (
                     run_id, position, t.plan.label, t.plan.strategy,
-                    t.plan.tp, t.plan.fsdp, t.plan.dp, t.micro_batch,
-                    t.total_tflops,
+                    t.plan.tp, t.plan.sp, t.plan.fsdp, t.plan.dp,
+                    t.micro_batch, t.total_tflops,
                     None if ov is None else ov.dp_overlap,
                     None if ov is None else ov.fsdp_overlap,
                     "" if ov is None else ov.dp.source,
@@ -226,13 +234,14 @@ class SweepStore:
         with self._db:
             self._db.executemany(
                 """
-                INSERT INTO plans (run_id, position, label, strategy, tp, fsdp,
-                                   dp, micro_batch, total_tflops, dp_overlap,
-                                   fsdp_overlap, overlap_source)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                INSERT INTO plans (run_id, position, label, strategy, tp, sp,
+                                   fsdp, dp, micro_batch, total_tflops,
+                                   dp_overlap, fsdp_overlap, overlap_source)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 ON CONFLICT (run_id, label) DO UPDATE SET
                     position=excluded.position, strategy=excluded.strategy,
-                    tp=excluded.tp, fsdp=excluded.fsdp, dp=excluded.dp,
+                    tp=excluded.tp, sp=excluded.sp,
+                    fsdp=excluded.fsdp, dp=excluded.dp,
                     micro_batch=excluded.micro_batch,
                     total_tflops=excluded.total_tflops,
                     dp_overlap=excluded.dp_overlap,
@@ -359,7 +368,8 @@ class SweepStore:
         return [
             StoredPlan(
                 run_id=r["run_id"], position=r["position"], label=r["label"],
-                strategy=r["strategy"], tp=r["tp"], fsdp=r["fsdp"], dp=r["dp"],
+                strategy=r["strategy"], tp=r["tp"], sp=r["sp"],
+                fsdp=r["fsdp"], dp=r["dp"],
                 micro_batch=r["micro_batch"], total_tflops=r["total_tflops"],
                 dp_overlap=r["dp_overlap"], fsdp_overlap=r["fsdp_overlap"],
                 overlap_source=r["overlap_source"],

@@ -13,6 +13,18 @@ kernel, heads→tokens after), so every rank computes full-sequence attention
 for ``heads/sp`` heads.  LayerNorms and MLPs run directly on the token
 shard with no communication at all.
 
+Every collective is phase-tagged — :data:`SP_A2A_PHASE` for the per-block
+all-to-alls (forward and backward), :data:`SP_GATHER_PHASE` /
+:data:`SP_SCATTER_PHASE` for the sequence-boundary gathers — matching
+``repro.perf.calibrate.AXIS_PHASES``, so overlap derivation and the
+comm-volume gate reconcile live SP traffic against the analytic
+:func:`~repro.perf.comm_model.step_comm_schedule` per op × phase × link.
+With ``SPContext(pool=True)`` (the default) the all-to-alls and the
+scatter's backward gather land in site-keyed :class:`~repro.dist.BufferPool`
+``out=`` buffers: steady-state steps allocate nothing, and a rank whose
+peer drifts shape raises :class:`~repro.dist.SpmdError` loudly through the
+runtime's exact ``out=`` validation instead of silently reallocating.
+
 Composition with D-CHAG: ``scatter_sequence`` the replicated output of the
 :class:`~repro.core.dchag.DCHAG` front-end, then run :class:`SPViTEncoder`
 over the same group.
@@ -22,12 +34,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..dist import Communicator, ProcessGroup
+from ..dist import Communicator, ProcessGroup, site_key
 from ..nn import LayerNorm, Linear, MLP, Module, ModuleList
 from ..nn.attention import merge_heads, scaled_dot_product_attention, split_heads
 from ..tensor import Tensor
 
 __all__ = [
+    "SP_A2A_PHASE",
+    "SP_GATHER_PHASE",
+    "SP_SCATTER_PHASE",
     "SPContext",
     "scatter_sequence",
     "gather_sequence",
@@ -38,23 +53,64 @@ __all__ = [
     "SPViTEncoder",
 ]
 
+#: Traffic phases stamped on SP collectives — the names the calibration
+#: harness and commvol gate key their per-axis books on.
+SP_A2A_PHASE = "sp_a2a"
+SP_GATHER_PHASE = "sp_gather"
+SP_SCATTER_PHASE = "sp_scatter"
+
 
 class SPContext:
-    """The (communicator, group) pair SP layers communicate over."""
+    """The (communicator, group) pair SP layers communicate over.
 
-    def __init__(self, comm: Communicator, group: ProcessGroup | None = None) -> None:
+    Mirrors :class:`~repro.parallel.tp.TPContext`'s conventions:
+    ``block_seconds`` charges per-block forward compute onto the virtual
+    clock (half after attention, half after the MLP — SP all-to-alls sit on
+    the critical path between them, matching the analytic model's overlap-0
+    treatment); ``pool=True`` gives every all-to-all site pooled ``out=``
+    buffers (``pool=False`` is the allocating reference the parity tests
+    compare against).  Unlike TP, the phases are fixed —
+    :data:`SP_A2A_PHASE` and friends — because the measured replay's
+    ``AXIS_PHASES`` books expect exactly those names.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        group: ProcessGroup | None = None,
+        block_seconds: float = 0.0,
+        pool: bool = True,
+    ) -> None:
         self.comm = comm
         self.group = group if group is not None else comm.world.default_group
         self.size = self.group.size
         self.index = self.group.rank_index(comm.rank)
+        self.block_seconds = float(block_seconds)
+        self.pool = bool(pool)
+        self._scatter_key = self.pool_key("sp.scatter")
+
+    def pool_key(self, prefix: str) -> str | None:
+        """A site key for one pooled collective site (or ``None``)."""
+        return site_key(prefix) if self.pool else None
+
+    def charge(self, seconds: float, phase: str = "forward") -> None:
+        """Charge compute onto this rank's virtual timeline."""
+        if seconds:
+            self.comm.charge_compute(seconds, phase=phase)
 
 
-def scatter_sequence(ctx: SPContext, x: Tensor, axis: int = 1) -> Tensor:
+def scatter_sequence(
+    ctx: SPContext, x: Tensor, axis: int = 1, pool_key: str | None = None
+) -> Tensor:
     """Take this rank's token shard of a *replicated* tensor.
 
     Forward is a local slice; backward re-assembles the full gradient with a
     forward-only gather (valid because the upstream producer is replicated,
-    mirroring the D-CHAG gather argument in reverse).
+    mirroring the D-CHAG gather argument in reverse), stamped
+    :data:`SP_SCATTER_PHASE`.  The gather lands in pooled per-part ``out=``
+    buffers keyed by *pool_key* (default: the context's own scatter site
+    when pooling is on); a peer whose gradient shape drifts away from the
+    cached site shapes raises :class:`~repro.dist.SpmdError`.
     """
     n = x.shape[axis]
     sp = ctx.size
@@ -65,62 +121,133 @@ def scatter_sequence(ctx: SPContext, x: Tensor, axis: int = 1) -> Tensor:
     idx = [slice(None)] * x.ndim
     idx[axis] = slice(lo, lo + step)
     out_data = x.data[tuple(idx)].copy()
+    key = pool_key if pool_key is not None else ctx._scatter_key
 
     def backward(grad: np.ndarray) -> None:
-        parts = ctx.comm.all_gather(grad, group=ctx.group)
-        x._accumulate(np.concatenate(parts, axis=axis))
+        with ctx.comm.phase_scope(SP_SCATTER_PHASE):
+            if key is None:
+                parts = ctx.comm.all_gather(grad, group=ctx.group)
+                full = np.concatenate(parts, axis=axis)
+            else:
+                pool = ctx.comm.pool
+                site = pool.meta(key)
+                shapes = site.get("shapes") if site.get("local") == grad.shape else None
+                if shapes is None:
+                    # First visit (or a lockstep shape change): allocating
+                    # path learns the peers' part shapes for the site.
+                    parts = ctx.comm.all_gather(grad, group=ctx.group)
+                    full = np.concatenate(parts, axis=axis)
+                    site["local"] = grad.shape
+                    site["shapes"] = [p.shape for p in parts]
+                else:
+                    outs = [
+                        pool.take(f"{key}/p{i}", s, grad.dtype)
+                        for i, s in enumerate(shapes)
+                    ]
+                    parts = ctx.comm.all_gather(grad, group=ctx.group, out=outs)
+                    cat_shape = list(grad.shape)
+                    cat_shape[axis] = sum(s[axis] for s in shapes)
+                    full = pool.take(f"{key}/cat", cat_shape, grad.dtype)
+                    np.concatenate(parts, axis=axis, out=full)
+        x._accumulate(full)  # _accumulate copies unowned arrays — pool-safe
 
     return x._make(out_data, (x,), backward, "scatter_sequence")
 
 
 def gather_sequence(ctx: SPContext, x: Tensor, axis: int = 1) -> Tensor:
-    """AllGather token shards back to the full (replicated) sequence.
+    """AllGather token shards back to the full (replicated) sequence,
+    stamped :data:`SP_GATHER_PHASE`.
 
     Backward takes the local slice — the conjugate of
     :func:`scatter_sequence`, again communication-free going backward.
     """
     from ..dist import all_gather_forward_only
 
-    return all_gather_forward_only(ctx.comm, x, ctx.group, axis=axis)
+    with ctx.comm.phase_scope(SP_GATHER_PHASE):
+        return all_gather_forward_only(ctx.comm, x, ctx.group, axis=axis)
 
 
-def _a2a(ctx: SPContext, x: Tensor, split_axis: int, concat_axis: int) -> Tensor:
+def _a2a(
+    ctx: SPContext,
+    x: Tensor,
+    split_axis: int,
+    concat_axis: int,
+    pool_key: str | None = None,
+) -> Tensor:
     """Differentiable all-to-all: split *x* along ``split_axis`` into sp
     pieces (one per rank), receive sp pieces and concatenate along
-    ``concat_axis``.  Backward is the mirrored all-to-all."""
+    ``concat_axis``.  Backward is the mirrored all-to-all; both directions
+    are stamped :data:`SP_A2A_PHASE`.
+
+    With *pool_key*, recv chunks and the concatenated result land in pooled
+    site buffers: the first visit allocates and caches the peer chunk
+    shapes, steady-state visits allocate nothing, and a peer whose chunk
+    shape drifts from the cached site shapes fails the runtime's exact
+    ``out=`` validation with :class:`~repro.dist.SpmdError`.
+    """
     sp = ctx.size
     if x.shape[split_axis] % sp != 0:
         raise ValueError(
             f"axis {split_axis} of size {x.shape[split_axis]} not divisible by sp={sp}"
         )
-    send = np.split(x.data, sp, axis=split_axis)
-    recv = ctx.comm.all_to_all(send, group=ctx.group)
-    out_data = np.concatenate(recv, axis=concat_axis)
+
+    def exchange(data: np.ndarray, src_axis: int, dst_axis: int, leg: str) -> np.ndarray:
+        send = np.split(data, sp, axis=src_axis)
+        with ctx.comm.phase_scope(SP_A2A_PHASE):
+            if pool_key is None:
+                recv = ctx.comm.all_to_all(send, group=ctx.group)
+                return np.concatenate(recv, axis=dst_axis)
+            pool = ctx.comm.pool
+            key = f"{pool_key}.{leg}"
+            site = pool.meta(key)
+            shapes = site.get("shapes") if site.get("local") == data.shape else None
+            if shapes is None:
+                recv = ctx.comm.all_to_all(send, group=ctx.group)
+                out = np.concatenate(recv, axis=dst_axis)
+                site["local"] = data.shape
+                site["shapes"] = [r.shape for r in recv]
+                return out
+            outs = [
+                pool.take(f"{key}/r{i}", s, data.dtype) for i, s in enumerate(shapes)
+            ]
+            recv = ctx.comm.all_to_all(send, group=ctx.group, out=outs)
+            cat_shape = list(shapes[0])
+            cat_shape[dst_axis] = sum(s[dst_axis] for s in shapes)
+            cat = pool.take(f"{key}/cat", cat_shape, data.dtype)
+            np.concatenate(recv, axis=dst_axis, out=cat)
+            return cat
+
+    out_data = exchange(x.data, split_axis, concat_axis, "f")
 
     def backward(grad: np.ndarray) -> None:
-        g_send = np.split(grad, sp, axis=concat_axis)
-        g_recv = ctx.comm.all_to_all(g_send, group=ctx.group)
-        x._accumulate(np.concatenate(g_recv, axis=split_axis))
+        # _accumulate copies unowned arrays, so the pooled cat buffer is
+        # safe to hand over and reuse next step.
+        x._accumulate(exchange(grad, concat_axis, split_axis, "b"))
 
     return x._make(out_data, (x,), backward, "all_to_all")
 
 
-def all_to_all_tokens_to_heads(ctx: SPContext, x: Tensor) -> Tensor:
+def all_to_all_tokens_to_heads(
+    ctx: SPContext, x: Tensor, pool_key: str | None = None
+) -> Tensor:
     """[B, h, N/sp, hd] (all heads, token shard) → [B, h/sp, N, hd]
     (head shard, full sequence)."""
-    return _a2a(ctx, x, split_axis=1, concat_axis=2)
+    return _a2a(ctx, x, split_axis=1, concat_axis=2, pool_key=pool_key)
 
 
-def all_to_all_heads_to_tokens(ctx: SPContext, x: Tensor) -> Tensor:
+def all_to_all_heads_to_tokens(
+    ctx: SPContext, x: Tensor, pool_key: str | None = None
+) -> Tensor:
     """[B, h/sp, N, hd] → [B, h, N/sp, hd] — the inverse switch."""
-    return _a2a(ctx, x, split_axis=2, concat_axis=1)
+    return _a2a(ctx, x, split_axis=2, concat_axis=1, pool_key=pool_key)
 
 
 class SPSelfAttention(Module):
     """Full-sequence attention under sequence sharding (Ulysses pattern).
 
-    Projections run on the token shard; two all-to-alls flip the sharded
-    axis to heads for the attention kernel and back.
+    Projections run on the token shard; all-to-alls flip the sharded axis
+    to heads for the attention kernel and back — four per forward (q, k, v
+    tokens→heads plus the output heads→tokens), each mirrored in backward.
     """
 
     def __init__(
@@ -141,18 +268,20 @@ class SPSelfAttention(Module):
         self.heads = heads
         self.qkv = Linear(dim, 3 * dim, weight=master_qkv_w, bias_value=master_qkv_b)
         self.proj = Linear(dim, dim, weight=master_proj_w, bias_value=master_proj_b)
+        self._a2a_keys = tuple(ctx.pool_key(f"sp.attn.{leg}") for leg in ("q", "k", "v", "out"))
 
     def forward(self, x: Tensor) -> Tensor:
         """[B, N/sp, D] -> [B, N/sp, D]."""
         ctx = self.ctx
+        kq, kk, kv, kout = self._a2a_keys
         qkv = self.qkv(x)
         q, k, v = qkv.split(3, axis=-1)
         q, k, v = (split_heads(t, self.heads) for t in (q, k, v))  # [B, h, N/sp, hd]
-        q = all_to_all_tokens_to_heads(ctx, q)                     # [B, h/sp, N, hd]
-        k = all_to_all_tokens_to_heads(ctx, k)
-        v = all_to_all_tokens_to_heads(ctx, v)
+        q = all_to_all_tokens_to_heads(ctx, q, pool_key=kq)        # [B, h/sp, N, hd]
+        k = all_to_all_tokens_to_heads(ctx, k, pool_key=kk)
+        v = all_to_all_tokens_to_heads(ctx, v, pool_key=kv)
         out = scaled_dot_product_attention(q, k, v)
-        out = all_to_all_heads_to_tokens(ctx, out)                 # [B, h, N/sp, hd]
+        out = all_to_all_heads_to_tokens(ctx, out, pool_key=kout)  # [B, h, N/sp, hd]
         return self.proj(merge_heads(out))
 
 
@@ -161,6 +290,7 @@ class SPTransformerBlock(Module):
 
     def __init__(self, ctx: SPContext, dim: int, heads: int, masters: dict[str, np.ndarray]) -> None:
         super().__init__()
+        self.ctx = ctx
         self.norm1 = LayerNorm(dim)
         self.norm1.load_state_dict({"weight": masters["norm1.weight"], "bias": masters["norm1.bias"]})
         self.attn = SPSelfAttention(
@@ -170,16 +300,19 @@ class SPTransformerBlock(Module):
         )
         self.norm2 = LayerNorm(dim)
         self.norm2.load_state_dict({"weight": masters["norm2.weight"], "bias": masters["norm2.bias"]})
-        hidden = masters["mlp.fc1.weight"].shape[1]
-        self.mlp = MLP(dim, hidden, np.random.default_rng(0))
-        self.mlp.load_state_dict({
-            "fc1.weight": masters["mlp.fc1.weight"], "fc1.bias": masters["mlp.fc1.bias"],
-            "fc2.weight": masters["mlp.fc2.weight"], "fc2.bias": masters["mlp.fc2.bias"],
-        })
+        self.mlp = MLP.from_masters(
+            masters["mlp.fc1.weight"], masters["mlp.fc1.bias"],
+            masters["mlp.fc2.weight"], masters["mlp.fc2.bias"],
+        )
 
     def forward(self, x: Tensor) -> Tensor:
-        x = x + self.attn(self.norm1(x))
-        return x + self.mlp(self.norm2(x))
+        ctx = self.ctx
+        h = self.attn(self.norm1(x))
+        ctx.charge(0.5 * ctx.block_seconds)
+        x = x + h
+        h = self.mlp(self.norm2(x))
+        ctx.charge(0.5 * ctx.block_seconds)
+        return x + h
 
 
 class SPViTEncoder(Module):

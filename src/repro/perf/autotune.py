@@ -3,10 +3,13 @@
 The paper finds its best Fig. 15/16 layout by hand ("we aim to find the
 optimal configuration by adding FSDP and DP for a fixed model size and
 compute budget").  :func:`search_configurations` automates that: it
-enumerates every ``(strategy, tp, fsdp, dp)`` factorization of a GPU budget
-(TP capped at the node size so it stays on Infinity Fabric, the §6.3
-placement rule), filters to plans that fit in HBM, and ranks them by
-projected sustained throughput at the requested global batch.
+enumerates every ``(strategy, tp, sp, fsdp, dp)`` factorization of a GPU
+budget (TP capped at the node size so it stays on Infinity Fabric, the §6.3
+placement rule; sequence parallelism capped at ``max_sp``, default 1 —
+pass ``max_sp > 1`` to let long-sequence workloads trade TP's O(N) ring
+collectives for Ulysses' O(N/sp) all-to-alls, §3.5), filters to plans that
+fit in HBM, and ranks them by projected sustained throughput at the
+requested global batch.
 
 Overlap-aware ranking
 ---------------------
@@ -117,8 +120,15 @@ def _enumerate_candidates(
     strategies: tuple[str, ...],
     precision: Precision,
     intra_node_tp: bool,
+    max_sp: int = 1,
 ) -> list[tuple[ParallelPlan, int]]:
-    """Every feasible (plan, micro-batch) for the budget, unscored."""
+    """Every feasible (plan, micro-batch) for the budget, unscored.
+
+    ``max_sp`` caps the sequence-parallel axis (default 1 — the historical
+    tp × fsdp × dp grid, which keeps the §6.2 golden podium byte-stable).
+    SP degrees are pow-2 divisors of the budget that divide both the token
+    count (the shards) and the head count (the Ulysses head switch).
+    """
     tp_cap = machine.gpus_per_node if intra_node_tp else total_gpus
     out: list[tuple[ParallelPlan, int]] = []
     seen: set[str] = set()
@@ -126,26 +136,31 @@ def _enumerate_candidates(
         for tp in _divisors_pow2(total_gpus, tp_cap if strategy != "serial" else 1):
             if strategy == "dchag" and channels % tp != 0:
                 continue
-            remaining = total_gpus // tp
-            for fsdp in _divisors_pow2(remaining, remaining):
-                dp = remaining // fsdp
-                if global_batch % dp != 0:
+            sp_budget = total_gpus // tp
+            for sp in _divisors_pow2(sp_budget, max_sp if strategy != "serial" else 1):
+                if sp > 1 and (model.tokens % sp or model.heads % (tp * sp)):
                     continue
-                plan = ParallelPlan(
-                    strategy,
-                    tp=tp,
-                    fsdp=fsdp,
-                    dp=dp,
-                    dchag_kind="linear",
-                    dchag_fanout=0,
-                )
-                if plan.label in seen:
-                    continue
-                seen.add(plan.label)
-                micro = max_batch_per_replica(model, channels, plan, machine, precision)
-                if micro == 0:
-                    continue
-                out.append((plan, micro))
+                remaining = sp_budget // sp
+                for fsdp in _divisors_pow2(remaining, remaining):
+                    dp = remaining // fsdp
+                    if global_batch % dp != 0:
+                        continue
+                    plan = ParallelPlan(
+                        strategy,
+                        tp=tp,
+                        fsdp=fsdp,
+                        dp=dp,
+                        dchag_kind="linear",
+                        dchag_fanout=0,
+                        sp=sp,
+                    )
+                    if plan.label in seen:
+                        continue
+                    seen.add(plan.label)
+                    micro = max_batch_per_replica(model, channels, plan, machine, precision)
+                    if micro == 0:
+                        continue
+                    out.append((plan, micro))
     return out
 
 
@@ -163,12 +178,17 @@ def search_configurations(
     replay: bool = False,
     store=None,
     store_name: str | None = None,
+    max_sp: int = 1,
 ) -> list[TunedPlan]:
     """All feasible plans for the budget, best throughput first.
 
     ``overlaps`` selects the dp/fsdp hidden fractions the ranking uses
     (module docstring); each returned :class:`TunedPlan` records the pair
     applied to it.
+
+    ``max_sp`` opens the sequence-parallel axis: candidates enumerate
+    tp × sp × fsdp × dp with sp up to the cap (default 1 reproduces the
+    historical tp × fsdp × dp grid exactly — the §6.2 golden podium).
 
     ``replay=True`` (with ``overlaps=None``) ranks with the captured-
     schedule replay oracle: one threaded stand-in world is recorded per
@@ -199,7 +219,7 @@ def search_configurations(
         overlaps = simulated_overlaps(machine, model, channels, precision, replay=True)
     candidates = _enumerate_candidates(
         model, channels, total_gpus, machine, global_batch,
-        strategies, precision, intra_node_tp,
+        strategies, precision, intra_node_tp, max_sp=max_sp,
     )
 
     def score(plan: ParallelPlan, ov: "DerivedOverlaps | None") -> float:
@@ -323,6 +343,7 @@ def sweep_replay(
     dp_buckets: int = 4,
     store=None,
     store_name: str | None = None,
+    max_sp: int = 1,
 ) -> ReplaySweep:
     """Rank every candidate of every budget from a handful of captured worlds.
 
@@ -361,7 +382,7 @@ def sweep_replay(
         rows: list[tuple[ParallelPlan, int, tuple | None]] = []
         for plan, micro in _enumerate_candidates(
             model, channels, total_gpus, machine, global_batch,
-            strategies, precision, intra_node_tp,
+            strategies, precision, intra_node_tp, max_sp=max_sp,
         ):
             if plan.dp <= 1 and plan.fsdp <= 1:
                 rows.append((plan, micro, None))
@@ -481,6 +502,7 @@ def _shrink_plan(plan: ParallelPlan) -> ParallelPlan:
         dp=min(plan.dp, 2),
         dchag_kind=plan.dchag_kind,
         dchag_fanout=0,
+        sp=min(plan.sp, 2),
     )
 
 
@@ -493,9 +515,11 @@ def _sim_machine(plan: ParallelPlan, machine: MachineSpec, sim: ParallelPlan) ->
     """
     intra = axis_intra_node(plan, machine)
     if intra["dp"]:
-        gpn = sim.tp * sim.fsdp * sim.dp
+        gpn = sim.total_gpus
     elif intra["fsdp"]:
-        gpn = sim.tp * sim.fsdp
+        gpn = sim.tp * sim.sp * sim.fsdp
+    elif intra["sp"]:
+        gpn = sim.tp * sim.sp
     elif intra["tp"]:
         gpn = sim.tp
     else:

@@ -21,7 +21,7 @@ SPMD runtime driven with a :class:`VirtualClock`:
    ranks plans with measured constants instead of paper ones.
 3. :func:`measure_plan` — replays the exact
    :func:`~repro.perf.comm_model.step_comm_schedule` of a hybrid
-   (tp × fsdp × dp) plan through a real :class:`~repro.parallel.DeviceMesh`
+   (tp × sp × fsdp × dp) plan through a real :class:`~repro.parallel.DeviceMesh`
    world, returning per-axis measured wire/seconds plus derived overlap
    fractions; the measured fig-15/16 benchmarks sweep factorizations
    through it.  With ``eager=True`` the replay runs on an **issue-queue
@@ -81,8 +81,23 @@ __all__ = [
 #: The collectives whose wire accounting the analytic model prices.
 RING_OPS = ("all_reduce", "all_gather", "reduce_scatter", "broadcast", "all_to_all")
 
-#: Schedule axis → traffic phase stamped by the measured replay.
-AXIS_PHASES = {"tp": "tp", "gather": "gather", "fsdp": "fsdp_gather", "dp": "dp_sync"}
+#: Schedule axis → traffic phase stamped by the measured replay.  The sp
+#: phases match what the live :mod:`repro.parallel.sp` wrapper stamps, so
+#: the analytic/simulated/measured books reconcile against real SP worlds.
+AXIS_PHASES = {
+    "tp": "tp",
+    "gather": "gather",
+    "sp": "sp_a2a",
+    "sp_gather": "sp_gather",
+    "sp_scatter": "sp_scatter",
+    "fsdp": "fsdp_gather",
+    "dp": "dp_sync",
+}
+
+#: Axes whose collectives block on the critical path in the eager replay —
+#: TP AllReduces, the channel gather and the Ulysses SP collectives all
+#: produce activations the next op consumes immediately.
+BLOCKING_AXES = ("tp", "gather", "sp", "sp_gather", "sp_scatter")
 
 
 def _issue(comm, op: str, payload_bytes: int, group, scratch: dict | None = None) -> None:
@@ -641,7 +656,8 @@ def measure_plan(
     ``min(comm, compute)`` bound.  ``eager=True`` runs the schedule the way
     an overlapped implementation would, on an issue-queue clock:
 
-    * TP and channel-gather collectives stay blocking (critical path);
+    * TP, channel-gather and Ulysses SP collectives stay blocking
+      (critical path);
     * FSDP gathers are dispatched eagerly, each *before* a slice of
       forward compute (prefetch under the current unit's work);
     * the FSDP gradient ReduceScatter and the DP AllReduce — the latter
@@ -697,10 +713,13 @@ def measure_plan(
     )
 
     def fn(comm):
-        mesh = DeviceMesh(comm, tp=plan.tp, fsdp=plan.fsdp, dp=plan.dp)
+        mesh = DeviceMesh(comm, tp=plan.tp, sp=plan.sp, fsdp=plan.fsdp, dp=plan.dp)
         groups = {
             "tp": mesh.tp_group,
             "gather": mesh.tp_group,
+            "sp": mesh.sp_group,
+            "sp_gather": mesh.sp_group,
+            "sp_scatter": mesh.sp_group,
             "fsdp": mesh.fsdp_group,
             "dp": mesh.dp_group,
         }
@@ -727,10 +746,11 @@ def measure_plan(
                         _issue(comm, ev.op, ev.payload_bytes, groups["dp"], scratch)
 
         def eager_step():
-            # Critical-path collectives first: TP AllReduces and the channel
-            # gather block exactly as in a Megatron-style implementation.
+            # Critical-path collectives first: TP AllReduces, the channel
+            # gather and the Ulysses SP collectives block exactly as in a
+            # Megatron-style implementation.
             for ev in events:
-                if ev.axis in ("tp", "gather"):
+                if ev.axis in BLOCKING_AXES:
                     with comm.phase_scope(AXIS_PHASES[ev.axis]):
                         for _ in range(ev.count):
                             _issue(comm, ev.op, ev.payload_bytes, groups[ev.axis], scratch)

@@ -69,7 +69,9 @@ class CommEvent:
 
     ``axis`` names the parallel axis whose process group carries the event
     (``"tp"``, ``"gather"`` — the channel-stage gather, rides the TP group —
-    ``"fsdp"`` or ``"dp"``); ``count`` is the per-step multiplicity.
+    ``"sp"`` / ``"sp_gather"`` / ``"sp_scatter"`` — the Ulysses all-to-alls
+    and the sequence-boundary gathers, all on the SP group — ``"fsdp"`` or
+    ``"dp"``); ``count`` is the per-step multiplicity.
     """
 
     axis: str
@@ -95,7 +97,7 @@ def step_comm_schedule(
     C = workload.channels
     B = workload.batch
     ab = precision.act_bytes
-    tp, fsdp, dp = plan.tp, plan.fsdp, plan.dp
+    tp, sp, fsdp, dp = plan.tp, plan.sp, plan.fsdp, plan.dp
 
     events: list[CommEvent] = []
 
@@ -104,6 +106,22 @@ def step_comm_schedule(
     if tp > 1:
         act_bytes = int(B * N * D * ab)
         events.append(CommEvent("tp", "all_reduce", act_bytes, 4 * model.depth + 4))
+
+    # ---- SP: the Ulysses schedule.  Each block's attention flips the
+    # sharded axis with all-to-alls over q/k/v (tokens→heads) and the
+    # attention output (heads→tokens): 4 forward + 4 mirrored backward per
+    # block, each moving this rank's B·(N/sp)·D activation shard — the
+    # O(N/sp) per-link traffic that beats TP's O(N) ring collectives at
+    # long sequence.  The boundary ops are the scatter/gather pair: the
+    # scatter's backward re-assembles the full gradient with one AllGather
+    # and the gather's forward re-assembles the full sequence with another.
+    if sp > 1:
+        if N % sp != 0:
+            raise ValueError(f"sequence length {N} not divisible by sp={sp}")
+        shard_bytes = int(B * (N // sp) * D * ab)
+        events.append(CommEvent("sp", "all_to_all", shard_bytes, 8 * model.depth))
+        events.append(CommEvent("sp_gather", "all_gather", shard_bytes))
+        events.append(CommEvent("sp_scatter", "all_gather", shard_bytes))
 
     # ---- channel-stage gather ------------------------------------------
     if plan.strategy == "dist_tok" and tp > 1:
@@ -137,22 +155,35 @@ def step_comm_schedule(
 
 def axis_group_sizes(plan: ParallelPlan) -> dict[str, int]:
     """Process-group size carrying each schedule axis."""
-    return {"tp": plan.tp, "gather": plan.tp, "fsdp": plan.fsdp, "dp": plan.dp}
+    return {
+        "tp": plan.tp,
+        "gather": plan.tp,
+        "sp": plan.sp,
+        "sp_gather": plan.sp,
+        "sp_scatter": plan.sp,
+        "fsdp": plan.fsdp,
+        "dp": plan.dp,
+    }
 
 
 def axis_intra_node(plan: ParallelPlan, machine: MachineSpec) -> dict[str, bool]:
-    """Placement per axis: a replica occupies tp·fsdp consecutive GPUs, so
-    FSDP crosses nodes once tp·fsdp exceeds a node; DP is outermost (almost
+    """Placement per axis: a replica occupies tp·sp·fsdp consecutive GPUs
+    (TP innermost, then SP, then FSDP), so SP crosses nodes once tp·sp
+    exceeds a node, FSDP once tp·sp·fsdp does; DP is outermost (almost
     always cross-node).  Matches the TP-innermost
     :class:`~repro.parallel.DeviceMesh` rank layout."""
-    tp, fsdp, dp = plan.tp, plan.fsdp, plan.dp
+    tp, sp, fsdp, dp = plan.tp, plan.sp, plan.fsdp, plan.dp
     g = machine.gpus_per_node
     tp_intra = tp <= g
+    sp_intra = tp * sp <= g
     return {
         "tp": tp_intra,
         "gather": tp_intra,
-        "fsdp": tp * fsdp <= g,
-        "dp": tp * fsdp * dp <= g,
+        "sp": sp_intra,
+        "sp_gather": sp_intra,
+        "sp_scatter": sp_intra,
+        "fsdp": tp * sp * fsdp <= g,
+        "dp": tp * sp * fsdp * dp <= g,
     }
 
 
@@ -173,19 +204,33 @@ class CommBreakdown:
     gather_wire: int = 0
     fsdp_wire: int = 0
     dp_wire: int = 0
+    sp_time: float = 0.0    # Ulysses a2a + boundary gathers, critical path
+    sp_wire: int = 0
+    sp_gather_wire: int = 0
+    sp_scatter_wire: int = 0
 
     @property
     def total(self) -> float:
-        return self.tp_time + self.gather_time + self.fsdp_time + self.dp_time
+        return (
+            self.tp_time + self.gather_time + self.sp_time
+            + self.fsdp_time + self.dp_time
+        )
 
     @property
     def total_wire(self) -> int:
-        return self.tp_wire + self.gather_wire + self.fsdp_wire + self.dp_wire
+        return (
+            self.tp_wire + self.gather_wire + self.sp_wire
+            + self.sp_gather_wire + self.sp_scatter_wire
+            + self.fsdp_wire + self.dp_wire
+        )
 
     def wire_by_axis(self) -> dict[str, int]:
         return {
             "tp": self.tp_wire,
             "gather": self.gather_wire,
+            "sp": self.sp_wire,
+            "sp_gather": self.sp_gather_wire,
+            "sp_scatter": self.sp_scatter_wire,
             "fsdp": self.fsdp_wire,
             "dp": self.dp_wire,
         }
@@ -204,8 +249,9 @@ def estimate_step_comm(
     """Non-overlapped communication seconds for one training step.
 
     DP AllReduce and FSDP gathers partially overlap with compute
-    (``*_overlap`` = hidden fraction); TP collectives sit on the critical
-    path (overlap 0), as in Megatron-style implementations.  Pass
+    (``*_overlap`` = hidden fraction); TP collectives and the Ulysses SP
+    all-to-alls sit on the critical path (overlap 0), as in Megatron-style
+    implementations — the next op consumes their output immediately.  Pass
     ``overlaps=`` (a :class:`~repro.perf.overlap.DerivedOverlaps` from a
     virtual-clock run) to replace the assumed fractions with derived ones.
     """
@@ -216,8 +262,8 @@ def estimate_step_comm(
     sizes = axis_group_sizes(plan)
     intra = axis_intra_node(plan, machine)
 
-    times = {"tp": 0.0, "gather": 0.0, "fsdp": 0.0, "dp": 0.0}
-    wires = {"tp": 0, "gather": 0, "fsdp": 0, "dp": 0}
+    times = dict.fromkeys(sizes, 0.0)
+    wires = dict.fromkeys(sizes, 0)
     for ev in step_comm_schedule(model, workload, plan, precision):
         n = sizes[ev.axis]
         times[ev.axis] += ev.count * cost.collective_seconds(
@@ -229,10 +275,14 @@ def estimate_step_comm(
     return CommBreakdown(
         tp_time=times["tp"],
         gather_time=times["gather"],
+        sp_time=times["sp"] + times["sp_gather"] + times["sp_scatter"],
         fsdp_time=times["fsdp"] * (1.0 - fsdp_overlap),
         dp_time=times["dp"] * (1.0 - dp_overlap),
         tp_wire=wires["tp"],
         gather_wire=wires["gather"],
+        sp_wire=wires["sp"],
+        sp_gather_wire=wires["sp_gather"],
+        sp_scatter_wire=wires["sp_scatter"],
         fsdp_wire=wires["fsdp"],
         dp_wire=wires["dp"],
     )

@@ -98,9 +98,11 @@ def estimate_flops(
         agg += _cross_attention_flops(tp, N, D, B) / final_div
 
     # ViT blocks: qkv 6·N·D², scores+av 4·N²·D, proj 2·N·D², MLP 4·mlp·N·D².
+    # Ulysses SP divides the block evenly: GEMMs see N/sp tokens, attention
+    # sees heads/sp full-sequence heads — per-rank block FLOPs are /(tp·sp).
     mlp = model.mlp_ratio
     per_block = B * (N * (8 + 4 * mlp) * D * D + 4 * N * N * D)
-    vit = model.depth * per_block / tp
+    vit = model.depth * per_block / tp / plan.sp
 
     return FlopsBreakdown(tokenization=float(tok), aggregation=float(agg), transformer=float(vit))
 

@@ -169,7 +169,11 @@ def estimate_memory(
     # attention output (D/tp), MLP hidden + GELU (2·mlp·D/tp).
     mlp = int(model.mlp_ratio)
     per_block = B * N * ab * (4 * D + (3 * D + D + 2 * mlp * D) / tp)
-    vit_act = model.depth * per_block + B * N * D * ab  # + final norm
+    # Ulysses SP shards every block activation on the token axis (attention
+    # holds heads/sp full-sequence heads — same footprint as N/sp tokens of
+    # all heads); parameters stay replicated across sp, so SP's memory
+    # relief is activation-only — exactly the term that dominates at long N.
+    vit_act = model.depth * per_block / plan.sp + B * N * D * ab  # + final norm
 
     return MemoryBreakdown(
         tokenization_state=float(tok_state),

@@ -18,8 +18,10 @@ class ParallelPlan:
     * ``"dchag"``    — the D-CHAG method (§3.3)
     * ``"serial"``   — single GPU (tp must be 1)
 
-    ``tp`` ranks form one model replica together with ``fsdp``; ``dp``
-    multiplies replicas.  GPUs per replica = tp · fsdp; total = tp·fsdp·dp.
+    ``tp`` ranks form one model replica together with ``sp`` (Ulysses-style
+    sequence parallelism over the token axis, §3.5) and ``fsdp``; ``dp``
+    multiplies replicas.  GPUs per replica = tp · sp · fsdp; total =
+    tp·sp·fsdp·dp.
     """
 
     strategy: str = "tp"
@@ -29,24 +31,27 @@ class ParallelPlan:
     dchag_kind: str = "linear"       # 'linear' (-L) or 'cross' (-C)
     dchag_fanout: int = 0            # TreeN
     tp_shard_final: bool = True
+    sp: int = 1                      # sequence-parallel degree (Ulysses)
 
     def __post_init__(self) -> None:
         if self.strategy not in ("serial", "tp", "dist_tok", "dchag"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.strategy == "serial" and self.tp != 1:
             raise ValueError("serial strategy requires tp=1")
-        if min(self.tp, self.fsdp, self.dp) < 1:
-            raise ValueError("tp, fsdp, dp must be >= 1")
+        if self.strategy == "serial" and self.sp != 1:
+            raise ValueError("serial strategy requires sp=1")
+        if min(self.tp, self.sp, self.fsdp, self.dp) < 1:
+            raise ValueError("tp, sp, fsdp, dp must be >= 1")
         if self.dchag_kind not in ("linear", "cross"):
             raise ValueError("dchag_kind must be 'linear' or 'cross'")
 
     @property
     def gpus_per_replica(self) -> int:
-        return self.tp * self.fsdp
+        return self.tp * self.sp * self.fsdp
 
     @property
     def total_gpus(self) -> int:
-        return self.tp * self.fsdp * self.dp
+        return self.tp * self.sp * self.fsdp * self.dp
 
     @property
     def label(self) -> str:
@@ -60,6 +65,8 @@ class ParallelPlan:
             parts.append(f"TP{self.tp}")
         else:
             parts.append("1GPU")
+        if self.sp > 1:
+            parts.append(f"SP{self.sp}")
         if self.fsdp > 1:
             parts.append(f"FSDP{self.fsdp}")
         if self.dp > 1:

@@ -1207,6 +1207,7 @@ def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
     machine = frontier()
     cases = [
         (ParallelPlan("tp", tp=2, fsdp=1, dp=2), 4),
+        (ParallelPlan("tp", tp=1, sp=2, fsdp=1, dp=2), 4),
         (ParallelPlan("dchag", tp=2, fsdp=2, dp=1, dchag_kind="linear"), 4),
     ]
     if not opts.smoke:

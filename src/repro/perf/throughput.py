@@ -234,7 +234,10 @@ def global_batch_throughput(
     if not est.fits:
         return 0.0
     # DP sync happens once per optimizer step; non-DP comm per micro-step.
-    micro_time = est.compute_seconds + est.comm.tp_time + est.comm.gather_time + est.comm.fsdp_time
+    micro_time = (
+        est.compute_seconds + est.comm.tp_time + est.comm.gather_time
+        + est.comm.sp_time + est.comm.fsdp_time
+    )
     step_time = n_micro * micro_time + est.comm.dp_time
     useful = _useful_flops(model, Workload(channels, micro)) * n_micro * plan.dp
     return useful / step_time / 1e12

@@ -256,3 +256,48 @@ class TestPrunedSearch:
     def test_winner_matches_best_configuration(self, pruned):
         best = best_configuration(*self.ARGS)
         assert pruned[0].plan == best.plan
+
+
+class TestSequenceParallelAxis:
+    """The sp axis: off by default (the golden podium is untouched),
+    load-bearing at long sequence length (pinned with
+    ``benchmarks/bench_longseq_sp_search.py``)."""
+
+    LONGSEQ = named_model("7B").with_image(768, 1536)  # N = 4,608 tokens
+
+    @pytest.fixture(scope="class")
+    def longseq_ranking(self):
+        return search_configurations(self.LONGSEQ, 500, 1024, M, 4096, max_sp=8)
+
+    def test_sp_stays_off_by_default(self):
+        results = search_configurations(named_model("7B"), 500, 64, M, 256)
+        assert all(t.plan.sp == 1 for t in results)
+
+    def test_longseq_winner_uses_sp(self, longseq_ranking):
+        best = longseq_ranking[0]
+        assert best.plan.sp > 1
+        assert best.plan.label == "D-CHAG-L-Tree0x4+SP2+DP128"  # pinned
+
+    def test_longseq_sp_beats_best_sp1_plan(self, longseq_ranking):
+        best_sp1 = next(t for t in longseq_ranking if t.plan.sp == 1)
+        assert longseq_ranking[0].total_tflops > best_sp1.total_tflops
+        # ... and the sp=1 candidates rank exactly as a max_sp=1 sweep.
+        sp1_only = search_configurations(self.LONGSEQ, 500, 1024, M, 4096)
+        assert best_sp1.plan.label == sp1_only[0].plan.label
+
+    def test_sp_candidates_respect_divisibility(self, longseq_ranking):
+        for t in longseq_ranking:
+            if t.plan.sp > 1:
+                assert self.LONGSEQ.tokens % t.plan.sp == 0
+                assert self.LONGSEQ.heads % (t.plan.tp * t.plan.sp) == 0
+
+    def test_plan_axes_and_label(self):
+        p = ParallelPlan("tp", tp=2, sp=4, fsdp=2, dp=2)
+        assert p.gpus_per_replica == 16
+        assert p.total_gpus == 32
+        assert p.label == "TP2+SP4+FSDP2+DP2"
+        assert "SP" not in ParallelPlan("tp", tp=2, fsdp=1, dp=1).label
+
+    def test_serial_strategy_rejects_sp(self):
+        with pytest.raises(ValueError, match="serial strategy requires sp=1"):
+            ParallelPlan("serial", sp=2)

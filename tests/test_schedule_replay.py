@@ -49,6 +49,8 @@ PLAN_CASES = [
     pytest.param(
         ParallelPlan("dchag", tp=2, fsdp=2, dp=2, dchag_kind="linear"), id="dchag8"
     ),
+    pytest.param(ParallelPlan("tp", tp=1, sp=2, fsdp=1, dp=2), id="sp2dp2"),
+    pytest.param(ParallelPlan("tp", tp=2, sp=2, fsdp=1, dp=1), id="tp2sp2"),
 ]
 
 
@@ -105,8 +107,11 @@ class TestPlanParity:
 
 
 # -- hypothesis-generated SPMD programs ------------------------------------
-_PHASES = ("forward", "backward", "dp_sync", "fsdp_gather", "tp")
-_OPS = ("all_reduce", "all_gather", "reduce_scatter", "broadcast", "barrier")
+_PHASES = ("forward", "backward", "dp_sync", "fsdp_gather", "tp", "sp_a2a")
+_OPS = (
+    "all_reduce", "all_gather", "reduce_scatter", "broadcast", "barrier",
+    "all_to_all",
+)
 
 _ITEM = st.one_of(
     st.tuples(
@@ -152,6 +157,10 @@ def _run_program(comm, program):
                     comm.all_gather(np.ones(units, np.float32), group=group)
                 elif op == "reduce_scatter":
                     comm.reduce_scatter(np.ones(units * g, np.float32), group=group)
+                elif op == "all_to_all":
+                    comm.all_to_all(
+                        np.split(np.ones(units * g, np.float32), g), group=group
+                    )
                 else:
                     root = group.ranks[0] if group is not None else 0
                     comm.broadcast(np.ones(units * g, np.float32), root, group=group)

@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import DCHAG, DCHAGConfig
-from repro.dist import run_spmd, run_spmd_world
+from repro.dist import SpmdError, run_spmd, run_spmd_world
 from repro.nn import ViTEncoder
 from repro.parallel import (
     SPContext,
@@ -14,6 +16,7 @@ from repro.parallel import (
     gather_sequence,
     scatter_sequence,
 )
+from repro.parallel.sp import SP_A2A_PHASE, SP_GATHER_PHASE, SP_SCATTER_PHASE
 from repro.tensor import Tensor
 
 RNG = np.random.default_rng(61)
@@ -152,3 +155,217 @@ class TestDCHAGWithSP:
         for out, loss in res[1:]:
             np.testing.assert_allclose(out, res[0][0], rtol=1e-4, atol=1e-5)
             assert loss == pytest.approx(res[0][1], rel=1e-5)
+
+
+class TestSPParityHypothesis:
+    """Forward + gradient parity vs the serial encoder over drawn shapes."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        sp=st.sampled_from([2, 4]),
+        batch=st.integers(1, 3),
+        seq_mult=st.integers(1, 3),
+        head_dim=st.sampled_from([4, 8]),
+    )
+    def test_forward_and_grad_match_serial(self, sp, batch, seq_mult, head_dim):
+        heads = sp  # minimal legal head count: heads % sp == 0
+        dim = heads * head_dim
+        n = sp * seq_mult  # tokens % sp == 0 by construction
+        serial = ViTEncoder(dim, 1, heads, np.random.default_rng(7))
+        state = serial.state_dict()
+        x = np.random.default_rng(11).standard_normal((batch, n, dim)).astype(np.float32)
+        xt = Tensor(x, requires_grad=True)
+        (serial(xt) ** 2).mean().backward()
+        expect_out = serial(Tensor(x)).data
+        expect_grad = xt.grad.copy()
+
+        def fn(comm):
+            ctx = SPContext(comm)
+            enc = SPViTEncoder(ctx, dim, 1, heads, state)
+            xi = Tensor(x, requires_grad=True)
+            out = gather_sequence(ctx, enc(scatter_sequence(ctx, xi)))
+            (out ** 2).mean().backward()
+            return out.data.copy(), xi.grad.copy()
+
+        for out, grad in run_spmd(fn, sp):
+            np.testing.assert_allclose(out, expect_out, rtol=3e-4, atol=3e-5)
+            np.testing.assert_allclose(grad, expect_grad, rtol=2e-3, atol=2e-5)
+
+
+class TestDivisibility:
+    def test_a2a_indivisible_axis_raises(self):
+        def fn(comm):
+            ctx = SPContext(comm)
+            # 3 heads over sp=2: the head axis cannot be split evenly.
+            all_to_all_tokens_to_heads(ctx, Tensor(np.zeros((1, 3, 4, 4), np.float32)))
+
+        with pytest.raises(SpmdError):
+            run_spmd(fn, 2)
+
+    def test_attention_heads_indivisible_raises(self):
+        from repro.parallel.sp import SPSelfAttention
+
+        def fn(comm):
+            ctx = SPContext(comm)
+            d = 6
+            SPSelfAttention(
+                ctx, d, 3,
+                np.zeros((d, 3 * d), np.float32), np.zeros(3 * d, np.float32),
+                np.zeros((d, d), np.float32), np.zeros(d, np.float32),
+            )
+
+        with pytest.raises(SpmdError):
+            run_spmd(fn, 2)
+
+    def test_schedule_indivisible_tokens_raises(self):
+        from repro.perf import ParallelPlan, Workload, step_comm_schedule
+        from repro.perf.modelcfg import ModelConfig
+
+        model = ModelConfig("odd", dim=32, depth=1, heads=4, patch=4, image_hw=(4, 12))
+        assert model.tokens == 3
+        with pytest.raises(ValueError, match="not divisible by sp"):
+            step_comm_schedule(
+                model, Workload(channels=4, batch=1),
+                ParallelPlan("tp", tp=1, sp=2, fsdp=1, dp=1),
+            )
+
+
+class TestRoundTrips:
+    def test_gather_then_scatter_returns_the_shard(self):
+        """gather_sequence and scatter_sequence are conjugate both ways."""
+        x = RNG.standard_normal((B, N, D)).astype(np.float32)
+
+        def fn(comm):
+            ctx = SPContext(comm)
+            shard = scatter_sequence(ctx, Tensor(x, requires_grad=True))
+            ref = shard.data.copy()
+            back = scatter_sequence(ctx, gather_sequence(ctx, shard))
+            (back * back).sum().backward()
+            return back.data.copy(), ref
+
+        for back, ref in run_spmd(fn, 4):
+            np.testing.assert_allclose(back, ref, rtol=1e-6)
+
+
+class TestBufferPooling:
+    @staticmethod
+    def _train_step(ctx, enc, x):
+        xi = Tensor(x, requires_grad=True)
+        out = gather_sequence(ctx, enc(scatter_sequence(ctx, xi)))
+        (out ** 2).mean().backward()
+        return out.data.copy(), xi.grad.copy()
+
+    def test_pooled_matches_unpooled_bitwise(self):
+        serial = ViTEncoder(D, DEPTH, HEADS, np.random.default_rng(42))
+        state = serial.state_dict()
+        x = RNG.standard_normal((B, N, D)).astype(np.float32)
+
+        def fn_with(pool):
+            def fn(comm):
+                ctx = SPContext(comm, pool=pool)
+                enc = SPViTEncoder(ctx, D, DEPTH, HEADS, state)
+                # Two steps so the pooled path covers both the allocating
+                # first visit and the steady-state out= reuse.
+                self._train_step(ctx, enc, x)
+                return self._train_step(ctx, enc, x)
+            return fn
+
+        pooled = run_spmd(fn_with(True), 2)
+        plain = run_spmd(fn_with(False), 2)
+        for (po, pg), (uo, ug) in zip(pooled, plain):
+            np.testing.assert_array_equal(po, uo)
+            np.testing.assert_array_equal(pg, ug)
+
+    def test_steady_state_takes_zero_pool_misses(self):
+        serial = ViTEncoder(D, DEPTH, HEADS, np.random.default_rng(42))
+        state = serial.state_dict()
+        x = RNG.standard_normal((B, N, D)).astype(np.float32)
+
+        def fn(comm):
+            ctx = SPContext(comm)
+            enc = SPViTEncoder(ctx, D, DEPTH, HEADS, state)
+            # Step 1 learns every site's peer shapes (allocating path, no
+            # takes); step 2 is the first pooled pass and fills the pool.
+            self._train_step(ctx, enc, x)
+            self._train_step(ctx, enc, x)
+            before = comm.pool.misses
+            self._train_step(ctx, enc, x)
+            return comm.pool.misses - before, comm.pool.hits
+
+        for fresh_misses, hits in run_spmd(fn, 2):
+            assert fresh_misses == 0
+            assert hits > 0
+
+    def test_single_peer_shape_drift_raises_loudly(self):
+        def fn(comm):
+            ctx = SPContext(comm)
+            shapes = [(B, 2, 4, 4), (B, 2, 8, 4)]
+            first = Tensor(np.zeros(shapes[0], np.float32))
+            all_to_all_tokens_to_heads(ctx, first, pool_key="sp-drift-test")
+            # Rank 0 replays the cached site; rank 1 drifts to a new shape.
+            drifted = Tensor(np.zeros(shapes[comm.rank], np.float32))
+            all_to_all_tokens_to_heads(ctx, drifted, pool_key="sp-drift-test")
+
+        with pytest.raises(SpmdError):
+            run_spmd(fn, 2)
+
+
+class TestPhaseTagging:
+    def _world(self):
+        serial = ViTEncoder(D, DEPTH, HEADS, np.random.default_rng(42))
+        state = serial.state_dict()
+        x = RNG.standard_normal((B, N, D)).astype(np.float32)
+
+        def fn(comm):
+            ctx = SPContext(comm)
+            enc = SPViTEncoder(ctx, D, DEPTH, HEADS, state)
+            xi = Tensor(x, requires_grad=True)
+            out = gather_sequence(ctx, enc(scatter_sequence(ctx, xi)))
+            (out ** 2).mean().backward()
+
+        _, world = run_spmd_world(fn, 2)
+        return world
+
+    def test_every_sp_collective_is_phase_tagged(self):
+        traffic = self._world().traffic
+        # 4 a2a per block forward + 4 backward, all stamped sp_a2a.
+        assert traffic.count(op="all_to_all") == 8 * DEPTH * 2
+        assert traffic.count(op="all_to_all", phase=SP_A2A_PHASE) == 8 * DEPTH * 2
+        # One boundary gather each way per rank, on their own phases.
+        assert traffic.count(op="all_gather", phase=SP_GATHER_PHASE) == 2
+        assert traffic.count(op="all_gather", phase=SP_SCATTER_PHASE) == 2
+        # Nothing SP emits rides an untagged phase.
+        for phase in ("forward", "backward", ""):
+            assert traffic.count(phase=phase) == 0
+
+    def test_live_wrapper_wire_bytes_match_analytic_schedule(self):
+        """The live SP world's traffic equals the analytic sp events priced
+        by the CostModel — per op x phase, exact bytes (fp32 activations)."""
+        from repro.perf import (
+            CostModel,
+            ParallelPlan,
+            Precision,
+            Workload,
+            frontier,
+            step_comm_schedule,
+        )
+        from repro.perf.calibrate import AXIS_PHASES
+        from repro.perf.modelcfg import ModelConfig
+
+        traffic = self._world().traffic
+        model = ModelConfig(
+            "sp-live", dim=D, depth=DEPTH, heads=HEADS, patch=4, image_hw=(8, 16)
+        )
+        assert model.tokens == N
+        plan = ParallelPlan("tp", tp=1, sp=2, fsdp=1, dp=1)
+        events = step_comm_schedule(
+            model, Workload(channels=1, batch=B), plan,
+            precision=Precision(act_bytes=4),  # the live wrapper is fp32
+        )
+        cost = CostModel(frontier())
+        sp_events = [ev for ev in events if ev.axis.startswith("sp")]
+        assert {ev.axis for ev in sp_events} == {"sp", "sp_gather", "sp_scatter"}
+        for ev in sp_events:
+            predicted = cost.wire_bytes(ev.op, ev.payload_bytes, plan.sp) * ev.count
+            measured = traffic.wire_bytes(op=ev.op, phase=AXIS_PHASES[ev.axis], rank=0)
+            assert measured == predicted, (ev.axis, measured, predicted)

@@ -286,8 +286,12 @@ class TestMeasuredPlans:
         plan = ParallelPlan("dist_tok", tp=4, fsdp=2, dp=2)
         workload = Workload(16, 2)
         cost = CostModel(MACHINE)
-        sizes = {"tp": plan.tp, "gather": plan.tp, "fsdp": plan.fsdp, "dp": plan.dp}
-        by_axis = {"tp": 0, "gather": 0, "fsdp": 0, "dp": 0}
+        sizes = {
+            "tp": plan.tp, "gather": plan.tp, "sp": plan.sp,
+            "sp_gather": plan.sp, "sp_scatter": plan.sp,
+            "fsdp": plan.fsdp, "dp": plan.dp,
+        }
+        by_axis = dict.fromkeys(sizes, 0)
         for ev in step_comm_schedule(self.TINY, workload, plan):
             by_axis[ev.axis] += ev.count * cost.wire_bytes(ev.op, ev.payload_bytes, sizes[ev.axis])
         comm = estimate_step_comm(self.TINY, workload, plan, MACHINE)
