@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Elastic fault-tolerant training: survive a mid-run rank loss.
+"""Elastic fault-tolerant training: survive a rank loss AND a rank return.
 
 The scenario the ROADMAP calls the fault-tolerance workload: an FSDP-sharded
 MAE trains on simulated ranks, checkpointing in shards (one file per rank
@@ -13,11 +13,18 @@ the :class:`~repro.elastic.ElasticSupervisor`
    (pure data movement — bitwise, optimizer moments included),
 4. resumes mid-schedule.
 
-The demo proves the recovery is *semantically free*: the elastic run's loss
-trajectory matches an uninterrupted run of the same schedule, because FSDP's
-math is independent of how the flat parameters are sharded.
+A few steps later the "repaired host" comes back: a scripted
+:class:`~repro.elastic.RankArrival` makes the supervisor checkpoint the
+shrunken world, reshard *up*, and resume at full width — the same pure data
+movement, run in the other direction.
 
-Run:  python examples/elastic_training.py [--world 4] [--kill-step 7]
+The demo proves both transitions are *semantically free*: the elastic run's
+loss trajectory (through a shrink and a grow) matches an uninterrupted run
+of the same schedule, because FSDP's math is independent of how the flat
+parameters are sharded.
+
+Run:  python examples/elastic_training.py [--world 4] [--kill-step 7] \\
+          [--rejoin-step 9]
 """
 
 import argparse
@@ -38,6 +45,10 @@ def parse_args() -> argparse.Namespace:
     ap.add_argument("--checkpoint-every", type=int, default=3)
     ap.add_argument("--kill-rank", type=int, default=2)
     ap.add_argument("--kill-step", type=int, default=7)
+    ap.add_argument(
+        "--rejoin-step", type=int, default=None,
+        help="step at which the lost rank returns (grow path); omit to skip",
+    )
     ap.add_argument("--ckpt-dir", default=None, help="checkpoint root (default: tempdir)")
     return ap.parse_args()
 
@@ -79,15 +90,34 @@ def main() -> None:
         return res
 
     plan = FailurePlan.kill(args.kill_rank, args.kill_step, "simulated GPU loss")
-    print(f"=== elastic run: kill rank {args.kill_rank} at step {args.kill_step} ===")
+    if args.rejoin_step is not None:
+        plan = plan.rejoin(args.rejoin_step, message="host repaired")
+        print(f"=== elastic run: kill rank {args.kill_rank} at step "
+              f"{args.kill_step}, rank returns at step {args.rejoin_step} ===")
+    else:
+        print(f"=== elastic run: kill rank {args.kill_rank} "
+              f"at step {args.kill_step} ===")
     res = run("elastic", args.world, plan, f"{root}/elastic")
     for ev in res.recoveries:
-        print(
-            f"[elastic] recovery: rank {ev.failed_rank} died at step {ev.failed_step}; "
-            f"resumed {ev.old_world_size}->{ev.new_world_size} wide from step "
-            f"{ev.resume_step} ({ev.steps_lost} step(s) lost, "
-            f"{ev.reshard_bytes / 1024:.1f} KiB resharded)"
-        )
+        if ev.kind == "grow":
+            print(
+                f"[elastic] grow: rank returned before step {ev.failed_step}; "
+                f"resharded {ev.old_world_size}->{ev.new_world_size} wide and "
+                f"resumed from step {ev.resume_step} "
+                f"({ev.reshard_bytes / 1024:.1f} KiB resharded)"
+            )
+        else:
+            print(
+                f"[elastic] {ev.kind}: rank {ev.failed_rank} died at step "
+                f"{ev.failed_step}; resumed {ev.old_world_size}->"
+                f"{ev.new_world_size} wide from step {ev.resume_step} "
+                f"({ev.steps_lost} step(s) lost, "
+                f"{ev.reshard_bytes / 1024:.1f} KiB resharded)"
+            )
+    if args.rejoin_step is not None:
+        kinds = [ev.kind for ev in res.recoveries]
+        assert kinds == ["shrink", "grow"], kinds
+        assert res.world_sizes[-1] == args.world, res.world_sizes
 
     print(f"=== uninterrupted baseline (same schedule, {args.world} ranks) ===")
     base = run("baseline", args.world, None, f"{root}/baseline")

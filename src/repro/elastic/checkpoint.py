@@ -1,4 +1,4 @@
-"""Distributed sharded checkpoints with manifest-driven resharding.
+"""Distributed sharded checkpoints: resharding, async saves, delta chains.
 
 Layout: one checkpoint is a directory ``step_{S:08d}/`` under a checkpoint
 root, holding one ``shard_{i:04d}.npz`` per FSDP group rank plus a
@@ -12,6 +12,8 @@ root, holding one ``shard_{i:04d}.npz`` per FSDP group rank plus a
         shard_0000.npz         # unit{k}.param / unit{k}.m / unit{k}.v
         shard_0001.npz
       step_00000004.w3/        # the same step resharded to world size 3
+      step_00000008/           # a *delta*: only units whose bytes changed
+        manifest.json          #   since its base (manifest["delta"])
 
 Each shard file stores, per FSDP unit, this rank's slice of the padded flat
 parameter and (optionally) the matching AdamW moment slices — the optimizer
@@ -25,16 +27,45 @@ shards, strip N's pad, re-pad for M, re-split.  No arithmetic touches the
 values, so reshard → consolidate is bitwise-identical to the original
 consolidated state at any M.
 
+Three durability/throughput layers on top of the base format:
+
+* **Torn-save detection.**  Shard files are written atomically
+  (write → flush → fsync → rename → fsync the directory entry) and the
+  manifest strictly last, so ``manifest.json`` existing implies every named
+  shard is durable; :func:`latest_checkpoint` skips anything else.  A delta
+  checkpoint is complete only if its whole base chain is.
+* **Async (double-buffered) saves.**  :class:`AsyncCheckpointWriter` lets
+  :func:`save_sharded` return after an in-memory shard snapshot taken at
+  the group barrier; a background thread writes the files (manifest still
+  last) overlapped with subsequent training steps.  ``max_pending`` bounds
+  the snapshots in flight — the classic double buffer at the default of 1.
+* **Delta checkpoints.**  ``save_sharded(..., delta_base=prev)`` writes
+  only the units whose master bytes changed since *prev* (agreed
+  collectively via per-unit digests, so every rank writes the same unit
+  set); readers resolve the base chain transparently.  Deltas cut the
+  steady-state cadence cost whenever part of the model is frozen.
+
 DP replicas hold identical shards by construction, so only one replica
 (``write=True``, conventionally ``mesh.coords.dp == 0``) writes files; the
 other replicas still join the group barrier so the save is collective.
+
+``python -m repro.elastic.checkpoint --smoke`` runs the async/delta parity
+gate the ``elastic-smoke`` CI job enforces: async saves bitwise-equal to
+blocking saves, torn saves (full *and* delta) invisible to
+:func:`latest_checkpoint`, delta chains resolving exactly, retention
+pruning keeping every live base.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import queue
+import shutil
+import threading
+import zlib
 from pathlib import Path
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -43,18 +74,22 @@ from ..tensor.optim import AdamW
 
 __all__ = [
     "MANIFEST_NAME",
+    "AsyncCheckpointWriter",
+    "writer_for",
+    "drain_writers",
     "checkpoint_dir",
     "save_sharded",
     "load_sharded",
     "load_manifest",
     "latest_checkpoint",
+    "prune_checkpoints",
     "reshard",
     "consolidate",
     "checkpoint_nbytes",
 ]
 
 MANIFEST_NAME = "manifest.json"
-_VERSION = 1
+_VERSION = 2  # version 1 manifests (no digests/delta) still load
 
 
 def checkpoint_dir(root: str | Path, step: int) -> Path:
@@ -66,11 +101,206 @@ def _shard_name(group_rank: int) -> str:
     return f"shard_{int(group_rank):04d}.npz"
 
 
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry so a completed rename survives the metadata
+    layer (a rename alone is atomic but not durable — the entry can be lost
+    on power cut, leaving a complete-looking checkpoint torn)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # platforms/filesystems without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
-    """Write-then-rename so a crash mid-save never leaves a torn file."""
+    """Durably write-then-rename so a crash mid-save never leaves a torn
+    file and a finished rename never evaporates: flush + fsync the payload,
+    rename into place, then fsync the parent directory entry."""
     tmp = path.with_name(path.name + ".tmp.npz")
-    np.savez(tmp, **arrays)
+    with open(tmp, "wb") as fh:
+        np.savez(fh, **arrays)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _atomic_write_json(path: Path, obj: dict) -> None:
+    """The manifest counterpart of :func:`_atomic_savez`."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(obj, indent=1))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+# -- digests (the collective agreement behind delta saves) ------------------
+def _digest_arrays(arrays: dict[str, np.ndarray], unit: int, keys: Sequence[str]) -> int:
+    crc = 0
+    for k in keys:
+        crc = zlib.crc32(arrays[f"unit{unit}.{k}"].tobytes(), crc)
+    return int(crc)
+
+
+class AsyncCheckpointWriter:
+    """Background writer overlapping checkpoint I/O with training compute.
+
+    Shared by every rank of one SPMD world: ranks :meth:`stage` in-memory
+    snapshots of their shard arrays (a copy — training mutates the live
+    buffers on the very next step), and after the group barrier the lead
+    rank :meth:`commit`\\ s the step, enqueueing one write job.  The worker
+    thread writes every staged shard file atomically, then the manifest
+    strictly last, then fsyncs the directory — so the manifest-last torn-
+    save invariant holds for async saves exactly as for blocking ones.
+
+    ``max_pending`` bounds the jobs in flight (default 1: one snapshot
+    being written while the next is being staged — double buffering).  A
+    :meth:`commit` beyond the bound blocks, which is the natural back-
+    pressure when the write takes longer than a checkpoint interval.
+
+    Background write errors surface on the next :meth:`commit`,
+    :meth:`wait` or :meth:`close`.  ``pre_manifest_hook`` (test-only) runs
+    after a job's shards and before its manifest — raising from it
+    simulates a crash mid-save, leaving a torn checkpoint.
+    """
+
+    def __init__(self, max_pending: int = 1) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = int(max_pending)
+        self._slots = threading.Semaphore(max_pending)
+        self._lock = threading.Lock()
+        self._staged: dict[Path, dict[str, dict[str, np.ndarray]]] = {}
+        self._manifests: dict[Path, dict] = {}
+        self._queue: queue.Queue = queue.Queue()
+        self._errors: list[BaseException] = []
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self.pre_manifest_hook: Callable[[Path], None] | None = None
+
+    # -- staging (called per rank, pre-barrier) ----------------------------
+    def stage(self, step_dir: Path, shard_name: str, arrays: dict[str, np.ndarray]) -> None:
+        """Snapshot one rank's shard arrays for *step_dir* (copies taken now)."""
+        snap = {k: np.array(v, copy=True) for k, v in arrays.items()}
+        with self._lock:
+            self._staged.setdefault(Path(step_dir), {})[shard_name] = snap
+
+    def pending_manifest(self, step_dir: Path) -> dict | None:
+        """The manifest of a committed-but-possibly-unwritten save, so a
+        delta save can chain to an in-flight base without touching disk."""
+        with self._lock:
+            m = self._manifests.get(Path(step_dir))
+        return m
+
+    # -- committing (lead rank, post-barrier) ------------------------------
+    def commit(self, step_dir: Path, manifest: dict, keep_last: int | None = None) -> None:
+        """Enqueue the write of *step_dir*: staged shards, manifest last.
+
+        Blocks while ``max_pending`` earlier jobs are still writing (back-
+        pressure).  Re-raises any background error from earlier jobs.
+        """
+        self._raise_pending()
+        step_dir = Path(step_dir)
+        with self._lock:
+            shards = self._staged.pop(step_dir, {})
+            self._manifests[step_dir] = manifest
+        self._slots.acquire()
+        self._ensure_thread()
+        self._queue.put((step_dir, shards, manifest, keep_last))
+
+    # -- worker ------------------------------------------------------------
+    def _ensure_thread(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._worker, name="ckpt-writer", daemon=True
+            )
+            self._thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            step_dir, shards, manifest, keep_last = job
+            try:
+                step_dir.mkdir(parents=True, exist_ok=True)
+                for shard_name, arrays in shards.items():
+                    _atomic_savez(step_dir / shard_name, arrays)
+                if self.pre_manifest_hook is not None:
+                    self.pre_manifest_hook(step_dir)
+                _atomic_write_json(step_dir / MANIFEST_NAME, manifest)
+                if keep_last is not None:
+                    prune_checkpoints(step_dir.parent, keep_last=keep_last)
+            except BaseException as exc:  # surfaced on the next commit/wait
+                with self._lock:
+                    self._errors.append(exc)
+            finally:
+                self._slots.release()
+                self._queue.task_done()
+
+    # -- draining ----------------------------------------------------------
+    def _raise_pending(self) -> None:
+        with self._lock:
+            if self._errors:
+                err = self._errors.pop(0)
+                raise RuntimeError("async checkpoint write failed") from err
+
+    def wait(self) -> None:
+        """Block until every committed save is durable; re-raise errors."""
+        self._queue.join()
+        self._raise_pending()
+
+    def close(self) -> None:
+        """Drain, then stop the worker thread.  Idempotent."""
+        if self._closed:
+            return
+        self._queue.join()
+        if self._thread is not None and self._thread.is_alive():
+            self._queue.put(None)
+            self._queue.join()
+            self._thread.join(timeout=10.0)
+        self._closed = True
+        self._raise_pending()
+
+
+# Process-wide writers keyed by checkpoint root: every rank thread of a
+# world saving under one root shares one writer (one background I/O lane per
+# run), and the supervisor can drain in-flight saves before picking a
+# resume checkpoint.
+_WRITER_REGISTRY: dict[Path, AsyncCheckpointWriter] = {}
+_WRITER_REGISTRY_LOCK = threading.Lock()
+
+
+def writer_for(root: str | Path, max_pending: int = 1) -> AsyncCheckpointWriter:
+    """The shared :class:`AsyncCheckpointWriter` for checkpoint root *root*."""
+    key = Path(root).resolve()
+    with _WRITER_REGISTRY_LOCK:
+        writer = _WRITER_REGISTRY.get(key)
+        if writer is None or writer._closed:
+            writer = AsyncCheckpointWriter(max_pending=max_pending)
+            _WRITER_REGISTRY[key] = writer
+        return writer
+
+
+def drain_writers(root: str | Path) -> None:
+    """Make every async save under *root* durable; re-raise write errors.
+
+    A no-op when no writer was ever created for *root*, so callers (the
+    elastic supervisor, tests) can drain unconditionally.
+    """
+    key = Path(root).resolve()
+    with _WRITER_REGISTRY_LOCK:
+        writer = _WRITER_REGISTRY.get(key)
+    if writer is not None:
+        writer.wait()
 
 
 def save_sharded(
@@ -80,6 +310,9 @@ def save_sharded(
     step: int = 0,
     extra: dict | None = None,
     write: bool = True,
+    writer: AsyncCheckpointWriter | None = None,
+    delta_base: str | Path | None = None,
+    keep_last: int | None = None,
 ) -> Path:
     """Collectively write a sharded checkpoint of *model* at *step*.
 
@@ -90,25 +323,88 @@ def save_sharded(
     implies every shard file is complete — the invariant
     :func:`latest_checkpoint` relies on to skip checkpoints torn by a crash.
 
+    ``writer`` switches to the **async** path: the call returns once every
+    rank's shard snapshot is staged (a memcpy at the barrier, not a disk
+    write) and the :class:`AsyncCheckpointWriter` persists the files in the
+    background, overlapped with subsequent steps.  Call ``writer.wait()``
+    before relying on the save being durable.
+
+    ``delta_base`` writes a **delta**: only units whose bytes (params and
+    moments) changed since the base checkpoint are stored; the manifest
+    records the base by name and readers resolve the chain transparently.
+    The changed set is agreed collectively (per-unit digests AllGathered
+    over the group), so every rank writes the same units; the base must
+    live under the same *root*, match this group's world size, and carry
+    digests (any version-2 save does).
+
+    ``keep_last`` prunes the root down to the newest *keep_last* complete
+    checkpoints (plus any base a kept delta chains to) once the manifest is
+    durable — the retention knob long runs need.
+
     *extra* (JSON-serializable) is carried in the manifest; elastic trainers
     stash their loss history there so resumed runs report full trajectories.
     """
     comm, group = model.comm, model.group
     me = group.rank_index(comm.rank)
+    root = Path(root)
     step_dir = checkpoint_dir(root, step)
-    adam_step = 0
-    if write:
-        step_dir.mkdir(parents=True, exist_ok=True)
-        arrays: dict[str, np.ndarray] = {}
-        opt_state = optimizer.state_dict() if optimizer is not None else None
+    opt_state = optimizer.state_dict() if optimizer is not None else None
+    adam_step = 0 if opt_state is None else int(opt_state["step"])
+    keys = ["param"] + (["m", "v"] if opt_state is not None else [])
+    arrays: dict[str, np.ndarray] = {}
+    for i, unit in enumerate(model.units):
+        arrays[f"unit{i}.param"] = unit.flat.shard.data
         if opt_state is not None:
-            adam_step = int(opt_state["step"])
-        for i, unit in enumerate(model.units):
-            arrays[f"unit{i}.param"] = unit.flat.shard.data
-            if opt_state is not None:
-                arrays[f"unit{i}.m"] = opt_state["m"][i]
-                arrays[f"unit{i}.v"] = opt_state["v"][i]
-        _atomic_savez(step_dir / _shard_name(me), arrays)
+            arrays[f"unit{i}.m"] = opt_state["m"][i]
+            arrays[f"unit{i}.v"] = opt_state["v"][i]
+    n_units = len(model.units)
+
+    # Per-unit digests: every save carries them (so it can serve as a later
+    # delta's base); a delta save compares them against the base's table.
+    mine = np.array(
+        [_digest_arrays(arrays, i, keys) for i in range(n_units)], dtype=np.uint64
+    )
+    table = [[int(d) for d in part] for part in comm.all_gather(mine, group=group)]
+
+    delta_meta: dict | None = None
+    saved_units = list(range(n_units))
+    if delta_base is not None:
+        base_dir = Path(delta_base)
+        if base_dir.parent != root:
+            raise ValueError(
+                f"delta base {base_dir} must live under the checkpoint root {root}"
+            )
+        base_manifest = None
+        if writer is not None:
+            base_manifest = writer.pending_manifest(base_dir)
+        if base_manifest is None:
+            base_manifest = load_manifest(base_dir)
+        if base_manifest["world_size"] != group.size:
+            raise ValueError(
+                f"delta base world size {base_manifest['world_size']} != "
+                f"group size {group.size}"
+            )
+        base_digests = base_manifest.get("digests")
+        if not base_digests:
+            raise ValueError(
+                f"delta base {base_dir} carries no digests; re-save it first"
+            )
+        saved_units = [
+            i
+            for i in range(n_units)
+            if any(table[r][i] != base_digests[r][i] for r in range(group.size))
+        ]
+        delta_meta = {"base": base_dir.name, "units": saved_units}
+
+    shard_arrays = {
+        f"unit{i}.{k}": arrays[f"unit{i}.{k}"] for i in saved_units for k in keys
+    }
+    if write:
+        if writer is not None:
+            writer.stage(step_dir, _shard_name(me), shard_arrays)
+        else:
+            step_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_savez(step_dir / _shard_name(me), shard_arrays)
     comm.barrier(group)
     if write and me == 0:
         manifest = {
@@ -119,11 +415,17 @@ def save_sharded(
             "has_optimizer": optimizer is not None,
             "adam_step": adam_step,
             "shards": [_shard_name(r) for r in range(group.size)],
+            "digests": table,
             "extra": extra if extra is not None else {},
         }
-        tmp = step_dir / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(manifest, indent=1))
-        os.replace(tmp, step_dir / MANIFEST_NAME)
+        if delta_meta is not None:
+            manifest["delta"] = delta_meta
+        if writer is not None:
+            writer.commit(step_dir, manifest, keep_last=keep_last)
+        else:
+            _atomic_write_json(step_dir / MANIFEST_NAME, manifest)
+            if keep_last is not None:
+                prune_checkpoints(root, keep_last=keep_last)
     return step_dir
 
 
@@ -132,7 +434,38 @@ def load_manifest(step_dir: str | Path) -> dict:
     return json.loads((Path(step_dir) / MANIFEST_NAME).read_text())
 
 
-def _is_complete(step_dir: Path) -> bool:
+def _delta_sources(step_dir: Path, manifest: dict) -> list[Path]:
+    """Per-unit directory that physically holds the unit's shard data.
+
+    A full checkpoint sources every unit from itself; a delta walks its
+    base chain (base names resolve against the same checkpoint root) until
+    every unit is found.  Raises on cycles and broken chains.
+    """
+    n_units = len(manifest["units"])
+    sources: list[Path | None] = [None] * n_units
+    d, m = Path(step_dir), manifest
+    seen = {Path(step_dir)}
+    while True:
+        delta = m.get("delta")
+        present = set(delta["units"]) if delta else set(range(n_units))
+        for i in range(n_units):
+            if sources[i] is None and i in present:
+                sources[i] = d
+        if all(s is not None for s in sources):
+            return sources  # type: ignore[return-value]
+        if not delta:
+            missing = [i for i, s in enumerate(sources) if s is None]
+            raise ValueError(
+                f"checkpoint {step_dir} chain never provides units {missing}"
+            )
+        base = d.parent / delta["base"]
+        if base in seen:
+            raise ValueError(f"checkpoint {step_dir} has a cyclic delta chain")
+        seen.add(base)
+        d, m = base, load_manifest(base)
+
+
+def _is_complete(step_dir: Path, _seen: frozenset = frozenset()) -> bool:
     manifest_path = step_dir / MANIFEST_NAME
     if not manifest_path.is_file():
         return False
@@ -140,16 +473,25 @@ def _is_complete(step_dir: Path) -> bool:
         manifest = json.loads(manifest_path.read_text())
     except (OSError, json.JSONDecodeError):
         return False
-    return all((step_dir / name).is_file() for name in manifest.get("shards", ()))
+    if not all((step_dir / name).is_file() for name in manifest.get("shards", ())):
+        return False
+    delta = manifest.get("delta")
+    if delta:
+        base = step_dir.parent / delta["base"]
+        if base in _seen:
+            return False  # cyclic chain: unusable
+        return _is_complete(base, _seen | {step_dir})
+    return True
 
 
 def latest_checkpoint(root: str | Path) -> Path | None:
     """The newest *complete* checkpoint under *root*, or ``None``.
 
     Completeness = manifest present (written last) and every shard file it
-    names on disk.  Ties on step (an original and its reshard) break toward
-    the lexicographically last directory name — they hold identical values,
-    so either is correct.
+    names on disk — and, for a delta, its whole base chain complete too, so
+    a durable-looking delta whose base was torn is skipped.  Ties on step
+    (an original and its reshard) break toward the lexicographically last
+    directory name — they hold identical values, so either is correct.
     """
     root = Path(root)
     if not root.is_dir():
@@ -161,6 +503,54 @@ def latest_checkpoint(root: str | Path) -> Path | None:
     if not candidates:
         return None
     return max(candidates)[2]
+
+
+def prune_checkpoints(root: str | Path, keep_last: int = 2) -> list[Path]:
+    """Retention: delete all but the newest *keep_last* complete checkpoints.
+
+    Long elastic runs accumulate one step directory per cadence fire;
+    this keeps the newest *keep_last* complete checkpoints **plus every
+    base a kept delta chains to** (a delta without its base is garbage),
+    and removes everything else — older completes and torn leftovers
+    alike.  Returns the removed directories.
+
+    Do not run concurrently with an in-flight async save targeting the same
+    root; the :class:`AsyncCheckpointWriter` prunes *after* each manifest
+    lands when ``save_sharded(..., keep_last=)`` asks it to.
+    """
+    if keep_last < 1:
+        raise ValueError(f"keep_last must be >= 1, got {keep_last}")
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    complete: list[tuple[int, str, Path]] = []
+    every: list[Path] = []
+    for child in root.iterdir():
+        if not (child.is_dir() and child.name.startswith("step_")):
+            continue
+        every.append(child)
+        if _is_complete(child):
+            complete.append((load_manifest(child)["step"], child.name, child))
+    complete.sort()
+    needed: set[Path] = set()
+    for _step, _name, path in complete[-keep_last:]:
+        # Keep every *link* of the delta chain, not just the dirs that hold
+        # unit data: resolving a delta walks each intermediate manifest.
+        d = path
+        while d not in needed:
+            needed.add(d)
+            delta = load_manifest(d).get("delta")
+            if not delta:
+                break
+            d = d.parent / delta["base"]
+    removed = []
+    for child in every:
+        if child not in needed:
+            shutil.rmtree(child, ignore_errors=True)
+            removed.append(child)
+    if removed:
+        _fsync_dir(root)
+    return sorted(removed)
 
 
 def _validate_units(manifest: dict, model: FSDPModel) -> None:
@@ -185,10 +575,12 @@ def load_sharded(
 ) -> dict:
     """Restore *model* (and optionally *optimizer*) from a sharded checkpoint.
 
-    Purely local I/O — each rank reads only its own shard file, so restore
-    moves zero wire bytes and is bitwise exact.  The checkpoint's world size
-    must equal the model's FSDP group size; :func:`reshard` first otherwise.
-    Returns the manifest (whose ``step`` and ``extra`` drive trainer resume).
+    Purely local I/O — each rank reads only its own shard file(s), so
+    restore moves zero wire bytes and is bitwise exact.  Deltas resolve
+    through their base chain (each unit read from the directory that
+    physically holds it).  The checkpoint's world size must equal the
+    model's FSDP group size; :func:`reshard` first otherwise.  Returns the
+    manifest (whose ``step`` and ``extra`` drive trainer resume).
     """
     step_dir = Path(step_dir)
     manifest = load_manifest(step_dir)
@@ -200,8 +592,16 @@ def load_sharded(
         )
     _validate_units(manifest, model)
     me = group.rank_index(model.comm.rank)
-    with np.load(step_dir / _shard_name(me)) as data:
-        shards = [data[f"unit{i}.param"] for i in range(len(model.units))]
+    sources = _delta_sources(step_dir, manifest)
+    opened: dict[Path, np.lib.npyio.NpzFile] = {}
+    try:
+        def read(i: int, key: str) -> np.ndarray:
+            src = sources[i]
+            if src not in opened:
+                opened[src] = np.load(src / _shard_name(me))
+            return opened[src][f"unit{i}.{key}"]
+
+        shards = [read(i, "param") for i in range(len(model.units))]
         model.load_shard_data(shards)
         if optimizer is not None:
             if not manifest["has_optimizer"]:
@@ -209,10 +609,13 @@ def load_sharded(
             optimizer.load_state_dict(
                 {
                     "step": manifest["adam_step"],
-                    "m": [data[f"unit{i}.m"] for i in range(len(model.units))],
-                    "v": [data[f"unit{i}.v"] for i in range(len(model.units))],
+                    "m": [read(i, "m") for i in range(len(model.units))],
+                    "v": [read(i, "v") for i in range(len(model.units))],
                 }
             )
+    finally:
+        for fh in opened.values():
+            fh.close()
     return manifest
 
 
@@ -235,10 +638,12 @@ def reshard(
 
     Offline (driver-side) transformation: per unit, the N parameter shards
     are concatenated, N's pad stripped, and the flat vector re-split with
-    M's padding; optimizer moments ride along identically.  Returns the new
-    step directory (default ``<src>.w{M}`` alongside the source) and the
-    number of bytes moved — the wire cost a real cluster would pay to
-    re-lay-out the shards, which the recovery benchmark reports.
+    M's padding; optimizer moments ride along identically.  A delta source
+    is materialized through its base chain, so the output is always a
+    *full* checkpoint.  Returns the new step directory (default
+    ``<src>.w{M}`` alongside the source) and the number of bytes moved —
+    the wire cost a real cluster would pay to re-lay-out the shards, which
+    the recovery benchmark reports.
 
     Resharding never does arithmetic on values, so consolidating the result
     is bitwise-identical to consolidating the source at any M.
@@ -248,24 +653,32 @@ def reshard(
         raise ValueError(f"new world size must be >= 1, got {new_world_size}")
     manifest = load_manifest(src_dir)
     old_world = manifest["world_size"]
-    if new_world_size == old_world:
+    if new_world_size == old_world and "delta" not in manifest:
         return src_dir, 0
     if dst_dir is None:
         dst_dir = src_dir.with_name(f"{src_dir.name}.w{new_world_size}")
     dst_dir = Path(dst_dir)
     dst_dir.mkdir(parents=True, exist_ok=True)
 
+    sources = _delta_sources(src_dir, manifest)
     per_unit: list[dict[str, list[np.ndarray]]] = []
     keys = ["param"] + (["m", "v"] if manifest["has_optimizer"] else [])
     n_units = len(manifest["units"])
     gathered: list[dict[str, list[np.ndarray]]] = [
         {k: [] for k in keys} for _ in range(n_units)
     ]
-    for name in manifest["shards"]:
-        with np.load(src_dir / name) as data:
+    for r, name in enumerate(manifest["shards"]):
+        loads = {}
+        try:
             for i in range(n_units):
+                src = sources[i]
+                if src not in loads:
+                    loads[src] = np.load(src / _shard_name(r))
                 for k in keys:
-                    gathered[i][k].append(data[f"unit{i}.{k}"])
+                    gathered[i][k].append(loads[src][f"unit{i}.{k}"])
+        finally:
+            for fh in loads.values():
+                fh.close()
     for i, unit_meta in enumerate(manifest["units"]):
         total = unit_meta["total"]
         per_unit.append(
@@ -299,9 +712,12 @@ def reshard(
         "units": new_units,
         "shards": [_shard_name(r) for r in range(new_world_size)],
     }
-    tmp = dst_dir / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(new_manifest, indent=1))
-    os.replace(tmp, dst_dir / MANIFEST_NAME)
+    # The output is a full checkpoint at a new layout: the source's delta
+    # marker no longer applies, and per-rank digests don't survive a
+    # re-split (a resharded dir cannot serve as a delta base).
+    new_manifest.pop("delta", None)
+    new_manifest.pop("digests", None)
+    _atomic_write_json(dst_dir / MANIFEST_NAME, new_manifest)
     return dst_dir, bytes_moved
 
 
@@ -309,15 +725,24 @@ def consolidate(step_dir: str | Path) -> dict[str, np.ndarray]:
     """Reassemble the full (unsharded) state dict from a checkpoint.
 
     Keys follow the :meth:`FSDPModel.consolidated_state_dict` convention
-    (``unit{i}.{param_name}``), so the two are directly comparable.
+    (``unit{i}.{param_name}``), so the two are directly comparable.  Deltas
+    resolve through their base chain.
     """
     step_dir = Path(step_dir)
     manifest = load_manifest(step_dir)
+    sources = _delta_sources(step_dir, manifest)
     flats: list[list[np.ndarray]] = [[] for _ in manifest["units"]]
-    for name in manifest["shards"]:
-        with np.load(step_dir / name) as data:
+    for r, name in enumerate(manifest["shards"]):
+        loads = {}
+        try:
             for i in range(len(manifest["units"])):
-                flats[i].append(data[f"unit{i}.param"])
+                src = sources[i]
+                if src not in loads:
+                    loads[src] = np.load(src / _shard_name(r))
+                flats[i].append(loads[src][f"unit{i}.param"])
+        finally:
+            for fh in loads.values():
+                fh.close()
     out: dict[str, np.ndarray] = {}
     for i, unit_meta in enumerate(manifest["units"]):
         flat = np.concatenate(flats[i])[: unit_meta["total"]]
@@ -331,7 +756,11 @@ def consolidate(step_dir: str | Path) -> dict[str, np.ndarray]:
 
 
 def checkpoint_nbytes(step_dir: str | Path) -> int:
-    """Total array bytes held in a checkpoint (params + optimizer state)."""
+    """Array bytes physically held *in this directory* (params + moments).
+
+    For a delta checkpoint this is exactly the cadence cost the delta
+    saved — the bytes its base chain already holds are not re-counted.
+    """
     step_dir = Path(step_dir)
     manifest = load_manifest(step_dir)
     total = 0
@@ -339,3 +768,133 @@ def checkpoint_nbytes(step_dir: str | Path) -> int:
         with np.load(step_dir / name) as data:
             total += sum(int(data[k].nbytes) for k in data.files)
     return total
+
+
+# -- CLI parity gate (wired into the elastic-smoke CI job) ------------------
+def main(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    """Async/delta checkpoint parity gate: async saves bitwise-equal to
+    blocking ones, torn saves (full and delta) invisible, chains exact."""
+    import argparse
+    import tempfile
+
+    from ..dist import run_spmd
+    from ..nn import MLP
+    from ..tensor import Tensor
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small fast subset")
+    parser.add_argument("--world", type=int, default=None)
+    opts = parser.parse_args(argv)
+    world = opts.world if opts.world else (2 if opts.smoke else 4)
+    root = Path(tempfile.mkdtemp(prefix="ckpt_gate_"))
+    failures = 0
+
+    def gate(name: str, ok: bool) -> None:
+        nonlocal failures
+        failures += 0 if ok else 1
+        print(f"[{'OK ' if ok else 'FAIL'}] {name}")
+
+    writer = AsyncCheckpointWriter()
+
+    def fn(comm):
+        module = MLP(6, 10, np.random.default_rng(7))
+        model = FSDPModel(comm, None, module, units=[module.fc1, module.fc2])
+        opt = AdamW(model.shard_parameters(), lr=1e-2)
+        x = np.random.default_rng(3).standard_normal((4, 6)).astype(np.float32)
+
+        def train(steps):
+            for _ in range(steps):
+                model.zero_grad()
+                (model(Tensor(x)) ** 2).mean().backward()
+                opt.step()
+
+        train(2)
+        save_sharded(root / "sync", model, opt, step=2)
+        save_sharded(root / "async", model, opt, step=2, writer=writer)
+        save_sharded(root / "delta", model, opt, step=2)
+        train(2)
+        base = save_sharded(root / "delta", model, opt, step=4)
+        # Touch only unit 0: the delta must store that unit and skip unit 1.
+        model.units[0].flat.shard.data += 1.0
+        save_sharded(root / "delta", model, opt, step=6, delta_base=base)
+        return model.consolidated_state_dict()
+
+    state = run_spmd(fn, world)[0]
+    writer.wait()
+    writer.close()
+
+    sync_c = consolidate(checkpoint_dir(root / "sync", 2))
+    async_c = consolidate(checkpoint_dir(root / "async", 2))
+    gate(
+        "async save bitwise == blocking save",
+        all(np.array_equal(sync_c[k], async_c[k]) for k in sync_c),
+    )
+    gate(
+        "latest_checkpoint sees the async save",
+        latest_checkpoint(root / "async") == checkpoint_dir(root / "async", 2),
+    )
+
+    # Torn full save: shards landed, manifest didn't.
+    torn = AsyncCheckpointWriter()
+    torn.pre_manifest_hook = lambda d: (_ for _ in ()).throw(OSError("killed"))
+
+    def torn_fn(comm):
+        module = MLP(6, 10, np.random.default_rng(7))
+        model = FSDPModel(comm, None, module)
+        save_sharded(root / "torn", model, step=1)
+        save_sharded(root / "torn", model, step=3, writer=torn)
+
+    run_spmd(torn_fn, world)
+    try:
+        torn.wait()
+        gate("kill-during-save surfaces the write error", False)
+    except RuntimeError:
+        gate("kill-during-save surfaces the write error", True)
+    gate(
+        "torn async save skipped by latest_checkpoint",
+        latest_checkpoint(root / "torn") == checkpoint_dir(root / "torn", 1),
+    )
+
+    # Delta chain resolves bitwise; torn base hides the delta.
+    delta_dir = checkpoint_dir(root / "delta", 6)
+    delta_c = consolidate(delta_dir)
+    gate(
+        "delta chain consolidates bitwise",
+        all(np.array_equal(state[k], delta_c[k]) for k in state),
+    )
+    gate(
+        "delta holds fewer bytes than its base",
+        checkpoint_nbytes(delta_dir)
+        < checkpoint_nbytes(checkpoint_dir(root / "delta", 4)),
+    )
+    gate(
+        "latest_checkpoint returns the delta",
+        latest_checkpoint(root / "delta") == delta_dir,
+    )
+    base_manifest = checkpoint_dir(root / "delta", 4) / MANIFEST_NAME
+    stash = base_manifest.read_bytes()
+    base_manifest.unlink()
+    gate(
+        "delta with a torn base is skipped",
+        latest_checkpoint(root / "delta") == checkpoint_dir(root / "delta", 2),
+    )
+    base_manifest.write_bytes(stash)
+
+    # Retention keeps the delta's base alive.
+    removed = prune_checkpoints(root / "delta", keep_last=1)
+    gate(
+        "prune keeps the kept delta's base",
+        checkpoint_dir(root / "delta", 4).is_dir()
+        and checkpoint_dir(root / "delta", 6).is_dir()
+        and checkpoint_dir(root / "delta", 2) in removed,
+    )
+
+    if failures:
+        print(f"{failures} checkpoint gate(s) FAILED")
+        return 1
+    print("all async/delta checkpoint gates passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

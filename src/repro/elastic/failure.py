@@ -1,24 +1,39 @@
-"""Deterministic failure injection for the elastic training subsystem.
+"""Deterministic failure *and arrival* injection for the elastic subsystem.
 
-A :class:`FailurePlan` scripts crashes — "kill rank *r* at step *s*" — so
-tests and benchmarks can rehearse rank loss reproducibly.  Plans plug into
-the runtime through ``run_spmd(..., failure_plan=plan)``: every rank calls
+A :class:`FailurePlan` scripts the fleet's churn — "kill rank *r* at step
+*s*", "a replacement rank returns at step *s*" — so tests and benchmarks can
+rehearse rank loss and rank return reproducibly.  Plans plug into the
+runtime through ``run_spmd(..., failure_plan=plan)``: every rank calls
 :meth:`~repro.dist.Communicator.tick` at its step boundaries (the
 ``Trainer``'s ``pre_step_hook`` is the natural place), and the plan raises
-:class:`InjectedFailure` on a match, which aborts the world exactly like a
-real rank loss would.
+on a match:
 
-The raised error carries the (rank, step) coordinates, so an elastic
-supervisor can mark that event as fired (:meth:`FailurePlan.without`) and
-not re-trigger it when the surviving world re-runs the same steps after
-resuming from a checkpoint.
+* :class:`InjectedFailure` for a scripted crash — aborts the world exactly
+  like a real rank loss would;
+* :class:`RankReturn` for a scripted arrival — also unwinds the world (a
+  live SPMD world cannot admit a new member mid-collective), but it is a
+  *control signal*, not a failure: the :class:`~repro.elastic.supervisor.
+  ElasticSupervisor` recognizes the cause, **grows** the world by the
+  returning ranks and resumes from the latest checkpoint instead of
+  evicting anyone.
+
+Both raised signals carry their coordinates, so a supervisor can mark the
+event as fired (:meth:`FailurePlan.without` / :meth:`FailurePlan.
+without_arrival`) and not re-trigger it when the resized world re-runs the
+same steps after resuming from a checkpoint.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["InjectedFailure", "RankFailure", "FailurePlan"]
+__all__ = [
+    "InjectedFailure",
+    "RankReturn",
+    "RankFailure",
+    "RankArrival",
+    "FailurePlan",
+]
 
 
 class InjectedFailure(RuntimeError):
@@ -28,6 +43,21 @@ class InjectedFailure(RuntimeError):
         self.rank = int(rank)
         self.step = int(step)
         text = message or f"injected failure: rank {rank} killed at step {step}"
+        super().__init__(text)
+
+
+class RankReturn(RuntimeError):
+    """A scripted arrival fired: *count* ranks rejoin the fleet at *step*.
+
+    Raised from :meth:`FailurePlan.check` on rank 0 only (one interruption
+    per arrival, not a storm) and treated by the supervisor as a grow
+    signal, never as a rank failure.
+    """
+
+    def __init__(self, step: int, count: int = 1, message: str = "") -> None:
+        self.step = int(step)
+        self.count = int(count)
+        text = message or f"rank arrival: {count} rank(s) returned at step {step}"
         super().__init__(text)
 
 
@@ -47,15 +77,37 @@ class RankFailure:
 
 
 @dataclass(frozen=True)
+class RankArrival:
+    """One scripted event: *count* ranks become available at *step*.
+
+    Symmetric to :class:`RankFailure` — the steady-state fleet sees ranks
+    return (repaired hosts, preempted instances handed back) as routinely
+    as it sees them die.
+    """
+
+    step: int
+    count: int = 1
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError(f"step must be >= 0, got {self.step}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
 class FailurePlan:
-    """An immutable set of scripted rank failures.
+    """An immutable script of rank failures and rank arrivals.
 
     ``check(rank, step)`` is the runtime-facing hook (duck-typed by
     :class:`~repro.dist.World`); everything else is plan algebra for
-    supervisors.
+    supervisors.  Failures take precedence over arrivals scripted at the
+    same step (the death is what the fleet observes first).
     """
 
     failures: tuple[RankFailure, ...] = ()
+    arrivals: tuple[RankArrival, ...] = ()
 
     @classmethod
     def kill(cls, rank: int, step: int, message: str = "") -> "FailurePlan":
@@ -63,23 +115,46 @@ class FailurePlan:
         return cls((RankFailure(rank, step, message),))
 
     def then(self, rank: int, step: int, message: str = "") -> "FailurePlan":
-        """A new plan with one more scripted event appended."""
-        return FailurePlan(self.failures + (RankFailure(rank, step, message),))
+        """A new plan with one more scripted failure appended."""
+        return FailurePlan(
+            self.failures + (RankFailure(rank, step, message),), self.arrivals
+        )
+
+    def rejoin(self, step: int, count: int = 1, message: str = "") -> "FailurePlan":
+        """A new plan with a scripted arrival appended: *count* ranks
+        return at *step*."""
+        return FailurePlan(
+            self.failures, self.arrivals + (RankArrival(step, count, message),)
+        )
 
     def check(self, rank: int, step: int) -> None:
-        """Raise :class:`InjectedFailure` if an event matches (rank, step)."""
+        """Raise on a match: :class:`InjectedFailure` for a scripted kill of
+        (rank, step), :class:`RankReturn` (rank 0 only) for an arrival."""
         for f in self.failures:
             if f.rank == rank and f.step == step:
                 raise InjectedFailure(rank, step, f.message)
+        if rank == 0:
+            for a in self.arrivals:
+                if a.step == step:
+                    raise RankReturn(step, a.count, a.message)
 
     def without(self, rank: int, step: int) -> "FailurePlan":
-        """The plan minus the event at (rank, step) — it already fired."""
+        """The plan minus the failure at (rank, step) — it already fired."""
         return FailurePlan(
-            tuple(f for f in self.failures if not (f.rank == rank and f.step == step))
+            tuple(
+                f for f in self.failures if not (f.rank == rank and f.step == step)
+            ),
+            self.arrivals,
+        )
+
+    def without_arrival(self, step: int) -> "FailurePlan":
+        """The plan minus the arrival at *step* — it already fired."""
+        return FailurePlan(
+            self.failures, tuple(a for a in self.arrivals if a.step != step)
         )
 
     def __bool__(self) -> bool:
-        return bool(self.failures)
+        return bool(self.failures or self.arrivals)
 
     def __len__(self) -> int:
-        return len(self.failures)
+        return len(self.failures) + len(self.arrivals)

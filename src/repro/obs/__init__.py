@@ -26,6 +26,7 @@ __all__ = [
     "SweepStore",
     "RunRow",
     "StoredPlan",
+    "FleetRunRow",
     "open_store",
     "chrome_trace",
     "export_trace",
@@ -39,6 +40,7 @@ _EXPORTS = {
     "SweepStore": "store",
     "RunRow": "store",
     "StoredPlan": "store",
+    "FleetRunRow": "store",
     "open_store": "store",
     "chrome_trace": "trace",
     "export_trace": "trace",

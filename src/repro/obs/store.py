@@ -8,21 +8,25 @@ store=)``, ``measure_plan(..., store=)``, ``calibrate(..., store=)``, the
 drivers query back out with :meth:`SweepStore.top_plans`,
 :meth:`SweepStore.volume_by_link` and :meth:`SweepStore.run_history`.
 
-Schema (version 2, ``PRAGMA user_version``; version-1 stores are migrated
-in place by adding the ``plans.sp`` column with a default of 1):
+Schema (version 3, ``PRAGMA user_version``; older stores are migrated in
+place — version 1 gains the ``plans.sp`` column with a default of 1,
+version 2 gains the ``fleet_runs`` table):
 
-    =========  =========================================================
-    table      one row per
-    =========  =========================================================
-    ``runs``   recorded run — ``(kind, name)`` unique, so re-recording a
-               run **upserts**: the row is refreshed and its child rows
-               replaced (idempotent re-runs, no duplicate sweeps)
-    ``plans``  ranked candidate of a configuration search (position,
-               axes, micro-batch, score, the overlap pair that ranked it)
-    ``metrics`` scalar measurement — optionally keyed by
-               ``op × phase × link × source`` for comm-volume buckets
-    ``traces`` JSON artifact (a Chrome trace, a captured schedule)
-    =========  =========================================================
+    =============  =====================================================
+    table          one row per
+    =============  =====================================================
+    ``runs``       recorded run — ``(kind, name)`` unique, so re-recording
+                   a run **upserts**: the row is refreshed and its child
+                   rows replaced (idempotent re-runs, no duplicate sweeps)
+    ``plans``      ranked candidate of a configuration search (position,
+                   axes, micro-batch, score, the overlap pair that ranked
+                   it)
+    ``metrics``    scalar measurement — optionally keyed by
+                   ``op × phase × link × source`` for comm-volume buckets
+    ``traces``     JSON artifact (a Chrome trace, a captured schedule)
+    ``fleet_runs`` policy evaluated by the elastic fleet simulator
+                   (goodput, lost-work split, restore counts per policy)
+    =============  =====================================================
 
 The database runs in WAL mode (readers never block a writer appending a
 sweep), enforces foreign keys, and every write path is an idempotent
@@ -41,9 +45,9 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..perf.autotune import TunedPlan
 
-__all__ = ["SCHEMA_VERSION", "RunRow", "StoredPlan", "SweepStore"]
+__all__ = ["SCHEMA_VERSION", "RunRow", "StoredPlan", "FleetRunRow", "SweepStore"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -96,6 +100,26 @@ CREATE TABLE IF NOT EXISTS traces (
     payload_json TEXT NOT NULL,
     UNIQUE (run_id, name)
 );
+CREATE TABLE IF NOT EXISTS fleet_runs (
+    id                 INTEGER PRIMARY KEY,
+    run_id             INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    policy             TEXT NOT NULL,
+    position           INTEGER NOT NULL,
+    horizon_steps      INTEGER NOT NULL,
+    wall_seconds       REAL NOT NULL,
+    productive_seconds REAL NOT NULL,
+    recompute_seconds  REAL NOT NULL,
+    save_seconds       REAL NOT NULL,
+    restore_seconds    REAL NOT NULL,
+    reshard_seconds    REAL NOT NULL,
+    goodput            REAL NOT NULL,
+    restores           INTEGER NOT NULL,
+    saves              INTEGER NOT NULL,
+    final_world        INTEGER NOT NULL,
+    status             TEXT NOT NULL DEFAULT 'completed',
+    UNIQUE (run_id, policy)
+);
+CREATE INDEX IF NOT EXISTS idx_fleet_run ON fleet_runs (run_id, position);
 """
 
 
@@ -114,6 +138,27 @@ class RunRow:
     @property
     def summary(self) -> str:
         return f"[{self.kind}] {self.name} on {self.machine or '?'} (run {self.id})"
+
+
+@dataclass(frozen=True)
+class FleetRunRow:
+    """One policy's simulated outcome in a persisted fleet comparison."""
+
+    run_id: int
+    policy: str
+    position: int
+    horizon_steps: int
+    wall_seconds: float
+    productive_seconds: float
+    recompute_seconds: float
+    save_seconds: float
+    restore_seconds: float
+    reshard_seconds: float
+    goodput: float
+    restores: int
+    saves: int
+    final_world: int
+    status: str
 
 
 @dataclass(frozen=True)
@@ -153,7 +198,7 @@ class SweepStore:
         self._db.execute("PRAGMA journal_mode=WAL")
         self._db.execute("PRAGMA foreign_keys=ON")
         version = self._db.execute("PRAGMA user_version").fetchone()[0]
-        if version not in (0, 1, SCHEMA_VERSION):
+        if version not in (0, 1, 2, SCHEMA_VERSION):
             raise ValueError(
                 f"sweep store {self.path} has schema version {version}; "
                 f"this build reads version {SCHEMA_VERSION}"
@@ -164,6 +209,8 @@ class SweepStore:
                 self._db.execute(
                     "ALTER TABLE plans ADD COLUMN sp INTEGER NOT NULL DEFAULT 1"
                 )
+            # v2 -> v3 adds only the fleet_runs table, which the idempotent
+            # schema script below creates.
             self._db.executescript(_SCHEMA)
             self._db.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
 
@@ -212,7 +259,7 @@ class SweepStore:
                     "SELECT id FROM runs WHERE kind=? AND name=?", (kind, name)
                 ).fetchone()[0]
             if fresh:
-                for table in ("plans", "metrics", "traces"):
+                for table in ("plans", "metrics", "traces", "fleet_runs"):
                     self._db.execute(f"DELETE FROM {table} WHERE run_id=?", (run_id,))
         return int(run_id)
 
@@ -301,6 +348,49 @@ class SweepStore:
                     op=b.op, phase=b.phase, link=b.link, source=source,
                 )
 
+    def record_fleet_results(self, run_id: int, results: Sequence) -> None:
+        """Persist a fleet-simulator policy comparison (best goodput first).
+
+        *results* are :class:`repro.elastic.fleet.FleetRunResult`-shaped
+        objects (duck-typed, so :mod:`repro.obs` never imports
+        :mod:`repro.elastic`); position records the ranking the simulator
+        produced.
+        """
+        rows = [
+            (
+                run_id, r.policy, position, r.horizon_steps,
+                r.wall_seconds, r.productive_seconds, r.recompute_seconds,
+                r.save_seconds, r.restore_seconds, r.reshard_seconds,
+                r.goodput, r.restores, r.saves, r.final_world, r.status,
+            )
+            for position, r in enumerate(results)
+        ]
+        with self._db:
+            self._db.executemany(
+                """
+                INSERT INTO fleet_runs (run_id, policy, position, horizon_steps,
+                                        wall_seconds, productive_seconds,
+                                        recompute_seconds, save_seconds,
+                                        restore_seconds, reshard_seconds,
+                                        goodput, restores, saves, final_world,
+                                        status)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT (run_id, policy) DO UPDATE SET
+                    position=excluded.position,
+                    horizon_steps=excluded.horizon_steps,
+                    wall_seconds=excluded.wall_seconds,
+                    productive_seconds=excluded.productive_seconds,
+                    recompute_seconds=excluded.recompute_seconds,
+                    save_seconds=excluded.save_seconds,
+                    restore_seconds=excluded.restore_seconds,
+                    reshard_seconds=excluded.reshard_seconds,
+                    goodput=excluded.goodput, restores=excluded.restores,
+                    saves=excluded.saves, final_world=excluded.final_world,
+                    status=excluded.status
+                """,
+                rows,
+            )
+
     def record_trace(
         self, run_id: int, name: str, payload: dict, kind: str = "chrome-trace"
     ) -> None:
@@ -373,6 +463,41 @@ class SweepStore:
                 micro_batch=r["micro_batch"], total_tflops=r["total_tflops"],
                 dp_overlap=r["dp_overlap"], fsdp_overlap=r["fsdp_overlap"],
                 overlap_source=r["overlap_source"],
+            )
+            for r in rows
+        ]
+
+    def fleet_ranking(self, run_id: int | None = None) -> list[FleetRunRow]:
+        """One fleet comparison's policies, best goodput first.
+
+        ``run_id=None`` reads the newest ``fleet`` run.  Ordering is by
+        persisted goodput (ties by recorded position), so re-querying
+        reproduces the simulator's own deterministic ranking.
+        """
+        if run_id is None:
+            latest = self.latest_run(kind="fleet")
+            if latest is None:
+                return []
+            run_id = latest.id
+        rows = self._db.execute(
+            """
+            SELECT * FROM fleet_runs WHERE run_id=?
+            ORDER BY goodput DESC, position ASC
+            """,
+            (int(run_id),),
+        ).fetchall()
+        return [
+            FleetRunRow(
+                run_id=r["run_id"], policy=r["policy"], position=r["position"],
+                horizon_steps=r["horizon_steps"],
+                wall_seconds=r["wall_seconds"],
+                productive_seconds=r["productive_seconds"],
+                recompute_seconds=r["recompute_seconds"],
+                save_seconds=r["save_seconds"],
+                restore_seconds=r["restore_seconds"],
+                reshard_seconds=r["reshard_seconds"],
+                goodput=r["goodput"], restores=r["restores"], saves=r["saves"],
+                final_world=r["final_world"], status=r["status"],
             )
             for r in rows
         ]

@@ -8,6 +8,7 @@ curves of Figs. 11 and 12 for both the baseline and the D-CHAG runs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -42,6 +43,11 @@ class TrainResult:
     losses: list[float] = field(default_factory=list)
     grad_norms: list[float] = field(default_factory=list)
     lrs: list[float] = field(default_factory=list)
+    # Wall-clock seconds the training loop spent blocked inside
+    # checkpoint_hook, summed over the run — the cadence cost an async
+    # writer exists to shrink.
+    save_seconds: float = 0.0
+    saves: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -137,7 +143,10 @@ class Trainer:
             and cfg.checkpoint_every > 0
             and self._step % cfg.checkpoint_every == 0
         ):
+            t0 = time.perf_counter()
             self.checkpoint_hook(self._step)
+            self.result.save_seconds += time.perf_counter() - t0
+            self.result.saves += 1
         return value
 
     def fit(self, batches: Iterable, max_steps: int | None = None) -> TrainResult:

@@ -13,11 +13,14 @@ from repro.elastic import (
     checkpoint_dir,
     checkpoint_nbytes,
     consolidate,
+    drain_writers,
     latest_checkpoint,
     load_manifest,
     load_sharded,
+    prune_checkpoints,
     reshard,
     save_sharded,
+    writer_for,
 )
 from repro.nn import MLP, load_checkpoint, read_manifest, save_checkpoint
 from repro.parallel import DeviceMesh, FSDPModel
@@ -269,3 +272,313 @@ class TestSerializationSuffix:
         load_checkpoint(b, path)
         plain = save_checkpoint(a, tmp_path / "plain")
         assert read_manifest(plain) is None
+
+class TestAsyncCheckpointWriter:
+    def test_async_save_bitwise_equals_sync(self, tmp_path):
+        sync_root, async_root = tmp_path / "sync", tmp_path / "async"
+
+        def fn(comm):
+            module = make_module()
+            model = FSDPModel(comm, None, module)
+            opt = AdamW(model.shard_parameters(), lr=1e-2)
+            x = make_batch()
+            for _ in range(2):
+                model.zero_grad()
+                (model(Tensor(x)) ** 2).mean().backward()
+                opt.step()
+            save_sharded(sync_root, model, opt, step=2)
+            save_sharded(async_root, model, opt, step=2, writer=writer_for(async_root))
+
+        run_spmd(fn, 2)
+        drain_writers(async_root)
+        assert latest_checkpoint(async_root) == checkpoint_dir(async_root, 2)
+        expect = consolidate(checkpoint_dir(sync_root, 2))
+        got = consolidate(checkpoint_dir(async_root, 2))
+        assert got.keys() == expect.keys()
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+        # Same manifests modulo nothing: digests agree, so either can serve
+        # as the other's delta base.
+        sm = load_manifest(checkpoint_dir(sync_root, 2))
+        am = load_manifest(checkpoint_dir(async_root, 2))
+        assert sm["digests"] == am["digests"]
+
+    def test_staged_snapshot_is_immune_to_later_mutation(self, tmp_path):
+        """The async writer copies at the barrier: training can stomp the
+        live buffers on the very next step without corrupting the save."""
+
+        def fn(comm):
+            model = FSDPModel(comm, None, make_module())
+            expect = model.consolidated_state_dict()
+            save_sharded(tmp_path, model, step=1, writer=writer_for(tmp_path))
+            for unit in model.units:
+                unit.flat.shard.data += 123.0  # the "next step"
+            return expect
+
+        expect = run_spmd(fn, 2)[0]
+        drain_writers(tmp_path)
+        got = consolidate(checkpoint_dir(tmp_path, 1))
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+
+    def test_kill_during_async_save_is_torn_not_latest(self, tmp_path):
+        writer = writer_for(tmp_path)
+
+        def fn(comm):
+            model = FSDPModel(comm, None, make_module())
+            save_sharded(tmp_path, model, step=1)  # durable sync baseline
+            save_sharded(tmp_path, model, step=2, writer=writer)
+
+        def boom(step_dir):
+            raise OSError("simulated crash before manifest")
+
+        writer.pre_manifest_hook = boom
+        run_spmd(fn, 2)
+        with pytest.raises(RuntimeError, match="async checkpoint write failed"):
+            drain_writers(tmp_path)
+        # Shards may exist but the manifest never landed: torn, skipped.
+        assert not (checkpoint_dir(tmp_path, 2) / "manifest.json").exists()
+        assert latest_checkpoint(tmp_path) == checkpoint_dir(tmp_path, 1)
+        writer.close()
+
+    def test_registry_recreates_closed_writers(self, tmp_path):
+        w1 = writer_for(tmp_path)
+        assert writer_for(tmp_path) is w1
+        w1.close()
+        w2 = writer_for(tmp_path)
+        assert w2 is not w1
+        drain_writers(tmp_path / "never-used")  # unconditional drain is a no-op
+        w2.close()
+
+
+class TestDeltaCheckpoints:
+    def _train_two_units(self, comm, root):
+        module = make_module()
+        model = FSDPModel(comm, None, module, units=[module.fc1, module.fc2])
+        opt = AdamW(model.shard_parameters(), lr=1e-2)
+        x = make_batch()
+        model.zero_grad()
+        (model(Tensor(x)) ** 2).mean().backward()
+        opt.step()
+        return model, opt
+
+    def test_delta_stores_only_changed_units_and_consolidates(self, tmp_path):
+        def fn(comm):
+            model, opt = self._train_two_units(comm, tmp_path)
+            base = save_sharded(tmp_path, model, opt, step=1)
+            # Only unit 0 changes; unit 1 (and its moments) is untouched.
+            model.units[0].flat.shard.data += 1.0
+            save_sharded(tmp_path, model, opt, step=2, delta_base=base)
+            return model.consolidated_state_dict()
+
+        expect = run_spmd(fn, 2)[0]
+        delta_dir = checkpoint_dir(tmp_path, 2)
+        manifest = load_manifest(delta_dir)
+        assert manifest["delta"] == {"base": "step_00000001", "units": [0]}
+        got = consolidate(delta_dir)  # reads unit1 through the base chain
+        assert got.keys() == expect.keys()
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+        # The delta physically stores less than its base.
+        assert checkpoint_nbytes(delta_dir) < checkpoint_nbytes(
+            checkpoint_dir(tmp_path, 1)
+        )
+
+    def test_torn_base_hides_the_delta(self, tmp_path):
+        def fn(comm):
+            model, opt = self._train_two_units(comm, tmp_path)
+            save_sharded(tmp_path, model, opt, step=1)
+            base = save_sharded(tmp_path, model, opt, step=2)
+            model.units[0].flat.shard.data += 1.0
+            save_sharded(tmp_path, model, opt, step=3, delta_base=base)
+
+        run_spmd(fn, 2)
+        assert latest_checkpoint(tmp_path) == checkpoint_dir(tmp_path, 3)
+        # Tear the base: the delta is unreadable even though its own
+        # manifest landed, so latest falls back past *both*.
+        (checkpoint_dir(tmp_path, 2) / "manifest.json").unlink()
+        assert latest_checkpoint(tmp_path) == checkpoint_dir(tmp_path, 1)
+
+    def test_reshard_materializes_delta_to_full(self, tmp_path):
+        def fn(comm):
+            model, opt = self._train_two_units(comm, tmp_path)
+            base = save_sharded(tmp_path, model, opt, step=1)
+            model.units[0].flat.shard.data += 1.0
+            save_sharded(tmp_path, model, opt, step=2, delta_base=base)
+            return model.consolidated_state_dict()
+
+        expect = run_spmd(fn, 2)[0]
+        # Same world size, but a delta still materializes (resume dirs must
+        # be self-contained).
+        dst, moved = reshard(checkpoint_dir(tmp_path, 2), 2, dst_dir=tmp_path / "full")
+        assert moved > 0
+        out = load_manifest(dst)
+        assert "delta" not in out
+        got = consolidate(dst)
+        for k in expect:
+            np.testing.assert_array_equal(got[k], expect[k])
+
+    def test_delta_base_must_match_world_size(self, tmp_path):
+        def save4(comm):
+            model, opt = self._train_two_units(comm, tmp_path)
+            save_sharded(tmp_path, model, opt, step=1)
+
+        run_spmd(save4, 4)
+        base = checkpoint_dir(tmp_path, 1)
+
+        def save2(comm):
+            model, opt = self._train_two_units(comm, tmp_path)
+            save_sharded(tmp_path, model, opt, step=2, delta_base=base)
+
+        from repro.dist import SpmdError
+
+        with pytest.raises(SpmdError, match="world size"):
+            run_spmd(save2, 2)
+
+
+class TestPruneCheckpoints:
+    def _save_steps(self, comm, root, steps, delta_from=None):
+        module = make_module()
+        model = FSDPModel(comm, None, module, units=[module.fc1, module.fc2])
+        opt = AdamW(model.shard_parameters(), lr=1e-2)
+        last = None
+        for step in steps:
+            model.units[0].flat.shard.data += 1.0
+            last = save_sharded(
+                root, model, opt, step=step,
+                delta_base=last if delta_from and step >= delta_from else None,
+            )
+
+    def test_prune_keeps_last_k_and_removes_torn(self, tmp_path):
+        run_spmd(lambda comm: self._save_steps(comm, tmp_path, (1, 2, 3, 4)), 2)
+        (checkpoint_dir(tmp_path, 4) / "manifest.json").unlink()  # torn
+        removed = prune_checkpoints(tmp_path, keep_last=2)
+        assert checkpoint_dir(tmp_path, 1) in removed
+        assert checkpoint_dir(tmp_path, 4) in removed  # torn goes too
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "step_00000002", "step_00000003",
+        ]
+        assert latest_checkpoint(tmp_path) == checkpoint_dir(tmp_path, 3)
+
+    def test_prune_preserves_delta_base_chains(self, tmp_path):
+        # steps 1, 2 full; 3, 4 delta-chained onto 2.
+        run_spmd(
+            lambda comm: self._save_steps(comm, tmp_path, (1, 2, 3, 4), delta_from=3),
+            2,
+        )
+        removed = prune_checkpoints(tmp_path, keep_last=1)
+        # Keeping the step-4 delta forces its whole base chain (3 -> 2) to
+        # survive; only the unrelated full step 1 is reclaimable.
+        assert removed == [checkpoint_dir(tmp_path, 1)]
+        got = consolidate(checkpoint_dir(tmp_path, 4))
+        assert got  # chain still readable end-to-end
+
+    def test_save_with_keep_last_prunes_inline(self, tmp_path):
+        def fn(comm):
+            module = make_module()
+            model = FSDPModel(comm, None, module)
+            for step in (1, 2, 3):
+                save_sharded(tmp_path, model, step=step, keep_last=2)
+
+        run_spmd(fn, 2)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "step_00000002", "step_00000003",
+        ]
+
+# -- property: reshard round trips are bitwise, moments included ------------
+from pathlib import Path
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+
+@st.composite
+def _reshard_cases(draw):
+    # Dims deliberately allowed to be coprime with the world sizes, so the
+    # flat-param padding differs between N and M (the hard case).
+    dim = draw(st.integers(min_value=3, max_value=9))
+    hid = draw(st.integers(min_value=4, max_value=12))
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=1, max_value=4))
+    return dim, hid, n, m
+
+
+class TestReshardRoundTripProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(_reshard_cases())
+    def test_n_to_m_to_n_bitwise_params_and_moments(self, case):
+        """Satellite: for arbitrary (dim, hid, N, M) — uneven splits
+        included — reshard N→M→N restores every rank's parameter shard AND
+        its AdamW moment shards bitwise."""
+        dim, hid, n, m = case
+
+        def make(seed):
+            module = MLP(dim, hid, np.random.default_rng(seed))
+            return module, [module.fc1, module.fc2]
+
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+
+            def save(comm):
+                module, units = make(5)
+                model = FSDPModel(comm, None, module, units=units)
+                opt = AdamW(model.shard_parameters(), lr=1e-2)
+                rng = np.random.default_rng(13)
+                x = rng.standard_normal((4, dim)).astype(np.float32)
+                for _ in range(2):
+                    model.zero_grad()
+                    (model(Tensor(x)) ** 2).mean().backward()
+                    opt.step()
+                save_sharded(root, model, opt, step=2)
+                return model.consolidated_state_dict(), opt.state_dict()
+
+            originals = run_spmd(save, n)
+            hop, _ = reshard(checkpoint_dir(root, 2), m, dst_dir=root / "hop")
+            back, _ = reshard(hop, n, dst_dir=root / "back")
+
+            def load(comm):
+                module, units = make(99)  # different init: loading must win
+                model = FSDPModel(comm, None, module, units=units)
+                opt = AdamW(model.shard_parameters(), lr=1e-2)
+                load_sharded(back, model, opt)
+                return model.consolidated_state_dict(), opt.state_dict()
+
+            for (got_state, got_opt), (orig_state, orig_opt) in zip(
+                run_spmd(load, n), originals
+            ):
+                for k in orig_state:
+                    np.testing.assert_array_equal(got_state[k], orig_state[k])
+                assert got_opt["step"] == orig_opt["step"]
+                for key in ("m", "v"):
+                    for got_arr, orig_arr in zip(got_opt[key], orig_opt[key]):
+                        np.testing.assert_array_equal(got_arr, orig_arr)
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        fsdp=st.integers(min_value=1, max_value=2),
+        m=st.integers(min_value=1, max_value=3),
+    )
+    def test_dp_deduplicated_save_survives_round_trip(self, fsdp, m):
+        """DP replicas dedup at save time (only dp==0 writes); the surviving
+        FSDP-group checkpoint still round-trips fsdp→M→fsdp bitwise."""
+        with tempfile.TemporaryDirectory() as td:
+            root = Path(td)
+
+            def save(comm):
+                mesh = DeviceMesh(comm, fsdp=fsdp, dp=2)
+                module = make_module()
+                model = FSDPModel(comm, mesh.fsdp_group, module)
+                opt = AdamW(model.shard_parameters(), lr=1e-2)
+                (model(Tensor(make_batch())) ** 2).mean().backward()
+                opt.step()
+                save_sharded(root, model, opt, step=1, write=mesh.coords.dp == 0)
+                return model.consolidated_state_dict()
+
+            expect = run_spmd(save, fsdp * 2)[0]
+            assert load_manifest(checkpoint_dir(root, 1))["world_size"] == fsdp
+            hop, _ = reshard(checkpoint_dir(root, 1), m, dst_dir=root / "hop")
+            back, _ = reshard(hop, fsdp, dst_dir=root / "back")
+            got = consolidate(back)
+            assert got.keys() == expect.keys()
+            for k in expect:
+                np.testing.assert_array_equal(got[k], expect[k])

@@ -11,10 +11,18 @@ import pytest
 
 from repro.dist import SpmdError, run_spmd, run_spmd_world
 from repro.elastic import (
+    AlwaysShrink,
+    CostAwareCadence,
+    ElasticError,
     ElasticSupervisor,
     FailurePlan,
     InjectedFailure,
+    RankArrival,
+    RankReturn,
+    SparePool,
+    StepEconomics,
     fsdp_training_segment,
+    young_daly_interval,
 )
 from repro.nn import MLP, Module
 from repro.tensor import Tensor
@@ -186,3 +194,162 @@ class TestElasticRecovery:
         assert ev.failed_rank == 1
         assert ev.failed_step == -1  # no step info on a raw exception
         assert ev.new_world_size == 2
+
+class TestRecoveryPolicies:
+    def test_always_shrink_transitions(self):
+        p = AlwaysShrink()
+        assert p.initial_spares == 0
+        assert p.on_failure(4, 0) == (3, 0)
+        assert p.on_arrival(3, 0, 2) == (5, 0)
+        assert p.checkpoint_interval(7) == 7
+
+    def test_spare_pool_consumes_then_shrinks(self):
+        p = SparePool(2)
+        assert p.initial_spares == 2
+        assert p.on_failure(4, 2) == (4, 1)
+        assert p.on_failure(4, 1) == (4, 0)
+        assert p.on_failure(4, 0) == (3, 0)
+
+    def test_spare_pool_banks_arrivals_up_to_capacity(self):
+        p = SparePool(2)
+        # One slot free: bank one, grow by the rest.
+        assert p.on_arrival(4, 1, 3) == (6, 2)
+        # Pool full: every arrival grows the world.
+        assert p.on_arrival(4, 2, 1) == (5, 2)
+
+    def test_spare_pool_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SparePool(0)
+
+    def test_young_daly_interval(self):
+        # tau = sqrt(2 * 2 * 10000) = 200 s -> 200 one-second steps.
+        econ = StepEconomics(step_seconds=1.0, save_seconds=2.0, mtbf_seconds=1e4)
+        assert young_daly_interval(econ) == 200
+        # Expensive saves or a stabler fleet stretch the interval.
+        worse = StepEconomics(step_seconds=1.0, save_seconds=8.0, mtbf_seconds=1e4)
+        assert young_daly_interval(worse) == 400
+
+    def test_cost_aware_cadence_delegates_and_overrides(self):
+        p = CostAwareCadence(SparePool(1))
+        assert p.name == "cost-aware[spare-pool-1]"
+        assert p.on_failure(4, 1) == (4, 0)
+        assert p.checkpoint_interval(5) == 5  # no economics: keep the default
+        econ = StepEconomics(step_seconds=1.0, save_seconds=2.0, mtbf_seconds=1e4)
+        assert p.checkpoint_interval(5, econ) == 200
+
+
+class TestElasticGrow:
+    def test_grow_on_rank_return_matches_baseline(self, tmp_path):
+        """The v2 acceptance scenario: rank 2 dies at step 4 (shrink 4->3),
+        a rank returns at step 7 (grow 3->4), and the full trajectory still
+        matches an uninterrupted 4-wide run."""
+        plan = FailurePlan.kill(2, 4).rejoin(7)
+        res = run_elastic(tmp_path, 4, plan, sub="elastic")
+        base = run_elastic(tmp_path, 4, None, sub="baseline")
+
+        assert res.attempts == 3
+        assert [ev.kind for ev in res.recoveries] == ["shrink", "grow"]
+        shrink, grow = res.recoveries
+        assert (shrink.old_world_size, shrink.new_world_size) == (4, 3)
+        assert (grow.old_world_size, grow.new_world_size) == (3, 4)
+        assert grow.failed_rank == -1  # nobody failed: ranks arrived
+        assert grow.reshard_bytes > 0  # 3-wide shards re-split 4 ways
+        assert res.world_sizes == [4] * 3 + [3] * 3 + [4] * 6
+        np.testing.assert_allclose(res.losses, base.losses, rtol=1e-4, atol=1e-6)
+
+    def test_grow_capped_by_max_world_size(self, tmp_path):
+        plan = FailurePlan.kill(1, 4).rejoin(7, count=3)
+        res = run_elastic(
+            tmp_path, 4, plan, sub="elastic", max_world_size=4
+        )
+        base = run_elastic(tmp_path, 4, None, sub="baseline")
+        grow = res.recoveries[-1]
+        assert grow.kind == "grow"
+        assert grow.new_world_size == 4  # 3 + 3 arrivals, capped at 4
+        np.testing.assert_allclose(res.losses, base.losses, rtol=1e-4, atol=1e-6)
+
+    def test_rank_arrival_plan_algebra(self):
+        plan = FailurePlan.kill(1, 3).rejoin(6, count=2)
+        assert len(plan) == 2 and plan
+        with pytest.raises(RankReturn) as exc:
+            plan.check(0, 6)  # only rank 0 observes the arrival
+        assert exc.value.step == 6 and exc.value.count == 2
+        plan.check(1, 6)  # other ranks pass through
+        left = plan.without_arrival(6)
+        assert len(left) == 1
+        left.check(0, 6)  # consumed
+        with pytest.raises(ValueError):
+            RankArrival(step=2, count=0)
+
+    def test_spare_pool_swap_keeps_world_size(self, tmp_path):
+        res = run_elastic(
+            tmp_path, 4, FailurePlan.kill(1, 5), sub="elastic", policy=SparePool(1)
+        )
+        base = run_elastic(tmp_path, 4, None, sub="baseline")
+        (ev,) = res.recoveries
+        assert ev.kind == "spare"
+        assert (ev.old_world_size, ev.new_world_size) == (4, 4)
+        assert ev.reshard_bytes == 0  # same layout: restore, don't reshard
+        assert res.world_sizes == [4] * TOTAL
+        np.testing.assert_allclose(res.losses, base.losses, rtol=1e-4, atol=1e-6)
+
+    def test_async_delta_saves_survive_recovery(self, tmp_path):
+        root = tmp_path / "ad"
+        segment = fsdp_training_segment(
+            TinyRegressor, batch_fn, make_config(), root,
+            async_save=True, delta_saves=True, keep_last=3,
+        )
+        sup = ElasticSupervisor(segment, root, 4, timeout=60)
+        res = sup.run(TOTAL, failure_plan=FailurePlan.kill(2, 7))
+        base = run_elastic(tmp_path, 4, None, sub="baseline")
+        assert [ev.kind for ev in res.recoveries] == ["shrink"]
+        np.testing.assert_allclose(res.losses, base.losses, rtol=1e-4, atol=1e-6)
+
+    def test_shard_batch_trajectory_matches_replicated(self, tmp_path):
+        root = tmp_path / "sb"
+        segment = fsdp_training_segment(
+            TinyRegressor, batch_fn, make_config(), root, shard_batch=True
+        )
+        sup = ElasticSupervisor(segment, root, 4, timeout=60)
+        res = sup.run(TOTAL, failure_plan=FailurePlan.kill(1, 5))
+        base = run_elastic(tmp_path, 4, None, sub="baseline")
+        assert res.world_sizes == [4] * 3 + [3] * 9
+        np.testing.assert_allclose(res.losses, base.losses, rtol=1e-3, atol=1e-5)
+
+
+class TestElasticError:
+    def test_min_world_exit_carries_history(self, tmp_path):
+        plan = FailurePlan.kill(0, 2).then(0, 4)
+        with pytest.raises(ElasticError, match="min_world_size") as exc:
+            run_elastic(tmp_path, 3, plan, sub="elastic", min_world_size=2)
+        err = exc.value
+        assert isinstance(err, SpmdError)  # old except clauses still catch it
+        assert len(err.history) == 1  # the 3->2 shrink that *did* succeed
+        assert err.history[0].kind == "shrink"
+        assert err.history[0].new_world_size == 2
+
+    def test_max_recoveries_exit_carries_history(self, tmp_path):
+        plan = FailurePlan.kill(0, 2).then(0, 3)
+        with pytest.raises(ElasticError, match="gave up") as exc:
+            run_elastic(tmp_path, 4, plan, sub="elastic", max_recoveries=1)
+        err = exc.value
+        assert len(err.history) == 1
+        assert (err.history[0].old_world_size, err.history[0].new_world_size) == (4, 3)
+
+    def test_timeout_is_not_wrapped(self, tmp_path):
+        """Driver-side timeouts identify no culprit: they re-raise as plain
+        SpmdError (rank -1), never as a recovery exhaustion."""
+
+        def hanging_segment(comm, start_step, resume_dir):
+            if comm.rank == 0:
+                import time
+
+                time.sleep(3.0)
+            comm.barrier()
+            return []
+
+        sup = ElasticSupervisor(hanging_segment, tmp_path / "hang", 2, timeout=0.5)
+        with pytest.raises(SpmdError) as exc:
+            sup.run(1)
+        assert not isinstance(exc.value, ElasticError)
+        assert exc.value.rank < 0

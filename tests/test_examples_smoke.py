@@ -51,7 +51,8 @@ def test_elastic_training(tmp_path):
     run_example(
         "elastic_training.py",
         ["--world", "3", "--steps", "8", "--checkpoint-every", "2",
-         "--kill-rank", "1", "--kill-step", "5", "--ckpt-dir", str(tmp_path)],
+         "--kill-rank", "1", "--kill-step", "5", "--rejoin-step", "7",
+         "--ckpt-dir", str(tmp_path)],
     )
 
 
